@@ -1,0 +1,120 @@
+// Micro-benchmarks for the P-Cube building blocks: bitmap codecs, signature
+// probing, B+-tree operations, R-tree node access. These quantify the
+// constants behind the figure-level results (e.g. why Csig << CR-tree).
+#include "bench_common.h"
+
+#include "bitmap/codec.h"
+#include "core/signature_cursor.h"
+
+namespace pcube::bench {
+namespace {
+
+void BM_BitmapEncode(benchmark::State& state) {
+  Random rng(1);
+  size_t nbits = static_cast<size_t>(state.range(0));
+  int density_pct = static_cast<int>(state.range(1));
+  BitVector bits(nbits);
+  for (size_t i = 0; i < nbits; ++i) {
+    if (rng.Uniform(100) < static_cast<uint64_t>(density_pct)) bits.Set(i);
+  }
+  for (auto _ : state) {
+    std::vector<uint8_t> buf;
+    BitmapCodec::Encode(bits, &buf);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_BitmapEncode)
+    ->Args({128, 5})
+    ->Args({128, 50})
+    ->Args({2048, 5})
+    ->Args({2048, 50});
+
+void BM_BitmapDecode(benchmark::State& state) {
+  Random rng(2);
+  size_t nbits = static_cast<size_t>(state.range(0));
+  BitVector bits(nbits);
+  for (size_t i = 0; i < nbits; ++i) {
+    if (rng.Uniform(100) < 20) bits.Set(i);
+  }
+  std::vector<uint8_t> buf;
+  BitmapCodec::Encode(bits, &buf);
+  for (auto _ : state) {
+    size_t offset = 0;
+    BitVector out;
+    PCUBE_CHECK_OK(BitmapCodec::Decode(buf.data(), buf.size(), &offset, &out));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BitmapDecode)->Arg(128)->Arg(2048);
+
+void BM_SignatureProbe(benchmark::State& state) {
+  Workbench* wb = CachedWorkbench2("micro", [] {
+    return GenerateSynthetic(PaperConfig(50000));
+  });
+  auto probe = wb->cube()->MakeProbe(OnePredicate(100));
+  PCUBE_CHECK(probe.ok());
+  // Collect some real tuple paths to probe.
+  std::vector<Path> paths;
+  PCUBE_CHECK_OK(wb->tree()->CollectPaths(
+      [&](TupleId tid, const Path& p, std::span<const float>) {
+        if (tid % 997 == 0) paths.push_back(p);
+      }));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = (*probe)->Test(paths[i++ % paths.size()]);
+    PCUBE_CHECK(r.ok());
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_SignatureProbe);
+
+void BM_BPlusTreeGet(benchmark::State& state) {
+  static MemoryPageManager* pm = new MemoryPageManager();
+  static IoStats* stats = new IoStats();
+  static BufferPool* pool = new BufferPool(pm, 1 << 14, stats);
+  static BPlusTree* tree = [] {
+    std::vector<std::pair<uint64_t, uint64_t>> sorted;
+    for (uint64_t k = 0; k < 200000; ++k) sorted.emplace_back(k * 3, k);
+    auto t = BPlusTree::BulkLoad(pool, sorted);
+    PCUBE_CHECK(t.ok());
+    return new BPlusTree(std::move(*t));
+  }();
+  Random rng(3);
+  for (auto _ : state) {
+    uint64_t k = rng.Uniform(200000) * 3;
+    auto v = tree->Get(k);
+    PCUBE_CHECK(v.ok());
+    benchmark::DoNotOptimize(*v);
+  }
+}
+BENCHMARK(BM_BPlusTreeGet);
+
+void BM_RTreeNodeRead(benchmark::State& state) {
+  Workbench* wb = CachedWorkbench2("micro", [] {
+    return GenerateSynthetic(PaperConfig(50000));
+  });
+  for (auto _ : state) {
+    auto handle = wb->tree()->ReadNode(wb->tree()->root());
+    PCUBE_CHECK(handle.ok());
+    benchmark::DoNotOptimize(handle->get());
+  }
+}
+BENCHMARK(BM_RTreeNodeRead);
+
+void BM_SkylineQueryEndToEnd(benchmark::State& state) {
+  Workbench* wb = CachedWorkbench2("micro", [] {
+    return GenerateSynthetic(PaperConfig(50000));
+  });
+  PredicateSet preds = OnePredicate(100);
+  for (auto _ : state) {
+    auto out = wb->SignatureSkyline(preds);
+    PCUBE_CHECK(out.ok());
+    benchmark::DoNotOptimize(out->skyline.size());
+  }
+}
+BENCHMARK(BM_SkylineQueryEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pcube::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+// Example 1 of the paper: multi-dimensional top-k query on a used-car
+// database with schema (type, maker, color, price, mileage).
+//
+//   SELECT TOP 10 used cars FROM R
+//   WHERE type = 'sedan' AND color = 'red'
+//   ORDER BY (price - 15k)^2 + alpha * (mileage - 30k)^2
+//
+// The example synthesises a 200k-row inventory, builds the full stack
+// (heap file, boolean B+-trees, R*-tree, P-Cube), answers the query with
+// all four methods of §VI, and prints their disk-access and timing profile.
+//
+//   ./used_cars [num_cars]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "workbench/workbench.h"
+
+using namespace pcube;
+
+namespace {
+
+constexpr int kType = 0;   // sedan, suv, truck, coupe, van
+constexpr int kMaker = 1;  // 20 makers
+constexpr int kColor = 2;  // 8 colors
+const char* kTypeNames[] = {"sedan", "suv", "truck", "coupe", "van"};
+const char* kColorNames[] = {"red",    "black", "white", "blue",
+                             "silver", "green", "grey",  "yellow"};
+
+Dataset MakeInventory(uint64_t n) {
+  Schema schema;
+  schema.num_bool = 3;
+  schema.num_pref = 2;  // price (k$), mileage (k miles), normalised to [0,1]
+  schema.bool_cardinality = {5, 20, 8};
+  Dataset data(schema, n);
+  Random rng(2008);
+  for (TupleId t = 0; t < n; ++t) {
+    data.SetBoolValue(t, kType, static_cast<uint32_t>(rng.Uniform(5)));
+    data.SetBoolValue(t, kMaker, static_cast<uint32_t>(rng.Uniform(20)));
+    data.SetBoolValue(t, kColor, static_cast<uint32_t>(rng.Uniform(8)));
+    // Price in [0, 60k] and mileage in [0, 200k miles], correlated:
+    // higher mileage -> lower price.
+    double mileage = rng.NextDouble();
+    double price =
+        std::min(1.0, std::max(0.0, 0.8 - 0.5 * mileage +
+                                        0.15 * rng.NextGaussian()));
+    data.SetPrefValue(t, 0, static_cast<float>(price));
+    data.SetPrefValue(t, 1, static_cast<float>(mileage));
+  }
+  return data;
+}
+
+double PriceK(float v) { return v * 60.0; }
+double MileageK(float v) { return v * 200.0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+  std::printf("used-car inventory: %llu cars (type, maker, color | price, "
+              "mileage)\n",
+              static_cast<unsigned long long>(n));
+
+  auto wb = Workbench::Build(MakeInventory(n), WorkbenchOptions{});
+  PCUBE_CHECK(wb.ok());
+  Workbench& w = **wb;
+
+  // The user's query: red sedans, expected price 15k, expected mileage 30k,
+  // alpha balances the two criteria.
+  PredicateSet preds{{kType, 0}, {kColor, 0}};
+  const double alpha = 0.7;
+  WeightedL2Ranking f({15.0 / 60.0, 30.0 / 200.0}, {1.0, alpha});
+  const size_t k = 10;
+
+  std::printf("query: top %zu %s %s cars, expected price $15k / 30k miles "
+              "(alpha=%.1f)\n\n",
+              k, kColorNames[0], kTypeNames[0], alpha);
+
+  // --- Signature (P-Cube) -------------------------------------------------
+  PCUBE_CHECK_OK(w.ColdStart());
+  Timer t;
+  auto sig = w.SignatureTopK(preds, f, k);
+  PCUBE_CHECK(sig.ok());
+  double sig_ms = t.ElapsedMillis();
+  IoStats sig_io = w.IoSince();
+
+  std::printf("top-%zu results (P-Cube signature search):\n", k);
+  for (size_t i = 0; i < sig->results.size(); ++i) {
+    const SearchEntry& e = sig->results[i];
+    std::printf("  %2zu. car #%-8llu $%5.1fk  %6.1fk miles  (score %.5f)\n",
+                i + 1, static_cast<unsigned long long>(e.id),
+                PriceK(e.rect.min[0]), MileageK(e.rect.min[1]), e.key);
+  }
+
+  // --- baselines ----------------------------------------------------------
+  PCUBE_CHECK_OK(w.ColdStart());
+  t.Reset();
+  BooleanFirstExecutor boolean(&w.indices(), w.table());
+  auto bool_out = boolean.TopK(preds, f, k);
+  PCUBE_CHECK(bool_out.ok());
+  double bool_ms = t.ElapsedMillis();
+  IoStats bool_io = w.IoSince();
+
+  PCUBE_CHECK_OK(w.ColdStart());
+  t.Reset();
+  auto rank = RankingFirstTopK(*w.tree(), *w.table(), preds, f, k);
+  PCUBE_CHECK(rank.ok());
+  double rank_ms = t.ElapsedMillis();
+  IoStats rank_io = w.IoSince();
+
+  PCUBE_CHECK_OK(w.ColdStart());
+  t.Reset();
+  auto merge = IndexMergeTopK(*w.tree(), w.indices(), preds, f, k);
+  PCUBE_CHECK(merge.ok());
+  double merge_ms = t.ElapsedMillis();
+  IoStats merge_io = w.IoSince();
+
+  PCUBE_CHECK_EQ(sig->results.size(), rank->results.size());
+  for (size_t i = 0; i < sig->results.size(); ++i) {
+    PCUBE_CHECK(std::abs(sig->results[i].key - rank->results[i].key) < 1e-9)
+        << "methods disagree at rank " << i;
+  }
+
+  std::printf("\nmethod comparison (identical answers, cold caches):\n");
+  std::printf("  %-12s %9s %12s %14s\n", "method", "cpu ms", "page reads",
+              "of which DBool");
+  auto row = [](const char* name, double ms, const IoStats& io) {
+    std::printf("  %-12s %9.2f %12llu %14llu\n", name, ms,
+                static_cast<unsigned long long>(io.TotalReads()),
+                static_cast<unsigned long long>(
+                    io.ReadCount(IoCategory::kBooleanVerify)));
+  };
+  row("Signature", sig_ms, sig_io);
+  row("Boolean", bool_ms, bool_io);
+  row("Ranking", rank_ms, rank_io);
+  row("IndexMerge", merge_ms, merge_io);
+  std::printf("\nWith a 5 ms page fetch (2008-class disk), the page-read "
+              "column dominates:\nthe signature method touches the fewest "
+              "pages because it prunes R-tree\nsubtrees that contain no red "
+              "sedans before reading them.\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Reproduces everything: build, tests, all paper figures, ablations.
+#   PCUBE_BENCH_SCALE=50  restores the paper's absolute dataset sizes
+#   PCUBE_PAGE_LATENCY_US sets the simulated page-read latency (default 5000)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,139 @@
+#include "baselines/boolean_first.h"
+
+#include <algorithm>
+
+namespace pcube {
+
+namespace {
+
+bool MatchesRow(const TupleData& row, const PredicateSet& preds) {
+  for (const Predicate& p : preds.predicates()) {
+    if (row.bools[p.dim] != p.value) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<TupleData>> BooleanFirstExecutor::Select(
+    const PredicateSet& preds, BooleanFirstOutput* out) {
+  std::vector<TupleData> rows;
+  if (preds.empty()) {
+    out->used_table_scan = true;
+    Status st = table_->Scan([&](const TupleData& row) {
+      rows.push_back(row);
+      return true;
+    });
+    if (!st.ok()) return st;
+    return rows;
+  }
+
+  // Cost the two access paths: the index path fetches the most selective
+  // predicate's postings (one random page per tuple, plus leaf pages), the
+  // table scan reads every table page.
+  const Predicate* best = nullptr;
+  uint64_t best_count = ~uint64_t{0};
+  for (const Predicate& p : preds.predicates()) {
+    auto count = (*indices_)[p.dim].Count(p.value);
+    if (!count.ok()) return count.status();
+    if (*count < best_count) {
+      best_count = *count;
+      best = &p;
+    }
+  }
+  uint64_t index_cost = best_count;  // dominant term: random tuple fetches
+  uint64_t scan_cost = table_->num_pages();
+
+  if (scan_cost <= index_cost) {
+    out->used_table_scan = true;
+    Status st = table_->Scan([&](const TupleData& row) {
+      if (MatchesRow(row, preds)) rows.push_back(row);
+      return true;
+    });
+    if (!st.ok()) return st;
+    return rows;
+  }
+
+  out->used_table_scan = false;
+  auto tids = (*indices_)[best->dim].Lookup(best->value);
+  if (!tids.ok()) return tids.status();
+  for (TupleId tid : *tids) {
+    auto row = table_->GetTuple(tid, IoCategory::kHeapFile);
+    if (!row.ok()) return row.status();
+    if (MatchesRow(*row, preds)) rows.push_back(std::move(*row));
+  }
+  return rows;
+}
+
+Result<BooleanFirstOutput> BooleanFirstExecutor::Skyline(
+    const PredicateSet& preds, std::vector<int> pref_dims) {
+  BooleanFirstOutput out;
+  auto rows = Select(preds, &out);
+  if (!rows.ok()) return rows.status();
+  out.selected = rows->size();
+  out.counters.heap_peak = rows->size();  // in-memory working set (Fig. 10)
+  if (rows->empty()) return out;
+
+  int dims = static_cast<int>((*rows)[0].prefs.size());
+  if (pref_dims.empty()) {
+    for (int d = 0; d < dims; ++d) pref_dims.push_back(d);
+  }
+  // Sort-filter skyline [7] over the fetched rows.
+  auto coord_sum = [&](const TupleData& r) {
+    double s = 0;
+    for (int d : pref_dims) s += r.prefs[d];
+    return s;
+  };
+  std::sort(rows->begin(), rows->end(),
+            [&](const TupleData& a, const TupleData& b) {
+              double sa = coord_sum(a), sb = coord_sum(b);
+              if (sa != sb) return sa < sb;
+              return a.tid < b.tid;
+            });
+  std::vector<const TupleData*> skyline;
+  for (const TupleData& r : *rows) {
+    bool dominated = false;
+    for (const TupleData* s : skyline) {
+      bool all_le = true, one_lt = false;
+      for (int d : pref_dims) {
+        if (s->prefs[d] > r.prefs[d]) {
+          all_le = false;
+          break;
+        }
+        if (s->prefs[d] < r.prefs[d]) one_lt = true;
+      }
+      if (all_le && one_lt) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(&r);
+  }
+  for (const TupleData* s : skyline) out.tids.push_back(s->tid);
+  std::sort(out.tids.begin(), out.tids.end());
+  return out;
+}
+
+Result<BooleanFirstOutput> BooleanFirstExecutor::TopK(const PredicateSet& preds,
+                                                      const RankingFunction& f,
+                                                      size_t k) {
+  BooleanFirstOutput out;
+  auto rows = Select(preds, &out);
+  if (!rows.ok()) return rows.status();
+  out.selected = rows->size();
+  out.counters.heap_peak = rows->size();
+  std::vector<std::pair<double, TupleId>> scored;
+  scored.reserve(rows->size());
+  for (const TupleData& r : *rows) {
+    scored.emplace_back(f.Score(std::span<const float>(r.prefs)), r.tid);
+  }
+  size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end());
+  for (size_t i = 0; i < take; ++i) {
+    out.tids.push_back(scored[i].second);
+    out.scores.push_back(scored[i].first);
+  }
+  return out;
+}
+
+}  // namespace pcube

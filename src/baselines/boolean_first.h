@@ -1,0 +1,54 @@
+// Boolean-first baseline (paper §VI.A, "Boolean"): answer the boolean
+// predicates first — by B+-tree index scan or full table scan, whichever is
+// cheaper — then run the preference analysis over the selected tuples in
+// memory. This is what a conventional DBMS does, and the approach P-Cube is
+// measured against in Figs. 8-14.
+#pragma once
+
+#include <vector>
+
+#include "cube/cell.h"
+#include "query/query_types.h"
+#include "query/ranking.h"
+#include "storage/boolean_index.h"
+#include "storage/table_store.h"
+
+namespace pcube {
+
+/// Result of a boolean-first query.
+struct BooleanFirstOutput {
+  std::vector<TupleId> tids;          ///< result tuples (skyline or top-k)
+  std::vector<double> scores;         ///< top-k only, aligned with tids
+  uint64_t selected = 0;              ///< tuples passing the predicates
+  bool used_table_scan = false;       ///< chosen access path
+  EngineCounters counters;            ///< heap_peak = in-memory working set
+};
+
+/// Executes boolean-then-preference queries.
+class BooleanFirstExecutor {
+ public:
+  /// `indices` holds one BooleanIndex per boolean dimension (dimension d at
+  /// position d). Both referees must outlive the executor.
+  BooleanFirstExecutor(const std::vector<BooleanIndex>* indices,
+                       const TableStore* table)
+      : indices_(indices), table_(table) {}
+
+  /// Skyline over the selected subset (pref_dims empty = all dimensions).
+  Result<BooleanFirstOutput> Skyline(const PredicateSet& preds,
+                                     std::vector<int> pref_dims = {});
+
+  /// Top-k over the selected subset.
+  Result<BooleanFirstOutput> TopK(const PredicateSet& preds,
+                                  const RankingFunction& f, size_t k);
+
+ private:
+  /// Fetches all tuples satisfying `preds`, choosing index scan vs table
+  /// scan by estimated page cost (the paper reports the best of the two).
+  Result<std::vector<TupleData>> Select(const PredicateSet& preds,
+                                        BooleanFirstOutput* out);
+
+  const std::vector<BooleanIndex>* indices_;
+  const TableStore* table_;
+};
+
+}  // namespace pcube

@@ -1,0 +1,28 @@
+#include "baselines/domination_first.h"
+
+namespace pcube {
+
+Result<SkylineOutput> DominationFirstSkyline(const RStarTree& tree,
+                                             const TableStore& table,
+                                             const PredicateSet& preds,
+                                             std::vector<int> pref_dims) {
+  TrueProbe probe;
+  TupleVerifier verifier(&table, preds);
+  SkylineQueryOptions options;
+  options.pref_dims = std::move(pref_dims);
+  SkylineEngine engine(&tree, &probe, preds.empty() ? nullptr : &verifier,
+                       options);
+  return engine.Run();
+}
+
+Result<TopKOutput> RankingFirstTopK(const RStarTree& tree,
+                                    const TableStore& table,
+                                    const PredicateSet& preds,
+                                    const RankingFunction& f, size_t k) {
+  TrueProbe probe;
+  TupleVerifier verifier(&table, preds);
+  TopKEngine engine(&tree, &probe, preds.empty() ? nullptr : &verifier, &f, k);
+  return engine.Run();
+}
+
+}  // namespace pcube

@@ -1,0 +1,26 @@
+// Domination-first baseline (paper §VI.A, "Domination" for skylines /
+// "Ranking" for top-k): BBS [9] / best-first search over the R-tree with no
+// boolean pruning at all, combined with minimal probing [3] — each candidate
+// result is boolean-verified by a random tuple access (the paper's DBool
+// I/O) only at the moment it would be emitted, which minimises the number of
+// verifications at the price of a larger candidate heap.
+#pragma once
+
+#include "query/skyline_engine.h"
+#include "query/topk_engine.h"
+
+namespace pcube {
+
+/// BBS + minimal-probing skyline with boolean predicates.
+Result<SkylineOutput> DominationFirstSkyline(const RStarTree& tree,
+                                             const TableStore& table,
+                                             const PredicateSet& preds,
+                                             std::vector<int> pref_dims = {});
+
+/// Best-first + minimal-probing top-k with boolean predicates.
+Result<TopKOutput> RankingFirstTopK(const RStarTree& tree,
+                                    const TableStore& table,
+                                    const PredicateSet& preds,
+                                    const RankingFunction& f, size_t k);
+
+}  // namespace pcube

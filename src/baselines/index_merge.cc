@@ -1,0 +1,40 @@
+#include "baselines/index_merge.h"
+
+#include <algorithm>
+
+namespace pcube {
+
+Result<TopKOutput> IndexMergeTopK(const RStarTree& tree,
+                                  const std::vector<BooleanIndex>& indices,
+                                  const PredicateSet& preds,
+                                  const RankingFunction& f, size_t k) {
+  if (preds.empty()) {
+    TrueProbe probe;
+    TopKEngine engine(&tree, &probe, nullptr, &f, k);
+    return engine.Run();
+  }
+  // Merge step: scan each predicate's postings (selective merge starts from
+  // the shortest list) and intersect.
+  std::vector<std::vector<TupleId>> postings;
+  for (const Predicate& p : preds.predicates()) {
+    auto tids = indices[p.dim].Lookup(p.value);
+    if (!tids.ok()) return tids.status();
+    postings.push_back(std::move(*tids));
+  }
+  std::sort(postings.begin(), postings.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  std::unordered_set<TupleId> rids(postings[0].begin(), postings[0].end());
+  for (size_t i = 1; i < postings.size() && !rids.empty(); ++i) {
+    std::unordered_set<TupleId> next;
+    for (TupleId t : postings[i]) {
+      if (rids.count(t) > 0) next.insert(t);
+    }
+    rids = std::move(next);
+  }
+
+  RidSetProbe probe(std::move(rids));
+  TopKEngine engine(&tree, &probe, nullptr, &f, k);
+  return engine.Run();
+}
+
+}  // namespace pcube

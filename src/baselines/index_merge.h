@@ -1,0 +1,42 @@
+// Index-merge baseline for top-k (paper §VI.A, after Xin et al. [14]):
+// join the per-dimension B+-tree indices for the boolean predicates into a
+// RID set, then run best-first search with the reformulated ranking function
+// — a tuple outside the RID set scores MAX, i.e. it is skipped at tuple
+// level, but R-tree nodes cannot be boolean-pruned because the merge happens
+// on tuple ids, not on the space partition. The paper's observation: "Index
+// Merge joins the search space online, while the signature materializes the
+// joint space offline."
+#pragma once
+
+#include <unordered_set>
+
+#include "core/probe.h"
+#include "query/topk_engine.h"
+#include "storage/boolean_index.h"
+
+namespace pcube {
+
+/// Probe over a merged RID set: node paths always pass, tuples pass iff
+/// their id survived the index merge.
+class RidSetProbe : public BooleanProbe {
+ public:
+  explicit RidSetProbe(std::unordered_set<TupleId> rids)
+      : rids_(std::move(rids)) {}
+
+  Result<bool> Test(const Path&) override { return true; }
+  Result<bool> TestData(const Path&, TupleId tid) override {
+    return rids_.count(tid) > 0;
+  }
+
+ private:
+  std::unordered_set<TupleId> rids_;
+};
+
+/// Progressive index-merge top-k: merges the predicate postings, then runs
+/// the best-first framework with tuple-level filtering only.
+Result<TopKOutput> IndexMergeTopK(const RStarTree& tree,
+                                  const std::vector<BooleanIndex>& indices,
+                                  const PredicateSet& preds,
+                                  const RankingFunction& f, size_t k);
+
+}  // namespace pcube

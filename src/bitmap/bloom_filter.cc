@@ -1,0 +1,67 @@
+#include "bitmap/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcube {
+
+BloomFilter::BloomFilter(size_t expected_keys, double bits_per_key) {
+  expected_keys = std::max<size_t>(expected_keys, 1);
+  num_bits_ = std::max<size_t>(
+      64, static_cast<size_t>(static_cast<double>(expected_keys) * bits_per_key));
+  num_bits_ = (num_bits_ + 63) / 64 * 64;
+  num_probes_ = std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 30);
+  words_.assign(num_bits_ / 64, 0);
+}
+
+uint64_t BloomFilter::Mix(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdULL;
+  key ^= key >> 33;
+  key *= 0xc4ceb9fe1a85ec53ULL;
+  key ^= key >> 33;
+  return key;
+}
+
+void BloomFilter::Add(uint64_t key) {
+  uint64_t h = Mix(key);
+  uint64_t delta = (h >> 32) | (h << 32) | 1;
+  for (int i = 0; i < num_probes_; ++i) {
+    bit_util::SetBit(words_.data(), h % num_bits_);
+    h += delta;
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  uint64_t h = Mix(key);
+  uint64_t delta = (h >> 32) | (h << 32) | 1;
+  for (int i = 0; i < num_probes_; ++i) {
+    if (!bit_util::GetBit(words_.data(), h % num_bits_)) return false;
+    h += delta;
+  }
+  return true;
+}
+
+std::vector<uint8_t> BloomFilter::Serialize() const {
+  std::vector<uint8_t> out(8 + 4 + words_.size() * 8);
+  bit_util::StoreLE<uint64_t>(out.data(), num_bits_);
+  bit_util::StoreLE<uint32_t>(out.data() + 8, static_cast<uint32_t>(num_probes_));
+  for (size_t i = 0; i < words_.size(); ++i) {
+    bit_util::StoreLE<uint64_t>(out.data() + 12 + i * 8, words_[i]);
+  }
+  return out;
+}
+
+BloomFilter BloomFilter::Deserialize(const std::vector<uint8_t>& bytes) {
+  PCUBE_CHECK_GE(bytes.size(), size_t{12});
+  uint64_t num_bits = bit_util::LoadLE<uint64_t>(bytes.data());
+  int probes = static_cast<int>(bit_util::LoadLE<uint32_t>(bytes.data() + 8));
+  std::vector<uint64_t> words(num_bits / 64);
+  PCUBE_CHECK_EQ(bytes.size(), 12 + words.size() * 8);
+  for (size_t i = 0; i < words.size(); ++i) {
+    words[i] = bit_util::LoadLE<uint64_t>(bytes.data() + 12 + i * 8);
+  }
+  return BloomFilter(num_bits, probes, std::move(words));
+}
+
+}  // namespace pcube

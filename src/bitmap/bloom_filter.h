@@ -1,0 +1,51 @@
+// Bloom filter over SIDs — the lossy signature compression sketched in the
+// paper's §VII: "build a bloom filter on all SID's whose corresponding
+// entries are 1 in the signature ... load the compressed signature (i.e., a
+// bloom filter), and test a SID upon that."
+//
+// False positives only weaken pruning (a node may be visited although the
+// cell has no data there); they can never drop an answer, because a
+// "present" verdict means "do not prune".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+
+namespace pcube {
+
+/// Standard Bloom filter with double hashing (Kirsch-Mitzenmacher).
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_keys` keys at `bits_per_key` bits each.
+  /// The number of probes is chosen as ln(2) * bits_per_key, clamped to
+  /// [1, 30].
+  BloomFilter(size_t expected_keys, double bits_per_key = 10.0);
+
+  /// Reconstructs a filter from its serialised form.
+  static BloomFilter Deserialize(const std::vector<uint8_t>& bytes);
+
+  void Add(uint64_t key);
+
+  /// False means "definitely absent"; true means "probably present".
+  bool MayContain(uint64_t key) const;
+
+  /// Size of the bit array in bytes.
+  size_t SizeBytes() const { return words_.size() * 8; }
+
+  std::vector<uint8_t> Serialize() const;
+
+ private:
+  BloomFilter(size_t num_bits, int num_probes, std::vector<uint64_t> words)
+      : num_bits_(num_bits), num_probes_(num_probes), words_(std::move(words)) {}
+
+  static uint64_t Mix(uint64_t key);
+
+  size_t num_bits_;
+  int num_probes_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace pcube

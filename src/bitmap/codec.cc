@@ -1,0 +1,243 @@
+#include "bitmap/codec.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+
+namespace pcube {
+
+namespace {
+
+constexpr uint32_t kWahGroupBits = 31;
+constexpr uint32_t kWahFillFlag = 0x80000000u;
+constexpr uint32_t kWahFillValue = 0x40000000u;
+constexpr uint32_t kWahMaxRun = 0x3FFFFFFFu;
+constexpr uint32_t kWahPayloadMask = 0x7FFFFFFFu;
+
+void PutVarint(uint32_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+bool GetVarint(const uint8_t* data, size_t size, size_t* offset, uint32_t* v) {
+  uint32_t result = 0;
+  int shift = 0;
+  while (*offset < size && shift <= 28) {
+    uint8_t byte = data[(*offset)++];
+    result |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+/// Reads 31 bits of `bits` starting at group `g` (zero-padded at the tail).
+uint32_t WahGroup(const BitVector& bits, size_t g) {
+  uint32_t v = 0;
+  size_t base = g * kWahGroupBits;
+  size_t end = std::min(base + kWahGroupBits, bits.size());
+  for (size_t i = base; i < end; ++i) {
+    if (bits.Get(i)) v |= 1u << (i - base);
+  }
+  return v;
+}
+
+void EncodeVerbatim(const BitVector& bits, std::vector<uint8_t>* out) {
+  size_t nbytes = bit_util::Bytes(bits.size());
+  size_t start = out->size();
+  out->resize(start + nbytes, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits.Get(i)) (*out)[start + (i >> 3)] |= uint8_t{1} << (i & 7);
+  }
+}
+
+void EncodeWah(const BitVector& bits, std::vector<uint8_t>* out) {
+  size_t groups = bit_util::CeilDiv(bits.size(), kWahGroupBits);
+  std::vector<uint32_t> words;
+  uint32_t run_len = 0;
+  bool run_val = false;
+  auto flush_run = [&]() {
+    while (run_len > 0) {
+      uint32_t chunk = std::min(run_len, kWahMaxRun);
+      words.push_back(kWahFillFlag | (run_val ? kWahFillValue : 0) | chunk);
+      run_len -= chunk;
+    }
+  };
+  for (size_t g = 0; g < groups; ++g) {
+    uint32_t v = WahGroup(bits, g);
+    if (v == 0 || v == kWahPayloadMask) {
+      bool val = (v != 0);
+      if (run_len > 0 && val != run_val) flush_run();
+      run_val = val;
+      ++run_len;
+    } else {
+      flush_run();
+      words.push_back(v);
+    }
+  }
+  flush_run();
+  for (uint32_t w : words) {
+    size_t p = out->size();
+    out->resize(p + 4);
+    bit_util::StoreLE<uint32_t>(out->data() + p, w);
+  }
+}
+
+void EncodeSparse(const BitVector& bits, std::vector<uint8_t>* out) {
+  std::vector<uint32_t> pos = bits.SetPositions();
+  PutVarint(static_cast<uint32_t>(pos.size()), out);
+  uint32_t prev = 0;
+  for (uint32_t p : pos) {
+    PutVarint(p - prev, out);
+    prev = p;
+  }
+}
+
+size_t SparseSize(const BitVector& bits) {
+  std::vector<uint8_t> tmp;
+  EncodeSparse(bits, &tmp);
+  return tmp.size();
+}
+
+size_t WahSize(const BitVector& bits) {
+  std::vector<uint8_t> tmp;
+  EncodeWah(bits, &tmp);
+  return tmp.size();
+}
+
+}  // namespace
+
+void BitmapCodec::EncodeWith(BitmapScheme scheme, const BitVector& bits,
+                             std::vector<uint8_t>* out) {
+  PCUBE_CHECK_LE(bits.size(), kMaxBits);
+  out->push_back(static_cast<uint8_t>(scheme));
+  size_t p = out->size();
+  out->resize(p + 2);
+  bit_util::StoreLE<uint16_t>(out->data() + p, static_cast<uint16_t>(bits.size()));
+  switch (scheme) {
+    case BitmapScheme::kVerbatim:
+      EncodeVerbatim(bits, out);
+      break;
+    case BitmapScheme::kWah:
+      EncodeWah(bits, out);
+      break;
+    case BitmapScheme::kSparse:
+      EncodeSparse(bits, out);
+      break;
+  }
+}
+
+void BitmapCodec::Encode(const BitVector& bits, std::vector<uint8_t>* out) {
+  size_t verbatim = bit_util::Bytes(bits.size());
+  size_t wah = WahSize(bits);
+  size_t sparse = SparseSize(bits);
+  BitmapScheme best = BitmapScheme::kVerbatim;
+  size_t best_size = verbatim;
+  if (wah < best_size) {
+    best = BitmapScheme::kWah;
+    best_size = wah;
+  }
+  if (sparse < best_size) {
+    best = BitmapScheme::kSparse;
+  }
+  EncodeWith(best, bits, out);
+}
+
+size_t BitmapCodec::EncodedSize(const BitVector& bits) {
+  size_t body = std::min({bit_util::Bytes(bits.size()), WahSize(bits),
+                          SparseSize(bits)});
+  return 3 + body;  // scheme byte + u16 length
+}
+
+Result<BitmapScheme> BitmapCodec::PeekScheme(const uint8_t* data, size_t size) {
+  if (size < 1) return Status::Corruption("empty bitmap encoding");
+  uint8_t tag = data[0];
+  if (tag > static_cast<uint8_t>(BitmapScheme::kSparse)) {
+    return Status::Corruption("unknown bitmap scheme tag");
+  }
+  return static_cast<BitmapScheme>(tag);
+}
+
+Status BitmapCodec::Decode(const uint8_t* data, size_t size, size_t* offset,
+                           BitVector* out) {
+  if (*offset + 3 > size) return Status::Corruption("bitmap header truncated");
+  uint8_t tag = data[*offset];
+  if (tag > static_cast<uint8_t>(BitmapScheme::kSparse)) {
+    return Status::Corruption("unknown bitmap scheme tag");
+  }
+  uint16_t nbits = bit_util::LoadLE<uint16_t>(data + *offset + 1);
+  *offset += 3;
+  *out = BitVector(nbits);
+  switch (static_cast<BitmapScheme>(tag)) {
+    case BitmapScheme::kVerbatim: {
+      size_t nbytes = bit_util::Bytes(nbits);
+      if (*offset + nbytes > size) return Status::Corruption("verbatim body truncated");
+      for (size_t i = 0; i < nbits; ++i) {
+        if (data[*offset + (i >> 3)] & (uint8_t{1} << (i & 7))) out->Set(i);
+      }
+      *offset += nbytes;
+      return Status::OK();
+    }
+    case BitmapScheme::kWah: {
+      size_t bit = 0;
+      size_t total_groups = bit_util::CeilDiv(nbits, kWahGroupBits);
+      size_t groups_done = 0;
+      while (groups_done < total_groups) {
+        if (*offset + 4 > size) return Status::Corruption("WAH body truncated");
+        uint32_t w = bit_util::LoadLE<uint32_t>(data + *offset);
+        *offset += 4;
+        if (w & kWahFillFlag) {
+          bool val = (w & kWahFillValue) != 0;
+          uint32_t run = w & kWahMaxRun;
+          if (groups_done + run > total_groups) {
+            return Status::Corruption("WAH run overflows bit count");
+          }
+          if (val) {
+            for (uint32_t g = 0; g < run; ++g) {
+              size_t end = std::min(bit + kWahGroupBits, static_cast<size_t>(nbits));
+              for (size_t i = bit; i < end; ++i) out->Set(i);
+              bit += kWahGroupBits;
+            }
+          } else {
+            bit += static_cast<size_t>(run) * kWahGroupBits;
+          }
+          groups_done += run;
+        } else {
+          size_t end = std::min(bit + kWahGroupBits, static_cast<size_t>(nbits));
+          for (size_t i = bit; i < end; ++i) {
+            if (w & (1u << (i - bit))) out->Set(i);
+          }
+          bit += kWahGroupBits;
+          ++groups_done;
+        }
+      }
+      return Status::OK();
+    }
+    case BitmapScheme::kSparse: {
+      uint32_t count = 0;
+      if (!GetVarint(data, size, offset, &count)) {
+        return Status::Corruption("sparse count truncated");
+      }
+      uint32_t pos = 0;
+      for (uint32_t i = 0; i < count; ++i) {
+        uint32_t delta = 0;
+        if (!GetVarint(data, size, offset, &delta)) {
+          return Status::Corruption("sparse delta truncated");
+        }
+        pos += delta;
+        if (pos >= nbits) return Status::Corruption("sparse position out of range");
+        out->Set(pos);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unreachable");
+}
+
+}  // namespace pcube

@@ -1,0 +1,46 @@
+// Small bit-twiddling helpers shared by the bitmap codecs and storage layer.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace pcube::bit_util {
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr size_t Words64(size_t bits) { return (bits + 63) / 64; }
+
+/// Number of bytes needed to hold `bits` bits.
+constexpr size_t Bytes(size_t bits) { return (bits + 7) / 8; }
+
+constexpr bool GetBit(const uint64_t* words, size_t i) {
+  return (words[i >> 6] >> (i & 63)) & 1;
+}
+
+constexpr void SetBit(uint64_t* words, size_t i) {
+  words[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+constexpr void ClearBit(uint64_t* words, size_t i) {
+  words[i >> 6] &= ~(uint64_t{1} << (i & 63));
+}
+
+inline int PopCount(uint64_t w) { return std::popcount(w); }
+
+/// Ceil(a / b) for positive integers.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Unaligned little-endian load/store, used by page serialisation.
+template <typename T>
+inline T LoadLE(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+inline void StoreLE(uint8_t* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+}  // namespace pcube::bit_util

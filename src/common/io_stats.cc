@@ -1,0 +1,26 @@
+#include "common/io_stats.h"
+
+#include <sstream>
+
+namespace pcube {
+
+namespace {
+const char* kCategoryNames[] = {"rtree", "signature", "bool-verify", "btree",
+                                "heapfile"};
+}  // namespace
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "IoStats{";
+  bool first = true;
+  for (int i = 0; i < static_cast<int>(IoCategory::kNumCategories); ++i) {
+    if (reads[i] == 0 && writes[i] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << kCategoryNames[i] << ": r=" << reads[i] << " w=" << writes[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace pcube

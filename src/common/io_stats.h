@@ -1,0 +1,60 @@
+// Simulated-disk accounting. Every physical page fetch in the storage layer
+// is charged to one of these counters, classified by what the page holds.
+// The paper's "number of disk accesses" figures (Fig. 9, Fig. 15) are read
+// straight from an IoStats snapshot, which makes them deterministic and
+// hardware-independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pcube {
+
+/// What a fetched page contains, for per-category breakdowns.
+enum class IoCategory : int {
+  kRtreeBlock = 0,   ///< R-tree node page (paper: DBlock / SBlock)
+  kSignature,        ///< partial-signature page (paper: SSig)
+  kBooleanVerify,    ///< random tuple access for boolean verification (DBool)
+  kBtree,            ///< B+-tree node page (boolean index / signature index)
+  kHeapFile,         ///< base-table block (table scans)
+  kNumCategories,
+};
+
+/// Mutable counter block shared by the storage structures of one experiment.
+struct IoStats {
+  uint64_t reads[static_cast<int>(IoCategory::kNumCategories)] = {};
+  uint64_t writes[static_cast<int>(IoCategory::kNumCategories)] = {};
+
+  void CountRead(IoCategory c, uint64_t n = 1) { reads[static_cast<int>(c)] += n; }
+  void CountWrite(IoCategory c, uint64_t n = 1) { writes[static_cast<int>(c)] += n; }
+
+  uint64_t ReadCount(IoCategory c) const { return reads[static_cast<int>(c)]; }
+  uint64_t WriteCount(IoCategory c) const { return writes[static_cast<int>(c)]; }
+
+  uint64_t TotalReads() const {
+    uint64_t t = 0;
+    for (uint64_t r : reads) t += r;
+    return t;
+  }
+  uint64_t TotalWrites() const {
+    uint64_t t = 0;
+    for (uint64_t w : writes) t += w;
+    return t;
+  }
+
+  void Reset() { *this = IoStats(); }
+
+  /// Difference of two snapshots (this - other), element-wise.
+  IoStats Delta(const IoStats& other) const {
+    IoStats d;
+    for (int i = 0; i < static_cast<int>(IoCategory::kNumCategories); ++i) {
+      d.reads[i] = reads[i] - other.reads[i];
+      d.writes[i] = writes[i] - other.writes[i];
+    }
+    return d;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace pcube

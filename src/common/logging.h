@@ -1,0 +1,81 @@
+// CHECK/DCHECK assertion macros with streamed messages, RocksDB/Arrow style.
+// PCUBE_CHECK is always on (invariants whose violation would corrupt data);
+// PCUBE_DCHECK compiles out in NDEBUG builds.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace pcube::internal {
+
+/// Accumulates a streamed failure message and aborts on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* expr) {
+    stream_ << "[" << file << ":" << line << "] check failed: " << expr << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Converts the streamed expression to void so the ternary in PCUBE_CHECK
+/// type-checks (glog's voidify trick; & binds looser than <<).
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+/// Swallows the streamed message when a check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace pcube::internal
+
+#define PCUBE_CHECK(cond)                                        \
+  (cond) ? (void)0                                               \
+         : ::pcube::internal::Voidify() &                        \
+               ::pcube::internal::FatalLogMessage(__FILE__, __LINE__, #cond) \
+                   .stream()
+
+#define PCUBE_CHECK_BINOP(a, b, op)                                        \
+  PCUBE_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define PCUBE_CHECK_EQ(a, b) PCUBE_CHECK_BINOP(a, b, ==)
+#define PCUBE_CHECK_NE(a, b) PCUBE_CHECK_BINOP(a, b, !=)
+#define PCUBE_CHECK_LT(a, b) PCUBE_CHECK_BINOP(a, b, <)
+#define PCUBE_CHECK_LE(a, b) PCUBE_CHECK_BINOP(a, b, <=)
+#define PCUBE_CHECK_GT(a, b) PCUBE_CHECK_BINOP(a, b, >)
+#define PCUBE_CHECK_GE(a, b) PCUBE_CHECK_BINOP(a, b, >=)
+
+#ifdef NDEBUG
+// The condition stays in the token stream (unevaluated) so variables used
+// only in DCHECKs do not trigger -Wunused warnings.
+#define PCUBE_DCHECK(cond) \
+  while (false && (cond)) ::pcube::internal::NullStream()
+#define PCUBE_DCHECK_EQ(a, b) PCUBE_DCHECK((a) == (b))
+#define PCUBE_DCHECK_NE(a, b) PCUBE_DCHECK((a) != (b))
+#define PCUBE_DCHECK_LT(a, b) PCUBE_DCHECK((a) < (b))
+#define PCUBE_DCHECK_LE(a, b) PCUBE_DCHECK((a) <= (b))
+#define PCUBE_DCHECK_GT(a, b) PCUBE_DCHECK((a) > (b))
+#define PCUBE_DCHECK_GE(a, b) PCUBE_DCHECK((a) >= (b))
+#else
+#define PCUBE_DCHECK(cond) PCUBE_CHECK(cond)
+#define PCUBE_DCHECK_EQ(a, b) PCUBE_CHECK_EQ(a, b)
+#define PCUBE_DCHECK_NE(a, b) PCUBE_CHECK_NE(a, b)
+#define PCUBE_DCHECK_LT(a, b) PCUBE_CHECK_LT(a, b)
+#define PCUBE_DCHECK_LE(a, b) PCUBE_CHECK_LE(a, b)
+#define PCUBE_DCHECK_GT(a, b) PCUBE_CHECK_GT(a, b)
+#define PCUBE_DCHECK_GE(a, b) PCUBE_CHECK_GE(a, b)
+#endif

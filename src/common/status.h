@@ -1,0 +1,142 @@
+// Lightweight Status / Result error handling, in the style of Arrow/RocksDB.
+// The library does not throw exceptions on expected failure paths; fallible
+// operations return Status (or Result<T> when they produce a value).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace pcube {
+
+/// Machine-readable failure category carried by Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kCorruption,
+  kIoError,
+  kNotSupported,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode ("OK", "Invalid argument"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// Usage follows the Arrow convention:
+///
+///   Status s = page_manager.Read(pid, &page);
+///   if (!s.ok()) return s;                     // or PCUBE_RETURN_NOT_OK(s)
+class Status {
+ public:
+  /// Constructs an OK status (the default).
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// A value-or-Status, analogous to arrow::Result.
+///
+/// Dereferencing a non-OK Result is a programming error and aborts in debug
+/// builds (checked via PCUBE_DCHECK).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}              // NOLINT implicit
+  Result(Status status) : repr_(std::move(status)) {        // NOLINT implicit
+    PCUBE_DCHECK(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    PCUBE_DCHECK(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    PCUBE_DCHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    PCUBE_DCHECK(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace pcube
+
+/// Propagates a non-OK Status to the caller.
+#define PCUBE_RETURN_NOT_OK(expr)             \
+  do {                                        \
+    ::pcube::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Asserts that an expression returns OK; aborts with the message otherwise.
+/// For call sites where failure indicates a bug rather than an input error.
+#define PCUBE_CHECK_OK(expr)                                        \
+  do {                                                              \
+    ::pcube::Status _st = (expr);                                   \
+    PCUBE_CHECK(_st.ok()) << "status not OK: " << _st.ToString();   \
+  } while (0)

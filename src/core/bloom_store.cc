@@ -1,0 +1,67 @@
+#include "core/bloom_store.h"
+
+#include <algorithm>
+
+#include "cube/cell.h"
+
+namespace pcube {
+
+namespace {
+
+void CollectSids(const SignatureNode& node, Path* prefix, uint32_t m,
+                 std::vector<uint64_t>* sids) {
+  if (node.bits.empty()) return;
+  for (size_t bit = node.bits.FindNextSet(0); bit < node.bits.size();
+       bit = node.bits.FindNextSet(bit + 1)) {
+    prefix->push_back(static_cast<uint16_t>(bit + 1));
+    sids->push_back(PathToSid(*prefix, m));
+    auto it = node.children.find(static_cast<uint16_t>(bit + 1));
+    if (it != node.children.end()) CollectSids(*it->second, prefix, m, sids);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+Status BloomStore::Put(CellId cell, const Signature& sig, double bits_per_key) {
+  std::vector<uint64_t> sids;
+  Path prefix;
+  CollectSids(sig.root(), &prefix, sig.fanout(), &sids);
+  if (sids.empty()) return Status::OK();
+  BloomFilter filter(sids.size(), bits_per_key);
+  for (uint64_t sid : sids) filter.Add(sid);
+  std::vector<uint8_t> bytes = filter.Serialize();
+
+  std::vector<PageId>& pages = blobs_[cell];
+  pages.clear();
+  for (size_t off = 0; off < bytes.size(); off += kPageSize) {
+    PageId pid;
+    auto handle = pool_->New(IoCategory::kSignature, &pid);
+    if (!handle.ok()) return handle.status();
+    ++num_pages_;
+    size_t n = std::min(kPageSize, bytes.size() - off);
+    std::copy(bytes.begin() + off, bytes.begin() + off + n,
+              (*handle)->data());
+    pages.push_back(pid);
+  }
+  blob_sizes_[cell] = static_cast<uint32_t>(bytes.size());
+  return Status::OK();
+}
+
+Result<BloomFilter> BloomStore::Load(CellId cell, uint64_t* pages_read) const {
+  auto it = blobs_.find(cell);
+  if (it == blobs_.end()) return Status::NotFound("cell has no bloom filter");
+  uint32_t size = blob_sizes_.at(cell);
+  std::vector<uint8_t> bytes;
+  bytes.reserve(size);
+  for (PageId pid : it->second) {
+    auto handle = pool_->Get(pid, IoCategory::kSignature);
+    if (!handle.ok()) return handle.status();
+    size_t n = std::min(kPageSize, static_cast<size_t>(size) - bytes.size());
+    bytes.insert(bytes.end(), (*handle)->data(), (*handle)->data() + n);
+    if (pages_read != nullptr) ++*pages_read;
+  }
+  return BloomFilter::Deserialize(bytes);
+}
+
+}  // namespace pcube

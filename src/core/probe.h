@@ -1,0 +1,103 @@
+// Boolean pruning interface used by the query engines (Algorithm 1's
+// boolean_prune step). Given the path of a candidate entry — an R-tree node
+// or a tuple — a probe answers whether the target subset of data may appear
+// there:
+//   SignatureProbe  one cursor per predicate, bits ANDed lazily (exact at
+//                   tuple level; at inner levels an upper bound of the
+//                   recursive intersection, so pruning is sound);
+//   BloomProbe      §VII lossy variant (false positives possible even at
+//                   tuple level -> results need table verification);
+//   TrueProbe       no boolean pruning (the Domination baseline and BBS).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bitmap/bloom_filter.h"
+#include "core/signature_cursor.h"
+
+namespace pcube {
+
+/// Answers "may the target cell contain data under this path?".
+class BooleanProbe {
+ public:
+  virtual ~BooleanProbe() = default;
+
+  /// `path` addresses an R-tree node (length <= levels-1) or a tuple entry
+  /// (length == levels). A false return proves the subtree/tuple disjoint
+  /// from the queried cell.
+  virtual Result<bool> Test(const Path& path) = 0;
+
+  /// Tuple-level check. Signature probes answer from the leaf bit (the path
+  /// identifies the entry exactly); probes keyed by tuple id — e.g. the
+  /// index-merge baseline's RID set — override this instead.
+  virtual Result<bool> TestData(const Path& path, TupleId) {
+    return Test(path);
+  }
+
+  /// Whether a positive Test at tuple level is exact (signatures: yes;
+  /// Bloom filters: no — the engine must verify results against the table).
+  virtual bool exact() const { return true; }
+
+  /// Signature pages loaded so far (the paper's SSig count), if applicable.
+  virtual uint64_t partials_loaded() const { return 0; }
+};
+
+/// Probe that never prunes.
+class TrueProbe : public BooleanProbe {
+ public:
+  Result<bool> Test(const Path&) override { return true; }
+};
+
+/// Lazy AND over one signature cursor per boolean predicate.
+class SignatureProbe : public BooleanProbe {
+ public:
+  explicit SignatureProbe(std::vector<SignatureCursor> cursors)
+      : cursors_(std::move(cursors)) {}
+
+  Result<bool> Test(const Path& path) override {
+    for (auto& c : cursors_) {
+      auto r = c.Test(path);
+      if (!r.ok()) return r.status();
+      if (!*r) return false;
+    }
+    return true;
+  }
+
+  uint64_t partials_loaded() const override {
+    uint64_t n = 0;
+    for (const auto& c : cursors_) n += c.partials_loaded();
+    return n;
+  }
+
+ private:
+  std::vector<SignatureCursor> cursors_;
+};
+
+/// AND over per-predicate Bloom filters on present-SIDs (paper §VII).
+class BloomProbe : public BooleanProbe {
+ public:
+  BloomProbe(std::vector<BloomFilter> filters, uint32_t fanout,
+             uint64_t pages_loaded)
+      : filters_(std::move(filters)),
+        fanout_(fanout),
+        pages_loaded_(pages_loaded) {}
+
+  Result<bool> Test(const Path& path) override {
+    uint64_t sid = PathToSid(path, fanout_);
+    for (const auto& f : filters_) {
+      if (!f.MayContain(sid)) return false;
+    }
+    return true;
+  }
+
+  bool exact() const override { return false; }
+  uint64_t partials_loaded() const override { return pages_loaded_; }
+
+ private:
+  std::vector<BloomFilter> filters_;
+  uint32_t fanout_;
+  uint64_t pages_loaded_;
+};
+
+}  // namespace pcube

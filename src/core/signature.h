@@ -1,0 +1,87 @@
+// In-memory signature tree (paper §IV.B.1). A signature summarises, for one
+// cube cell, which regions of the shared R-tree partition contain tuples of
+// that cell: it mirrors the R-tree's topology, holding one bit array per
+// node in which bit b (1-based, matching slot b of the R-tree node) is 1 iff
+// the subtree under that slot contains at least one tuple of the cell. Bits
+// of leaf-level arrays address tuple entries directly, which is what makes
+// signature-based boolean checking exact (paper §V.A).
+//
+// This class is the authoritative, uncompressed form used by the builder,
+// the algebra (union/intersection) and incremental maintenance; the codec in
+// signature_codec.h turns it into page-sized compressed partial signatures.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bitmap/bitvector.h"
+#include "rtree/path.h"
+
+namespace pcube {
+
+/// One node of a signature tree: a bit array over the R-tree node's slots
+/// plus child signature nodes for the slots that are internal and set.
+struct SignatureNode {
+  BitVector bits;
+  /// Keyed by 1-based slot; present only below set bits of internal levels.
+  std::map<uint16_t, std::unique_ptr<SignatureNode>> children;
+};
+
+/// Signature of one cell over an R-tree with fanout `M` and `levels` node
+/// levels (= tuple path length; leaf arrays are at depth levels-1).
+class Signature {
+ public:
+  Signature(uint32_t M, int levels) : m_(M), levels_(levels) {}
+
+  Signature(Signature&&) = default;
+  Signature& operator=(Signature&&) = default;
+
+  uint32_t fanout() const { return m_; }
+  int levels() const { return levels_; }
+
+  /// Marks tuple path `p` (length == levels) as present: sets the bit at
+  /// every level and materialises intermediate nodes.
+  void SetPath(const Path& p);
+
+  /// Clears the leaf bit of tuple path `p` and propagates emptiness upward
+  /// (a node whose array becomes all-zero is removed and its parent bit
+  /// cleared) — the exact inverse of SetPath.
+  void ClearPath(const Path& p);
+
+  /// True iff the node/tuple addressed by `p` (any length in [1, levels])
+  /// is marked present.
+  bool Test(const Path& p) const;
+
+  /// True when no bit is set.
+  bool Empty() const { return !root_.bits.AnySet() && root_.children.empty(); }
+
+  const SignatureNode& root() const { return root_; }
+  SignatureNode& mutable_root() { return root_; }
+
+  /// Node addressed by path prefix `p` (empty = root), or nullptr.
+  const SignatureNode* FindNode(const Path& p) const;
+
+  /// Total set bits across all arrays (for stats/tests).
+  uint64_t CountBits() const;
+
+  /// Number of materialised arrays (nodes).
+  uint64_t CountNodes() const;
+
+  bool Equals(const Signature& other) const;
+
+  /// Multi-line dump ("<path>: bits") for tests and debugging.
+  std::string ToString() const;
+
+  /// Deep copy (signatures are otherwise move-only to avoid accidents).
+  Signature Clone() const;
+
+ private:
+  static void CloneInto(const SignatureNode& src, SignatureNode* dst);
+
+  uint32_t m_;
+  int levels_;
+  SignatureNode root_;
+};
+
+}  // namespace pcube

@@ -1,0 +1,87 @@
+#include "core/signature_algebra.h"
+
+namespace pcube {
+
+namespace {
+
+void UnionRec(const SignatureNode& a, const SignatureNode& b,
+              SignatureNode* out, uint32_t m) {
+  out->bits = a.bits.empty() ? BitVector(m) : a.bits;
+  if (!b.bits.empty()) {
+    if (out->bits.empty()) {
+      out->bits = b.bits;
+    } else {
+      out->bits.InplaceOr(b.bits);
+    }
+  }
+  auto ia = a.children.begin();
+  auto ib = b.children.begin();
+  while (ia != a.children.end() || ib != b.children.end()) {
+    uint16_t slot;
+    const SignatureNode* ca = nullptr;
+    const SignatureNode* cb = nullptr;
+    if (ib == b.children.end() ||
+        (ia != a.children.end() && ia->first <= ib->first)) {
+      slot = ia->first;
+      ca = ia->second.get();
+    } else {
+      slot = ib->first;
+    }
+    if (ib != b.children.end() && ib->first == slot) cb = ib->second.get();
+    auto child = std::make_unique<SignatureNode>();
+    static const SignatureNode kEmpty;
+    UnionRec(ca != nullptr ? *ca : kEmpty, cb != nullptr ? *cb : kEmpty,
+             child.get(), m);
+    out->children.emplace(slot, std::move(child));
+    if (ca != nullptr) ++ia;
+    if (cb != nullptr) ++ib;
+  }
+}
+
+/// Returns true when the intersection node has at least one set bit.
+bool IntersectRec(const SignatureNode& a, const SignatureNode& b,
+                  SignatureNode* out, uint32_t m, int depth, int levels) {
+  if (a.bits.empty() || b.bits.empty()) return false;
+  out->bits = a.bits;
+  out->bits.InplaceAnd(b.bits);
+  if (depth + 1 < levels) {
+    // Inner level: a set bit must be confirmed by a non-empty child
+    // intersection.
+    for (size_t bit = out->bits.FindNextSet(0); bit < out->bits.size();
+         bit = out->bits.FindNextSet(bit + 1)) {
+      uint16_t slot = static_cast<uint16_t>(bit + 1);
+      auto ia = a.children.find(slot);
+      auto ib = b.children.find(slot);
+      bool alive = false;
+      if (ia != a.children.end() && ib != b.children.end()) {
+        auto child = std::make_unique<SignatureNode>();
+        alive = IntersectRec(*ia->second, *ib->second, child.get(), m,
+                             depth + 1, levels);
+        if (alive) out->children.emplace(slot, std::move(child));
+      }
+      if (!alive) out->bits.Clear(bit);
+    }
+  }
+  return out->bits.AnySet();
+}
+
+}  // namespace
+
+Signature SignatureUnion(const Signature& a, const Signature& b) {
+  PCUBE_CHECK_EQ(a.fanout(), b.fanout());
+  PCUBE_CHECK_EQ(a.levels(), b.levels());
+  Signature out(a.fanout(), a.levels());
+  UnionRec(a.root(), b.root(), &out.mutable_root(), a.fanout());
+  return out;
+}
+
+Signature SignatureIntersect(const Signature& a, const Signature& b) {
+  PCUBE_CHECK_EQ(a.fanout(), b.fanout());
+  PCUBE_CHECK_EQ(a.levels(), b.levels());
+  Signature out(a.fanout(), a.levels());
+  IntersectRec(a.root(), b.root(), &out.mutable_root(), a.fanout(), 0,
+               a.levels());
+  return out;
+}
+
+}  // namespace pcube

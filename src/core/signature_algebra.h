@@ -1,0 +1,21 @@
+// Signature union and intersection (paper §IV.B.2, Fig. 3). Used to
+// assemble the signature of an arbitrary boolean predicate online from the
+// materialised atomic cuboids:
+//   * union computes the bit-or (e.g. "A=a2 or B=b2");
+//   * intersection is recursive: a bit survives only if set in both inputs
+//     AND its child intersection is non-empty — plain bit-and would leave
+//     spurious 1s on inner nodes whose subtrees share no common tuple.
+#pragma once
+
+#include "core/signature.h"
+
+namespace pcube {
+
+/// Bit-or of two signatures of identical shape parameters.
+Signature SignatureUnion(const Signature& a, const Signature& b);
+
+/// Recursive intersection per the paper: exact at every level (an inner bit
+/// is cleared when the child intersection comes out all-zero).
+Signature SignatureIntersect(const Signature& a, const Signature& b);
+
+}  // namespace pcube

@@ -1,0 +1,41 @@
+#include "core/signature_builder.h"
+
+namespace pcube {
+
+Result<PathTable> PathTable::Collect(const RStarTree& tree) {
+  PathTable table;
+  table.paths_.resize(tree.num_entries());
+  Status st = tree.CollectPaths(
+      [&](TupleId tid, const Path& p, std::span<const float>) {
+        if (tid >= table.paths_.size()) table.paths_.resize(tid + 1);
+        table.paths_[tid] = p;
+      });
+  if (!st.ok()) return st;
+  return table;
+}
+
+std::vector<Signature> BuildAtomicCuboidSignatures(const Dataset& data,
+                                                   const PathTable& paths,
+                                                   int dim, uint32_t fanout,
+                                                   int levels) {
+  uint32_t card = data.schema().bool_cardinality[dim];
+  std::vector<Signature> sigs;
+  sigs.reserve(card);
+  for (uint32_t v = 0; v < card; ++v) sigs.emplace_back(fanout, levels);
+  for (TupleId t = 0; t < data.num_tuples(); ++t) {
+    sigs[data.BoolValue(t, dim)].SetPath(paths.path(t));
+  }
+  return sigs;
+}
+
+Signature BuildCellSignature(const Dataset& data, const PathTable& paths,
+                             const PredicateSet& preds, uint32_t fanout,
+                             int levels) {
+  Signature sig(fanout, levels);
+  for (TupleId t = 0; t < data.num_tuples(); ++t) {
+    if (preds.Matches(data, t)) sig.SetPath(paths.path(t));
+  }
+  return sig;
+}
+
+}  // namespace pcube

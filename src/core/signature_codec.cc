@@ -1,0 +1,125 @@
+#include "core/signature_codec.h"
+
+#include <deque>
+#include <set>
+
+#include "bitmap/codec.h"
+
+namespace pcube {
+
+Signature SignatureFragment::ToSignature() const {
+  Signature sig(m_, levels_);
+  for (const auto& [path, bits] : arrays_) {
+    // Map iteration is lexicographic, so parents precede children.
+    SignatureNode* node = &sig.mutable_root();
+    for (uint16_t slot : path) {
+      auto& child = node->children[slot];
+      if (!child) child = std::make_unique<SignatureNode>();
+      node = child.get();
+    }
+    node->bits = bits;
+  }
+  return sig;
+}
+
+std::vector<PartialSignature> DecomposeSignature(const Signature& sig,
+                                                 size_t max_payload) {
+  std::vector<PartialSignature> out;
+  if (sig.root().bits.empty() || !sig.root().bits.AnySet()) return out;
+  const int levels = sig.levels();
+  const uint32_t m = sig.fanout();
+
+  std::set<Path> coded;
+  std::deque<Path> roots;
+  roots.push_back({});
+
+  while (!roots.empty()) {
+    Path p = std::move(roots.front());
+    roots.pop_front();
+    const SignatureNode* root_node = sig.FindNode(p);
+    if (root_node == nullptr) continue;
+
+    PartialSignature partial;
+    partial.root_sid = PathToSid(p, m);
+    partial.root_path = p;
+    bool cut = false;
+
+    std::deque<Path> bfs;
+    bfs.push_back(p);
+    while (!bfs.empty()) {
+      Path x = std::move(bfs.front());
+      bfs.pop_front();
+      const SignatureNode* node = sig.FindNode(x);
+      PCUBE_DCHECK(node != nullptr);
+      if (coded.find(x) == coded.end()) {
+        size_t before = partial.bytes.size();
+        BitmapCodec::Encode(node->bits, &partial.bytes);
+        if (partial.bytes.size() > max_payload) {
+          PCUBE_CHECK_GT(before, size_t{0})
+              << "single node array exceeds partial-signature payload";
+          partial.bytes.resize(before);  // drop the overflowing node
+          cut = true;
+          break;
+        }
+        coded.insert(x);
+      }
+      if (static_cast<int>(x.size()) + 1 < levels) {
+        for (size_t bit = node->bits.FindNextSet(0); bit < node->bits.size();
+             bit = node->bits.FindNextSet(bit + 1)) {
+          Path child = x;
+          child.push_back(static_cast<uint16_t>(bit + 1));
+          bfs.push_back(std::move(child));
+        }
+      }
+    }
+
+    if (!partial.bytes.empty()) out.push_back(std::move(partial));
+    if (cut && static_cast<int>(p.size()) + 1 < levels) {
+      // Subtree not fully covered: its children become partial roots, in
+      // slot order (BFS generation order == ascending SID).
+      for (size_t bit = root_node->bits.FindNextSet(0);
+           bit < root_node->bits.size();
+           bit = root_node->bits.FindNextSet(bit + 1)) {
+        Path child = p;
+        child.push_back(static_cast<uint16_t>(bit + 1));
+        roots.push_back(std::move(child));
+      }
+    }
+  }
+  return out;
+}
+
+Status DecodePartialSignature(const Path& root_path,
+                              const std::vector<uint8_t>& bytes,
+                              SignatureFragment* fragment) {
+  const int levels = fragment->levels();
+  size_t offset = 0;
+  std::deque<Path> bfs;
+  bfs.push_back(root_path);
+  while (!bfs.empty()) {
+    Path x = std::move(bfs.front());
+    bfs.pop_front();
+    if (!fragment->HasNode(x)) {
+      if (offset >= bytes.size()) break;  // cut point: rest is in later partials
+      BitVector bits;
+      PCUBE_RETURN_NOT_OK(
+          BitmapCodec::Decode(bytes.data(), bytes.size(), &offset, &bits));
+      fragment->AddNode(x, std::move(bits));
+    }
+    const BitVector* bits = fragment->Node(x);
+    if (static_cast<int>(x.size()) + 1 < levels) {
+      for (size_t bit = bits->FindNextSet(0); bit < bits->size();
+           bit = bits->FindNextSet(bit + 1)) {
+        Path child = x;
+        child.push_back(static_cast<uint16_t>(bit + 1));
+        bfs.push_back(std::move(child));
+      }
+    }
+  }
+  if (offset != bytes.size()) {
+    return Status::Corruption("partial signature has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace pcube

@@ -1,0 +1,52 @@
+#include "core/signature_cursor.h"
+
+namespace pcube {
+
+Status SignatureCursor::LoadPartialAt(const Path& root_path) {
+  uint64_t sid = PathToSid(root_path, fragment_.fanout());
+  if (attempted_.count(sid) > 0) return Status::OK();
+  attempted_.insert(sid);
+  auto bytes = store_->LoadPartial(cell_, sid);
+  if (!bytes.ok()) {
+    if (bytes.status().IsNotFound()) return Status::OK();
+    return bytes.status();
+  }
+  ++partials_loaded_;
+  return DecodePartialSignature(root_path, *bytes, &fragment_);
+}
+
+Result<bool> SignatureCursor::EnsureNode(const Path& node_path) {
+  if (!root_loaded_) {
+    root_loaded_ = true;
+    PCUBE_RETURN_NOT_OK(LoadPartialAt({}));
+  }
+  if (fragment_.HasNode(node_path)) return true;
+  // Probe partials rooted at successively deeper prefixes of the path.
+  Path prefix;
+  for (uint16_t slot : node_path) {
+    prefix.push_back(slot);
+    PCUBE_RETURN_NOT_OK(LoadPartialAt(prefix));
+    if (fragment_.HasNode(node_path)) return true;
+  }
+  return false;
+}
+
+Result<bool> SignatureCursor::Test(const Path& path) {
+  PCUBE_DCHECK_GE(path.size(), size_t{1});
+  PCUBE_DCHECK_LE(path.size(), static_cast<size_t>(levels_));
+  Path prefix;  // node whose array we are inspecting
+  for (size_t i = 0; i < path.size(); ++i) {
+    auto present = EnsureNode(prefix);
+    if (!present.ok()) return present.status();
+    if (!*present) return false;
+    const BitVector* bits = fragment_.Node(prefix);
+    uint16_t slot = path[i];
+    if (slot < 1 || slot > fragment_.fanout() || !bits->Get(slot - 1)) {
+      return false;
+    }
+    prefix.push_back(slot);
+  }
+  return true;
+}
+
+}  // namespace pcube

@@ -1,0 +1,54 @@
+// Lazy signature retrieval during query processing (paper §IV.B.2).
+//
+// A cursor materialises one cell's signature incrementally: it starts from
+// the partial signature referenced by the R-tree root (SID 0) and, whenever
+// the query requests a node that is not yet present, loads further partials
+// following the paper's probing rule — "use the first level node in the path
+// from the root to n as reference to load the next partial signature; if
+// that partial has already been loaded, check the second-level node, and so
+// on". Each partial load costs exactly one signature-page read (SSig).
+#pragma once
+
+#include <set>
+
+#include "core/signature_codec.h"
+#include "core/signature_store.h"
+
+namespace pcube {
+
+/// Incremental reader of one cell's stored signature.
+class SignatureCursor {
+ public:
+  SignatureCursor(const SignatureStore* store, CellId cell, uint32_t fanout,
+                  int levels)
+      : store_(store),
+        cell_(cell),
+        fragment_(fanout, levels),
+        levels_(levels) {}
+
+  /// True iff the node/tuple addressed by `path` (length in [1, levels]) is
+  /// marked present for this cell. Loads partial signatures on demand.
+  Result<bool> Test(const Path& path);
+
+  /// Number of partial-signature pages loaded so far.
+  uint64_t partials_loaded() const { return partials_loaded_; }
+
+  const SignatureFragment& fragment() const { return fragment_; }
+
+ private:
+  /// Ensures the array of the node at `node_path` is present if it exists in
+  /// the stored signature; returns false when the cell's signature provably
+  /// lacks it.
+  Result<bool> EnsureNode(const Path& node_path);
+  Status LoadPartialAt(const Path& root_path);
+
+  const SignatureStore* store_;
+  CellId cell_;
+  SignatureFragment fragment_;
+  int levels_;
+  std::set<uint64_t> attempted_;  // partial SIDs already probed (hit or miss)
+  uint64_t partials_loaded_ = 0;
+  bool root_loaded_ = false;
+};
+
+}  // namespace pcube

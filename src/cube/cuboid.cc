@@ -1,0 +1,50 @@
+#include "cube/cuboid.h"
+
+#include <bit>
+
+namespace pcube {
+
+namespace {
+std::vector<std::pair<int, uint32_t>> Key(const PredicateSet& preds) {
+  std::vector<std::pair<int, uint32_t>> k;
+  k.reserve(preds.size());
+  for (const auto& p : preds.predicates()) k.emplace_back(p.dim, p.value);
+  return k;
+}
+}  // namespace
+
+std::vector<CuboidMask> EnumerateCuboids(int num_bool_dims, int max_dims) {
+  std::vector<CuboidMask> out;
+  CuboidMask all = (num_bool_dims >= 32) ? ~CuboidMask{0}
+                                         : ((CuboidMask{1} << num_bool_dims) - 1);
+  for (CuboidMask m = 1; m <= all; ++m) {
+    if (std::popcount(m) <= max_dims) out.push_back(m);
+    if (m == all) break;
+  }
+  return out;
+}
+
+CellId CellRegistry::Intern(const PredicateSet& preds) {
+  PCUBE_CHECK_GE(preds.size(), size_t{1});
+  if (preds.size() == 1) {
+    const Predicate& p = preds.predicates()[0];
+    return AtomicCellId(p.dim, p.value);
+  }
+  auto key = Key(preds);
+  auto it = composite_.find(key);
+  if (it != composite_.end()) return it->second;
+  CellId id = kCompositeBase + composite_.size();
+  composite_.emplace(std::move(key), id);
+  return id;
+}
+
+CellId CellRegistry::Lookup(const PredicateSet& preds) const {
+  if (preds.size() == 1) {
+    const Predicate& p = preds.predicates()[0];
+    return AtomicCellId(p.dim, p.value);
+  }
+  auto it = composite_.find(Key(preds));
+  return it == composite_.end() ? kUnknownCell : it->second;
+}
+
+}  // namespace pcube

@@ -1,0 +1,51 @@
+// Cuboid lattice utilities. A cuboid is identified by a bitmask over the
+// boolean dimensions; the P-Cube always materialises the atomic cuboids
+// (single-bit masks, paper §IV.B.2: "we assume that the P-Cube always
+// contains a set of atomic cuboids") and may additionally materialise
+// low-dimensional composite cuboids as suggested by the minimal-cubing
+// literature [19], [12].
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cube/cell.h"
+
+namespace pcube {
+
+/// Subset of boolean dimensions, as a bitmask (bit d = dimension d).
+using CuboidMask = uint32_t;
+
+inline CuboidMask MaskOf(const PredicateSet& preds) {
+  CuboidMask m = 0;
+  for (const auto& p : preds.predicates()) m |= CuboidMask{1} << p.dim;
+  return m;
+}
+
+/// Enumerates all non-empty cuboid masks of dimensionality <= max_dims.
+std::vector<CuboidMask> EnumerateCuboids(int num_bool_dims, int max_dims);
+
+/// Assigns CellIds to cells. Atomic cells use the fixed AtomicCellId
+/// encoding; composite cells (>= 2 predicates) get sequential ids from a
+/// private range so they can coexist with atomic ids in one signature store.
+class CellRegistry {
+ public:
+  /// Returns the id for `preds` (size >= 1), registering composites on first
+  /// use. Single-predicate sets map to AtomicCellId.
+  CellId Intern(const PredicateSet& preds);
+
+  /// Returns the id if known, or kUnknownCell.
+  CellId Lookup(const PredicateSet& preds) const;
+
+  static constexpr CellId kUnknownCell = ~CellId{0};
+
+  size_t num_composite() const { return composite_.size(); }
+
+ private:
+  static constexpr CellId kCompositeBase = CellId{1} << 48;
+
+  std::map<std::vector<std::pair<int, uint32_t>>, CellId> composite_;
+};
+
+}  // namespace pcube

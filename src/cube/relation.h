@@ -1,0 +1,93 @@
+// The relation model of the paper (§III): a relation R with boolean
+// dimensions A1..Ab (categorical, queried with equality predicates) and
+// preference dimensions N1..Np (numeric, queried with top-k / skyline
+// criteria). Dataset is the in-memory, column-sliced form from which every
+// persistent structure (heap file, R-tree, boolean indices, P-Cube) is built.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace pcube {
+
+/// Identifies one tuple of the relation; dense, 0-based.
+using TupleId = uint64_t;
+
+/// Dimensional layout of a relation.
+struct Schema {
+  int num_bool = 0;
+  int num_pref = 0;
+  /// Cardinality of each boolean dimension (values are coded 0..card-1).
+  std::vector<uint32_t> bool_cardinality;
+
+  bool Valid() const {
+    return num_bool >= 0 && num_pref >= 1 &&
+           bool_cardinality.size() == static_cast<size_t>(num_bool);
+  }
+};
+
+/// In-memory relation instance, row-major per attribute class.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Schema schema, uint64_t num_tuples)
+      : schema_(std::move(schema)),
+        num_tuples_(num_tuples),
+        bools_(num_tuples * schema_.num_bool),
+        prefs_(num_tuples * schema_.num_pref) {
+    PCUBE_CHECK(schema_.Valid());
+  }
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_tuples() const { return num_tuples_; }
+  int num_bool() const { return schema_.num_bool; }
+  int num_pref() const { return schema_.num_pref; }
+
+  uint32_t BoolValue(TupleId t, int dim) const {
+    PCUBE_DCHECK_LT(t, num_tuples_);
+    return bools_[t * schema_.num_bool + dim];
+  }
+  void SetBoolValue(TupleId t, int dim, uint32_t v) {
+    PCUBE_DCHECK_LT(v, schema_.bool_cardinality[dim]);
+    bools_[t * schema_.num_bool + dim] = v;
+  }
+
+  float PrefValue(TupleId t, int dim) const {
+    PCUBE_DCHECK_LT(t, num_tuples_);
+    return prefs_[t * schema_.num_pref + dim];
+  }
+  void SetPrefValue(TupleId t, int dim, float v) {
+    prefs_[t * schema_.num_pref + dim] = v;
+  }
+
+  /// All preference coordinates of tuple `t`.
+  std::span<const float> PrefPoint(TupleId t) const {
+    return {prefs_.data() + t * schema_.num_pref,
+            static_cast<size_t>(schema_.num_pref)};
+  }
+  std::span<const uint32_t> BoolRow(TupleId t) const {
+    return {bools_.data() + t * schema_.num_bool,
+            static_cast<size_t>(schema_.num_bool)};
+  }
+
+  /// Appends one tuple; returns its TupleId.
+  TupleId Append(std::span<const uint32_t> bool_vals,
+                 std::span<const float> pref_vals) {
+    PCUBE_CHECK_EQ(bool_vals.size(), static_cast<size_t>(schema_.num_bool));
+    PCUBE_CHECK_EQ(pref_vals.size(), static_cast<size_t>(schema_.num_pref));
+    bools_.insert(bools_.end(), bool_vals.begin(), bool_vals.end());
+    prefs_.insert(prefs_.end(), pref_vals.begin(), pref_vals.end());
+    return num_tuples_++;
+  }
+
+ private:
+  Schema schema_;
+  uint64_t num_tuples_ = 0;
+  std::vector<uint32_t> bools_;
+  std::vector<float> prefs_;
+};
+
+}  // namespace pcube

@@ -1,0 +1,54 @@
+#include "data/covertype.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace pcube {
+
+const std::vector<uint32_t>& CoverTypeBoolCardinalities() {
+  static const std::vector<uint32_t> cards = {255, 207, 185, 67, 7, 2,
+                                              2,   2,   2,   2,  2, 2};
+  return cards;
+}
+
+const std::vector<uint32_t>& CoverTypePrefCardinalities() {
+  static const std::vector<uint32_t> cards = {1989, 5787, 5827};
+  return cards;
+}
+
+Dataset GenerateCoverTypeSurrogate(const CoverTypeConfig& config) {
+  const auto& bool_cards = CoverTypeBoolCardinalities();
+  const auto& pref_cards = CoverTypePrefCardinalities();
+  Schema schema;
+  schema.num_bool = static_cast<int>(bool_cards.size());
+  schema.num_pref = static_cast<int>(pref_cards.size());
+  schema.bool_cardinality = bool_cards;
+  Dataset data(schema, config.num_tuples);
+
+  Random rng(config.seed);
+  for (TupleId t = 0; t < config.num_tuples; ++t) {
+    for (int d = 0; d < schema.num_bool; ++d) {
+      // Zipf-like skew: squaring a uniform concentrates mass on low codes,
+      // mimicking the frequency skew of real categorical attributes.
+      double u = rng.NextDouble();
+      uint32_t v = static_cast<uint32_t>(u * u * bool_cards[d]);
+      data.SetBoolValue(t, d, std::min(v, bool_cards[d] - 1));
+    }
+    // Mildly correlated quantitative attributes (terrain measurements
+    // co-vary weakly), quantised to the original cardinalities. The shared
+    // component is kept small so skylines stay non-trivial, matching the
+    // behaviour of the real attributes.
+    double base = 0.15 * rng.NextGaussian();
+    for (int d = 0; d < schema.num_pref; ++d) {
+      double v = std::clamp(0.5 + base + 0.45 * rng.NextGaussian(), 0.0, 1.0);
+      uint32_t grid = pref_cards[d];
+      uint32_t q = std::min(static_cast<uint32_t>(v * grid), grid - 1);
+      data.SetPrefValue(t, d, static_cast<float>(q) / grid);
+    }
+  }
+  return data;
+}
+
+}  // namespace pcube

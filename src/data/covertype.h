@@ -1,0 +1,38 @@
+// Surrogate for the UCI Forest CoverType dataset (paper §VI.A).
+//
+// The paper uses the real 581,012-row dataset with 3 quantitative attributes
+// (cardinalities 1989, 5787, 5827) as preference dimensions and 12
+// categorical attributes (cardinalities 255, 207, 185, 67, 7, 2, 2, 2, 2, 2,
+// 2, 2) as boolean dimensions. This environment has no network access, so we
+// generate a synthetic dataset with identical row count, dimensionality and
+// per-dimension cardinalities: boolean values follow a Zipf-like skew (real
+// categorical attributes are skewed), quantitative attributes are mildly
+// correlated draws quantised to the original cardinalities. Figures 14-16
+// depend on the boolean selectivities and the preference-space granularity,
+// both of which are preserved; see DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cube/relation.h"
+
+namespace pcube {
+
+struct CoverTypeConfig {
+  /// Row count; the real dataset has 581,012 (benchmarks scale this down
+  /// via PCUBE_BENCH_SCALE).
+  uint64_t num_tuples = 581012;
+  uint64_t seed = 7;
+};
+
+/// Cardinalities of the 12 boolean dimensions of the surrogate.
+const std::vector<uint32_t>& CoverTypeBoolCardinalities();
+
+/// Cardinalities of the 3 quantitative (preference) dimensions.
+const std::vector<uint32_t>& CoverTypePrefCardinalities();
+
+/// Generates the surrogate dataset; deterministic in the seed.
+Dataset GenerateCoverTypeSurrogate(const CoverTypeConfig& config);
+
+}  // namespace pcube

@@ -1,0 +1,138 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace pcube {
+
+namespace {
+
+/// Splits one CSV line on commas; supports double-quoted fields with ""
+/// escapes. No multi-line fields.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace
+
+Result<CsvTable> ReadCsv(std::istream& in, const std::string& spec,
+                         bool has_header) {
+  std::vector<int> bool_cols, pref_cols;
+  for (size_t i = 0; i < spec.size(); ++i) {
+    switch (spec[i]) {
+      case 'b':
+        bool_cols.push_back(static_cast<int>(i));
+        break;
+      case 'p':
+        pref_cols.push_back(static_cast<int>(i));
+        break;
+      case '-':
+        break;
+      default:
+        return Status::InvalidArgument(
+            std::string("bad column spec character '") + spec[i] + "'");
+    }
+  }
+  if (pref_cols.empty()) {
+    return Status::InvalidArgument("spec needs at least one 'p' column");
+  }
+
+  CsvTable table;
+  table.dictionaries.resize(bool_cols.size());
+  std::vector<std::map<std::string, uint32_t>> codes(bool_cols.size());
+
+  std::string line;
+  bool first = true;
+  std::vector<std::vector<uint32_t>> bool_rows;
+  std::vector<std::vector<float>> pref_rows;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() < spec.size()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected >= " +
+                                     std::to_string(spec.size()) + " columns");
+    }
+    if (first && has_header) {
+      for (int c : bool_cols) table.bool_names.push_back(fields[c]);
+      for (int c : pref_cols) table.pref_names.push_back(fields[c]);
+      first = false;
+      continue;
+    }
+    first = false;
+    std::vector<uint32_t> brow;
+    for (size_t d = 0; d < bool_cols.size(); ++d) {
+      const std::string& v = fields[bool_cols[d]];
+      auto [it, inserted] =
+          codes[d].emplace(v, static_cast<uint32_t>(codes[d].size()));
+      if (inserted) table.dictionaries[d].push_back(v);
+      brow.push_back(it->second);
+    }
+    std::vector<float> prow;
+    for (int c : pref_cols) {
+      try {
+        size_t consumed = 0;
+        float value = std::stof(fields[c], &consumed);
+        if (consumed != fields[c].size()) throw std::invalid_argument("junk");
+        prow.push_back(value);
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": non-numeric preference value '" +
+                                       fields[c] + "'");
+      }
+    }
+    bool_rows.push_back(std::move(brow));
+    pref_rows.push_back(std::move(prow));
+  }
+
+  Schema schema;
+  schema.num_bool = static_cast<int>(bool_cols.size());
+  schema.num_pref = static_cast<int>(pref_cols.size());
+  for (const auto& dict : table.dictionaries) {
+    schema.bool_cardinality.push_back(
+        std::max<uint32_t>(1, static_cast<uint32_t>(dict.size())));
+  }
+  table.data = Dataset(schema, 0);
+  for (size_t i = 0; i < bool_rows.size(); ++i) {
+    table.data.Append(bool_rows[i], pref_rows[i]);
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, const std::string& spec,
+                             bool has_header) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return ReadCsv(in, spec, has_header);
+}
+
+}  // namespace pcube

@@ -1,0 +1,41 @@
+// CSV import for the CLI and for users with real data. A column spec string
+// assigns each CSV column a role:
+//   'b' — boolean dimension (categorical; values are dictionary-coded in
+//         order of first appearance),
+//   'p' — preference dimension (numeric, smaller preferred),
+//   '-' — ignored column.
+// Example: spec "bb-pp" reads columns 0,1 as boolean, skips 2, reads 3,4 as
+// preference dimensions.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/relation.h"
+
+namespace pcube {
+
+/// Result of a CSV import: the dataset plus the dictionaries that map coded
+/// boolean values back to the original strings.
+struct CsvTable {
+  Dataset data;
+  /// One dictionary per boolean dimension; index = coded value.
+  std::vector<std::vector<std::string>> dictionaries;
+  /// Header names per dimension (empty when has_header = false).
+  std::vector<std::string> bool_names;
+  std::vector<std::string> pref_names;
+};
+
+/// Parses CSV from `in` using `spec` (see above). `has_header` consumes the
+/// first row as column names. Fails with InvalidArgument on ragged rows or
+/// non-numeric preference values.
+Result<CsvTable> ReadCsv(std::istream& in, const std::string& spec,
+                         bool has_header);
+
+/// Convenience: reads from a file path.
+Result<CsvTable> ReadCsvFile(const std::string& path, const std::string& spec,
+                             bool has_header);
+
+}  // namespace pcube

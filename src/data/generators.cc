@@ -1,0 +1,80 @@
+#include "data/generators.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace pcube {
+
+namespace {
+
+float Clamp01(double v) {
+  return static_cast<float>(std::clamp(v, 0.0, 1.0));
+}
+
+void FillUniform(Random* rng, int dims, float* out) {
+  for (int d = 0; d < dims; ++d) out[d] = static_cast<float>(rng->NextDouble());
+}
+
+void FillCorrelated(Random* rng, int dims, float* out) {
+  // A point on the diagonal plus small per-dimension jitter.
+  double v = rng->NextDouble();
+  for (int d = 0; d < dims; ++d) {
+    out[d] = Clamp01(v + 0.05 * rng->NextGaussian());
+  }
+}
+
+void FillAntiCorrelated(Random* rng, int dims, float* out) {
+  // Points near the hyperplane sum(x) = dims/2: start on the plane, then
+  // transfer mass between random dimension pairs so coordinates
+  // anti-correlate while the sum stays (nearly) constant.
+  double v = std::clamp(0.5 + 0.05 * rng->NextGaussian(), 0.0, 1.0);
+  std::vector<double> x(dims, v);
+  int transfers = 4 * dims;
+  for (int i = 0; i < transfers; ++i) {
+    int a = static_cast<int>(rng->Uniform(dims));
+    int b = static_cast<int>(rng->Uniform(dims));
+    if (a == b) continue;
+    double room = std::min(1.0 - x[a], x[b]);
+    double delta = rng->NextDouble() * room;
+    x[a] += delta;
+    x[b] -= delta;
+  }
+  for (int d = 0; d < dims; ++d) out[d] = Clamp01(x[d]);
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  Schema schema;
+  schema.num_bool = config.num_bool;
+  schema.num_pref = config.num_pref;
+  schema.bool_cardinality.assign(config.num_bool, config.bool_cardinality);
+  Dataset data(schema, config.num_tuples);
+
+  Random rng(config.seed);
+  std::vector<float> point(config.num_pref);
+  for (TupleId t = 0; t < config.num_tuples; ++t) {
+    for (int d = 0; d < config.num_bool; ++d) {
+      data.SetBoolValue(t, d,
+                        static_cast<uint32_t>(rng.Uniform(config.bool_cardinality)));
+    }
+    switch (config.dist) {
+      case PrefDistribution::kUniform:
+        FillUniform(&rng, config.num_pref, point.data());
+        break;
+      case PrefDistribution::kCorrelated:
+        FillCorrelated(&rng, config.num_pref, point.data());
+        break;
+      case PrefDistribution::kAntiCorrelated:
+        FillAntiCorrelated(&rng, config.num_pref, point.data());
+        break;
+    }
+    for (int d = 0; d < config.num_pref; ++d) {
+      data.SetPrefValue(t, d, point[d]);
+    }
+  }
+  return data;
+}
+
+}  // namespace pcube

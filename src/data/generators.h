@@ -1,0 +1,33 @@
+// Synthetic workload generators (paper §VI.A): T tuples with Db boolean
+// dimensions of cardinality C (uniform) and Dp preference dimensions drawn
+// from the standard skyline-benchmark distributions of Borzsonyi et al. [2]:
+// independent (uniform), correlated, and anti-correlated.
+#pragma once
+
+#include <cstdint>
+
+#include "cube/relation.h"
+
+namespace pcube {
+
+enum class PrefDistribution {
+  kUniform,         ///< independent U[0,1] per dimension
+  kCorrelated,      ///< points near the main diagonal (small skylines)
+  kAntiCorrelated,  ///< points near the anti-diagonal plane (large skylines)
+};
+
+/// Parameters of one synthetic dataset (paper defaults: Db = Dp = 3,
+/// C = 100, uniform).
+struct SyntheticConfig {
+  uint64_t num_tuples = 100000;  ///< T
+  int num_bool = 3;              ///< Db
+  int num_pref = 3;              ///< Dp
+  uint32_t bool_cardinality = 100;  ///< C, same for every boolean dimension
+  PrefDistribution dist = PrefDistribution::kUniform;
+  uint64_t seed = 42;
+};
+
+/// Generates a dataset; deterministic in the seed.
+Dataset GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace pcube

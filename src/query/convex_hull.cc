@@ -1,0 +1,83 @@
+#include "query/convex_hull.h"
+
+#include <algorithm>
+
+#include "query/reference.h"
+
+namespace pcube {
+
+namespace {
+
+struct Pt {
+  double x;
+  double y;
+  TupleId tid;
+};
+
+double Cross(const Pt& o, const Pt& a, const Pt& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+/// Lower-left convex chain of mutually non-dominated points: sort by x
+/// ascending (ties: y ascending), keep only strictly convex turns. Skyline
+/// points have strictly decreasing y in this order, so the chain runs from
+/// the min-x point to the min-y point — exactly the minimisers of
+/// non-negative linear functions.
+std::vector<Pt> LowerLeftHull(std::vector<Pt> pts) {
+  std::sort(pts.begin(), pts.end(), [](const Pt& a, const Pt& b) {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    return a.tid < b.tid;
+  });
+  std::vector<Pt> hull;
+  for (const Pt& p : pts) {
+    while (hull.size() >= 2 &&
+           Cross(hull[hull.size() - 2], hull[hull.size() - 1], p) <= 0) {
+      hull.pop_back();
+    }
+    hull.push_back(p);
+  }
+  return hull;
+}
+
+}  // namespace
+
+Result<ConvexHullOutput> ConvexHullQuery(const RStarTree& tree,
+                                         BooleanProbe* probe, int dim_x,
+                                         int dim_y) {
+  SkylineQueryOptions options;
+  options.pref_dims = {dim_x, dim_y};
+  SkylineEngine engine(&tree, probe, nullptr, options);
+  auto skyline = engine.Run();
+  if (!skyline.ok()) return skyline.status();
+
+  std::vector<Pt> pts;
+  pts.reserve(skyline->skyline.size());
+  for (const SearchEntry& e : skyline->skyline) {
+    pts.push_back({e.rect.min[dim_x], e.rect.min[dim_y], e.id});
+  }
+  ConvexHullOutput out;
+  for (const Pt& p : LowerLeftHull(std::move(pts))) {
+    out.hull.push_back({p.tid, static_cast<float>(p.x),
+                        static_cast<float>(p.y)});
+  }
+  out.skyline = std::move(*skyline);
+  return out;
+}
+
+std::vector<TupleId> NaiveConvexHull(const Dataset& data,
+                                     const PredicateSet& preds, int dim_x,
+                                     int dim_y) {
+  std::vector<TupleId> sky = NaiveSkyline(data, preds, {dim_x, dim_y});
+  std::vector<Pt> pts;
+  pts.reserve(sky.size());
+  for (TupleId t : sky) {
+    pts.push_back({data.PrefValue(t, dim_x), data.PrefValue(t, dim_y), t});
+  }
+  std::vector<TupleId> out;
+  for (const Pt& p : LowerLeftHull(std::move(pts))) out.push_back(p.tid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pcube

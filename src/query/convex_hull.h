@@ -1,0 +1,41 @@
+// Convex-hull preference queries (paper §VII, after Böhm & Kriegel [21]):
+// the tuples of the selected subset that are optimal for SOME non-negative
+// linear ranking function. These are exactly the vertices of the lower-left
+// convex hull of the subset and always form a subset of its skyline, so the
+// query is answered by the signature-pruned skyline engine followed by a
+// hull computation over the (small) skyline. 2-D preference spaces.
+#pragma once
+
+#include "query/skyline_engine.h"
+
+namespace pcube {
+
+/// One hull vertex with the weight range it wins.
+struct HullVertex {
+  TupleId tid = 0;
+  float x = 0;
+  float y = 0;
+};
+
+/// Result of a convex-hull query.
+struct ConvexHullOutput {
+  /// Lower-left hull vertices ordered by ascending x (descending y); each is
+  /// the unique minimiser of w*x + (1-w)*y for some weight interval.
+  std::vector<HullVertex> hull;
+  /// The skyline the hull was extracted from, with its counters.
+  SkylineOutput skyline;
+};
+
+/// Answers SELECT hull FROM R WHERE <preds> PREFERENCE BY N_a, N_b:
+/// runs Algorithm 1 with signature pruning on dimensions {dim_x, dim_y},
+/// then Andrew's monotone chain over the skyline points.
+Result<ConvexHullOutput> ConvexHullQuery(const RStarTree& tree,
+                                         BooleanProbe* probe, int dim_x,
+                                         int dim_y);
+
+/// Reference: hull vertex tids by brute force over a Dataset subset.
+std::vector<TupleId> NaiveConvexHull(const Dataset& data,
+                                     const PredicateSet& preds, int dim_x,
+                                     int dim_y);
+
+}  // namespace pcube

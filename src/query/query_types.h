@@ -1,0 +1,66 @@
+// Shared types of the Algorithm 1 query framework (paper §V): candidate-heap
+// entries, the three bookkeeping lists (result, b_list, d_list) and the
+// per-query counters behind Figures 8-16.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "rtree/geometry.h"
+#include "rtree/path.h"
+
+namespace pcube {
+
+/// One candidate-heap entry: an R-tree node or a data object.
+struct SearchEntry {
+  /// Heap priority: skyline queries use the lower-corner coordinate sum
+  /// d(n) (paper §V.A); top-k queries use f's lower bound (f(point) for
+  /// data objects).
+  double key = 0;
+  bool is_data = false;
+  /// Child PageId for nodes, TupleId for data objects.
+  uint64_t id = 0;
+  /// MBR for nodes; min == max == point for data objects.
+  RectF rect;
+  /// Node path / full tuple path (1-based slots); empty for the root.
+  Path path;
+};
+
+/// Why an entry left the search (which Lemma 2 list it belongs to).
+enum class PruneReason { kNotPruned, kDominated, kBoolean };
+
+/// Counters reported by one query execution.
+struct EngineCounters {
+  uint64_t heap_peak = 0;         ///< Fig. 10: peak candidate-heap size
+  uint64_t nodes_expanded = 0;    ///< R-tree node pages read
+  uint64_t pruned_boolean = 0;    ///< entries sent to b_list
+  uint64_t pruned_preference = 0; ///< entries sent to d_list
+  uint64_t verified = 0;          ///< random-access boolean verifications
+  uint64_t verify_failed = 0;
+  double sig_seconds = 0;         ///< time inside boolean probes (Fig. 15)
+};
+
+/// Result of one skyline query (Algorithm 1 run to exhaustion).
+struct SkylineOutput {
+  std::vector<SearchEntry> skyline;
+  /// Entries pruned by boolean predicates / by domination (paper's global
+  /// b_list and d_list, kept to seed drill-down and roll-up queries).
+  std::vector<SearchEntry> b_list;
+  std::vector<SearchEntry> d_list;
+  EngineCounters counters;
+};
+
+/// Result of one top-k query.
+struct TopKOutput {
+  /// At most k data entries in ascending score (entry.key = exact score).
+  std::vector<SearchEntry> results;
+  std::vector<SearchEntry> b_list;
+  std::vector<SearchEntry> d_list;
+  /// Heap contents left unexamined when the k-th result was found; needed to
+  /// seed incremental queries.
+  std::vector<SearchEntry> remaining;
+  EngineCounters counters;
+};
+
+}  // namespace pcube

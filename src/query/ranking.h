@@ -1,0 +1,125 @@
+// Ranking functions for top-k queries (paper §III): any f over the
+// preference dimensions for which a lower bound over a box domain can be
+// derived. The engines schedule R-tree nodes by LowerBound(MBR) and score
+// data objects by Score(point) — best-first search is correct because the
+// bound never exceeds the score of any point inside the box.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "rtree/geometry.h"
+
+namespace pcube {
+
+/// A scoring function with box lower bounds (users prefer minimal values).
+class RankingFunction {
+ public:
+  virtual ~RankingFunction() = default;
+
+  /// Exact score of a point.
+  virtual double Score(std::span<const float> point) const = 0;
+
+  /// Lower bound of the score over all points inside `box`.
+  virtual double LowerBound(const RectF& box) const = 0;
+};
+
+/// f(x) = sum_d w_d * x_d. Weights may be negative.
+class LinearRanking : public RankingFunction {
+ public:
+  explicit LinearRanking(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+
+  double Score(std::span<const float> point) const override {
+    PCUBE_DCHECK_EQ(point.size(), weights_.size());
+    double s = 0;
+    for (size_t d = 0; d < weights_.size(); ++d) s += weights_[d] * point[d];
+    return s;
+  }
+
+  double LowerBound(const RectF& box) const override {
+    double s = 0;
+    for (size_t d = 0; d < weights_.size(); ++d) {
+      s += weights_[d] * (weights_[d] >= 0 ? box.min[d] : box.max[d]);
+    }
+    return s;
+  }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// f(x) = sum_d w_d * (x_d - t_d)^2 — the used-car query of Example 1
+/// ("(price - 15k)^2 + alpha * (mileage - 30k)^2"). Weights must be >= 0.
+class WeightedL2Ranking : public RankingFunction {
+ public:
+  WeightedL2Ranking(std::vector<double> target, std::vector<double> weights)
+      : target_(std::move(target)), weights_(std::move(weights)) {
+    PCUBE_CHECK_EQ(target_.size(), weights_.size());
+    for (double w : weights_) PCUBE_CHECK_GE(w, 0.0);
+  }
+
+  double Score(std::span<const float> point) const override {
+    double s = 0;
+    for (size_t d = 0; d < weights_.size(); ++d) {
+      double diff = point[d] - target_[d];
+      s += weights_[d] * diff * diff;
+    }
+    return s;
+  }
+
+  double LowerBound(const RectF& box) const override {
+    // Minimised by clamping the target into the box per dimension.
+    double s = 0;
+    for (size_t d = 0; d < weights_.size(); ++d) {
+      double c = std::clamp(target_[d], static_cast<double>(box.min[d]),
+                            static_cast<double>(box.max[d]));
+      double diff = c - target_[d];
+      s += weights_[d] * diff * diff;
+    }
+    return s;
+  }
+
+ private:
+  std::vector<double> target_;
+  std::vector<double> weights_;
+};
+
+/// f(x) = sum_d w_d * |x_d - t_d|^p with p >= 1 (weighted Minkowski-style
+/// distance to an expectation point).
+class MinkowskiRanking : public RankingFunction {
+ public:
+  MinkowskiRanking(std::vector<double> target, std::vector<double> weights,
+                   double p)
+      : target_(std::move(target)), weights_(std::move(weights)), p_(p) {
+    PCUBE_CHECK_EQ(target_.size(), weights_.size());
+    PCUBE_CHECK_GE(p_, 1.0);
+  }
+
+  double Score(std::span<const float> point) const override {
+    double s = 0;
+    for (size_t d = 0; d < weights_.size(); ++d) {
+      s += weights_[d] * std::pow(std::abs(point[d] - target_[d]), p_);
+    }
+    return s;
+  }
+
+  double LowerBound(const RectF& box) const override {
+    double s = 0;
+    for (size_t d = 0; d < weights_.size(); ++d) {
+      double c = std::clamp(target_[d], static_cast<double>(box.min[d]),
+                            static_cast<double>(box.max[d]));
+      s += weights_[d] * std::pow(std::abs(c - target_[d]), p_);
+    }
+    return s;
+  }
+
+ private:
+  std::vector<double> target_;
+  std::vector<double> weights_;
+  double p_;
+};
+
+}  // namespace pcube

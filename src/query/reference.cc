@@ -1,0 +1,117 @@
+#include "query/reference.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcube {
+
+bool DominatesOn(const Dataset& data, TupleId a, TupleId b,
+                 const std::vector<int>& dims) {
+  bool one_lt = false;
+  for (int d : dims) {
+    float av = data.PrefValue(a, d);
+    float bv = data.PrefValue(b, d);
+    if (av > bv) return false;
+    if (av < bv) one_lt = true;
+  }
+  return one_lt;
+}
+
+std::vector<TupleId> NaiveSkyline(const Dataset& data,
+                                  const PredicateSet& preds,
+                                  std::vector<int> dims) {
+  if (dims.empty()) {
+    for (int d = 0; d < data.num_pref(); ++d) dims.push_back(d);
+  }
+  std::vector<TupleId> candidates;
+  for (TupleId t = 0; t < data.num_tuples(); ++t) {
+    if (preds.Matches(data, t)) candidates.push_back(t);
+  }
+  return SortFilterSkyline(data, std::move(candidates), dims);
+}
+
+std::vector<TupleId> SortFilterSkyline(const Dataset& data,
+                                       std::vector<TupleId> tids,
+                                       const std::vector<int>& dims) {
+  // Sort by coordinate sum: a tuple can only be dominated by tuples that
+  // sort before it (Chomicki et al.'s sort-first skyline [7]).
+  auto coord_sum = [&](TupleId t) {
+    double s = 0;
+    for (int d : dims) s += data.PrefValue(t, d);
+    return s;
+  };
+  std::sort(tids.begin(), tids.end(), [&](TupleId a, TupleId b) {
+    double sa = coord_sum(a), sb = coord_sum(b);
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  std::vector<TupleId> skyline;
+  for (TupleId t : tids) {
+    bool dominated = false;
+    for (TupleId s : skyline) {
+      if (DominatesOn(data, s, t, dims)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(t);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+std::vector<TupleId> NaiveSkyband(const Dataset& data,
+                                  const PredicateSet& preds,
+                                  std::vector<int> dims,
+                                  std::vector<float> origin,
+                                  size_t skyband_k) {
+  if (dims.empty()) {
+    for (int d = 0; d < data.num_pref(); ++d) dims.push_back(d);
+  }
+  auto coord = [&](TupleId t, int d) -> double {
+    double v = data.PrefValue(t, d);
+    return origin.empty() ? v : std::abs(v - origin[d]);
+  };
+  auto dominates = [&](TupleId a, TupleId b) {
+    bool one_lt = false;
+    for (int d : dims) {
+      double av = coord(a, d), bv = coord(b, d);
+      if (av > bv) return false;
+      if (av < bv) one_lt = true;
+    }
+    return one_lt;
+  };
+  std::vector<TupleId> candidates;
+  for (TupleId t = 0; t < data.num_tuples(); ++t) {
+    if (preds.Matches(data, t)) candidates.push_back(t);
+  }
+  std::vector<TupleId> out;
+  for (TupleId t : candidates) {
+    size_t dominators = 0;
+    for (TupleId s : candidates) {
+      if (s != t && dominates(s, t) && ++dominators >= skyband_k) break;
+    }
+    if (dominators < skyband_k) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::pair<TupleId, double>> NaiveTopK(const Dataset& data,
+                                                  const PredicateSet& preds,
+                                                  const RankingFunction& f,
+                                                  size_t k) {
+  std::vector<std::pair<TupleId, double>> scored;
+  for (TupleId t = 0; t < data.num_tuples(); ++t) {
+    if (!preds.Matches(data, t)) continue;
+    scored.emplace_back(t, f.Score(data.PrefPoint(t)));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace pcube

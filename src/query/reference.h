@@ -1,0 +1,46 @@
+// Naive reference implementations: full-scan skyline and top-k over the
+// in-memory Dataset. Quadratic / sort-based, used as ground truth by the
+// test suite and by the Boolean-first baseline's in-memory evaluation step.
+#pragma once
+
+#include <vector>
+
+#include "cube/cell.h"
+#include "cube/relation.h"
+#include "query/ranking.h"
+
+namespace pcube {
+
+/// True iff tuple `a` dominates tuple `b` on `dims` (all <=, one <).
+bool DominatesOn(const Dataset& data, TupleId a, TupleId b,
+                 const std::vector<int>& dims);
+
+/// Skyline of the tuples satisfying `preds`, on preference dimensions
+/// `dims` (empty = all). Returns ascending TupleIds.
+std::vector<TupleId> NaiveSkyline(const Dataset& data, const PredicateSet& preds,
+                                  std::vector<int> dims = {});
+
+/// Top-k of the tuples satisfying `preds` under `f`; ascending score, ties
+/// broken by TupleId for determinism.
+std::vector<std::pair<TupleId, double>> NaiveTopK(const Dataset& data,
+                                                  const PredicateSet& preds,
+                                                  const RankingFunction& f,
+                                                  size_t k);
+
+/// Sort-filter skyline over an explicit tuple subset (points given by tid);
+/// the in-memory algorithm the Boolean-first baseline applies after its
+/// selection step. O(n log n + n * |skyline|).
+std::vector<TupleId> SortFilterSkyline(const Dataset& data,
+                                       std::vector<TupleId> tids,
+                                       const std::vector<int>& dims);
+
+/// Generalised reference: skyband (tuples dominated by < k others) of the
+/// tuples satisfying `preds`, optionally in the dynamic-skyline space
+/// |x - origin| (paper §VII). k = 1, empty origin = ordinary skyline.
+std::vector<TupleId> NaiveSkyband(const Dataset& data,
+                                  const PredicateSet& preds,
+                                  std::vector<int> dims = {},
+                                  std::vector<float> origin = {},
+                                  size_t skyband_k = 1);
+
+}  // namespace pcube

@@ -1,0 +1,170 @@
+#include "query/skyline_engine.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/timer.h"
+#include "rtree/node.h"
+
+namespace pcube {
+
+namespace {
+struct KeyGreater {
+  bool operator()(const SearchEntry& a, const SearchEntry& b) const {
+    return a.key > b.key;
+  }
+};
+using CandidateHeap =
+    std::priority_queue<SearchEntry, std::vector<SearchEntry>, KeyGreater>;
+}  // namespace
+
+SkylineEngine::SkylineEngine(const RStarTree* tree, BooleanProbe* probe,
+                             const TupleVerifier* verifier,
+                             SkylineQueryOptions options)
+    : tree_(tree), probe_(probe), verifier_(verifier),
+      options_(std::move(options)) {
+  if (options_.pref_dims.empty()) {
+    for (int d = 0; d < tree_->dims(); ++d) dims_.push_back(d);
+  } else {
+    dims_ = options_.pref_dims;
+  }
+  PCUBE_CHECK_GE(options_.skyband_k, size_t{1});
+  PCUBE_CHECK(options_.origin.empty() ||
+              options_.origin.size() == static_cast<size_t>(tree_->dims()))
+      << "dynamic-skyline origin needs one coordinate per tree dimension";
+}
+
+double SkylineEngine::LowCoord(const RectF& rect, int d) const {
+  if (options_.origin.empty()) return rect.min[d];
+  // Dynamic skyline: least |x - origin_d| for x in [min, max].
+  double q = options_.origin[d];
+  if (q < rect.min[d]) return rect.min[d] - q;
+  if (q > rect.max[d]) return q - rect.max[d];
+  return 0.0;
+}
+
+double SkylineEngine::EntryKey(const RectF& rect) const {
+  double s = 0;
+  for (int d : dims_) s += LowCoord(rect, d);
+  return s;
+}
+
+bool SkylineEngine::Dominated(const RectF& rect) const {
+  size_t dominators = 0;
+  for (const SearchEntry& s : out_.skyline) {
+    bool all_le = true;
+    bool one_lt = false;
+    for (int d : dims_) {
+      // Results are points (min == max), so LowCoord is their exact
+      // transformed coordinate.
+      double sv = LowCoord(s.rect, d);
+      double ev = LowCoord(rect, d);
+      if (sv > ev) {
+        all_le = false;
+        break;
+      }
+      if (sv < ev) one_lt = true;
+    }
+    if (all_le && one_lt && ++dominators >= options_.skyband_k) return true;
+  }
+  return false;
+}
+
+Result<bool> SkylineEngine::Prune(const SearchEntry& e) {
+  // Preference (domination) pruning first, boolean pruning second — the
+  // order of the paper's prune() procedure, which determines which list an
+  // entry doubly-pruned entry lands in.
+  if (Dominated(e.rect)) {
+    out_.d_list.push_back(e);
+    ++out_.counters.pruned_preference;
+    return true;
+  }
+  if (!e.path.empty()) {
+    Timer t;
+    auto pass = e.is_data ? probe_->TestData(e.path, e.id)
+                           : probe_->Test(e.path);
+    out_.counters.sig_seconds += t.ElapsedSeconds();
+    if (!pass.ok()) return pass.status();
+    if (!*pass) {
+      out_.b_list.push_back(e);
+      ++out_.counters.pruned_boolean;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<SkylineOutput> SkylineEngine::Run() {
+  SearchEntry root;
+  root.key = -std::numeric_limits<double>::infinity();
+  root.is_data = false;
+  root.id = tree_->root();
+  root.rect = RectF::Empty(tree_->dims());
+  return RunFrom({root});
+}
+
+Result<SkylineOutput> SkylineEngine::RunFrom(
+    const std::vector<SearchEntry>& seed) {
+  out_ = SkylineOutput();
+  CandidateHeap heap;
+  for (const SearchEntry& e : seed) {
+    SearchEntry copy = e;
+    copy.key = copy.path.empty() ? -std::numeric_limits<double>::infinity()
+                                 : EntryKey(copy.rect);
+    auto pruned = Prune(copy);
+    if (!pruned.ok()) return pruned.status();
+    if (!*pruned) heap.push(std::move(copy));
+  }
+  out_.counters.heap_peak = std::max<uint64_t>(out_.counters.heap_peak,
+                                               heap.size());
+
+  while (!heap.empty()) {
+    SearchEntry e = heap.top();
+    heap.pop();
+    // Re-check: the skyline may have grown since e entered the heap.
+    auto pruned = Prune(e);
+    if (!pruned.ok()) return pruned.status();
+    if (*pruned) continue;
+
+    if (e.is_data) {
+      if (verifier_ != nullptr) {
+        auto ok = verifier_->Verify(e.id);
+        if (!ok.ok()) return ok.status();
+        ++out_.counters.verified;
+        if (!*ok) {
+          ++out_.counters.verify_failed;
+          out_.b_list.push_back(e);
+          ++out_.counters.pruned_boolean;
+          continue;
+        }
+      }
+      out_.skyline.push_back(e);
+      continue;
+    }
+
+    auto node_handle = tree_->ReadNode(e.id);
+    if (!node_handle.ok()) return node_handle.status();
+    ++out_.counters.nodes_expanded;
+    NodeView node(node_handle->get(), tree_->dims());
+    for (uint32_t s = 0; s < node.max_entries(); ++s) {
+      if (!node.Valid(s)) continue;
+      SearchEntry child;
+      child.is_data = node.is_leaf();
+      child.id = node.GetId(s);
+      child.rect = node.GetRect(s);
+      child.path = e.path;
+      child.path.push_back(static_cast<uint16_t>(s + 1));
+      child.key = EntryKey(child.rect);
+      auto child_pruned = Prune(child);
+      if (!child_pruned.ok()) return child_pruned.status();
+      if (!*child_pruned) {
+        heap.push(std::move(child));
+        out_.counters.heap_peak =
+            std::max<uint64_t>(out_.counters.heap_peak, heap.size());
+      }
+    }
+  }
+  return std::move(out_);
+}
+
+}  // namespace pcube

@@ -1,0 +1,72 @@
+// Skyline query processing with Algorithm 1 (paper §V.A): branch-and-bound
+// over the R-tree in ascending d(n) = coordinate-sum order [9], pruning each
+// candidate first by domination against the skyline found so far, then by
+// the boolean probe (signatures). Entries pruned by domination go to d_list,
+// entries pruned by the boolean predicate to b_list — the seeds of
+// drill-down / roll-up queries (Lemma 2, incremental.h).
+#pragma once
+
+#include <optional>
+
+#include "core/probe.h"
+#include "query/query_types.h"
+#include "query/verifier.h"
+#include "rtree/rstar_tree.h"
+
+namespace pcube {
+
+/// Configuration for one skyline query.
+struct SkylineQueryOptions {
+  /// Preference dimensions the skyline is computed on (indices into the
+  /// tree's dimensions); empty = all.
+  std::vector<int> pref_dims;
+  /// Dynamic skyline (paper §VII, after [9]): when non-empty, dominance is
+  /// evaluated on the transformed coordinates |x_d - origin_d| — "closer to
+  /// my reference point in every respect". Must have one entry per tree
+  /// dimension.
+  std::vector<float> origin;
+  /// k-skyband: report the objects dominated by fewer than k others
+  /// (k = 1 is the ordinary skyline).
+  size_t skyband_k = 1;
+};
+
+/// Executes skyline queries against one R-tree + boolean probe.
+class SkylineEngine {
+ public:
+  /// `probe` supplies boolean pruning (TrueProbe for the Domination
+  /// baseline). `verifier`, when non-null, re-checks every accepted data
+  /// object against the base table (minimal probing [3]; also required for
+  /// non-exact probes). Both must outlive the engine.
+  SkylineEngine(const RStarTree* tree, BooleanProbe* probe,
+                const TupleVerifier* verifier,
+                SkylineQueryOptions options = {});
+
+  /// Runs Algorithm 1 from the root.
+  Result<SkylineOutput> Run();
+
+  /// Runs Algorithm 1 with a reconstructed candidate heap (Lemma 2): the
+  /// seed replaces the root, everything else is unchanged.
+  Result<SkylineOutput> RunFrom(const std::vector<SearchEntry>& seed);
+
+ private:
+  double EntryKey(const RectF& rect) const;
+  /// Optimistic transformed coordinate of `rect` on dimension d: the least
+  /// value any point inside can attain (identity without an origin; minimal
+  /// |x - origin_d| with one).
+  double LowCoord(const RectF& rect, int d) const;
+  /// True when the entry's optimistic corner is dominated by >= skyband_k
+  /// current results.
+  bool Dominated(const RectF& rect) const;
+  /// Applies the paper's prune() (lines 14-20): preference first, boolean
+  /// second; files the entry into the appropriate list.
+  Result<bool> Prune(const SearchEntry& e);
+
+  const RStarTree* tree_;
+  BooleanProbe* probe_;
+  const TupleVerifier* verifier_;
+  SkylineQueryOptions options_;
+  std::vector<int> dims_;
+  SkylineOutput out_;
+};
+
+}  // namespace pcube

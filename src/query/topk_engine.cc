@@ -1,0 +1,136 @@
+#include "query/topk_engine.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/timer.h"
+#include "rtree/node.h"
+
+namespace pcube {
+
+namespace {
+struct KeyGreater {
+  bool operator()(const SearchEntry& a, const SearchEntry& b) const {
+    return a.key > b.key;
+  }
+};
+using CandidateHeap =
+    std::priority_queue<SearchEntry, std::vector<SearchEntry>, KeyGreater>;
+}  // namespace
+
+TopKEngine::TopKEngine(const RStarTree* tree, BooleanProbe* probe,
+                       const TupleVerifier* verifier, const RankingFunction* f,
+                       size_t k)
+    : tree_(tree), probe_(probe), verifier_(verifier), f_(f), k_(k) {}
+
+Result<bool> TopKEngine::Prune(const SearchEntry& e) {
+  // Preference pruning: k results with scores <= f(e) already found.
+  if (out_.results.size() >= k_ && !out_.results.empty() &&
+      e.key >= out_.results.back().key) {
+    out_.d_list.push_back(e);
+    ++out_.counters.pruned_preference;
+    return true;
+  }
+  if (!e.path.empty()) {
+    Timer t;
+    auto pass = e.is_data ? probe_->TestData(e.path, e.id)
+                           : probe_->Test(e.path);
+    out_.counters.sig_seconds += t.ElapsedSeconds();
+    if (!pass.ok()) return pass.status();
+    if (!*pass) {
+      out_.b_list.push_back(e);
+      ++out_.counters.pruned_boolean;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<TopKOutput> TopKEngine::Run() {
+  SearchEntry root;
+  root.key = -std::numeric_limits<double>::infinity();
+  root.is_data = false;
+  root.id = tree_->root();
+  root.rect = RectF::Empty(tree_->dims());
+  return RunFrom({root});
+}
+
+Result<TopKOutput> TopKEngine::RunFrom(const std::vector<SearchEntry>& seed) {
+  out_ = TopKOutput();
+  CandidateHeap heap;
+  auto span_of = [&](const RectF& r) {
+    return std::span<const float>(r.min.data(),
+                                  static_cast<size_t>(tree_->dims()));
+  };
+  for (const SearchEntry& e : seed) {
+    SearchEntry copy = e;
+    if (!copy.path.empty() || copy.is_data) {
+      copy.key = copy.is_data ? f_->Score(span_of(copy.rect))
+                              : f_->LowerBound(copy.rect);
+    } else {
+      copy.key = -std::numeric_limits<double>::infinity();
+    }
+    auto pruned = Prune(copy);
+    if (!pruned.ok()) return pruned.status();
+    if (!*pruned) heap.push(std::move(copy));
+  }
+  out_.counters.heap_peak =
+      std::max<uint64_t>(out_.counters.heap_peak, heap.size());
+
+  while (!heap.empty()) {
+    if (out_.results.size() >= k_) break;
+    SearchEntry e = heap.top();
+    heap.pop();
+    auto pruned = Prune(e);
+    if (!pruned.ok()) return pruned.status();
+    if (*pruned) continue;
+
+    if (e.is_data) {
+      if (verifier_ != nullptr) {
+        auto ok = verifier_->Verify(e.id);
+        if (!ok.ok()) return ok.status();
+        ++out_.counters.verified;
+        if (!*ok) {
+          ++out_.counters.verify_failed;
+          out_.b_list.push_back(e);
+          ++out_.counters.pruned_boolean;
+          continue;
+        }
+      }
+      out_.results.push_back(e);  // ascending-score arrival order
+      continue;
+    }
+
+    auto node_handle = tree_->ReadNode(e.id);
+    if (!node_handle.ok()) return node_handle.status();
+    ++out_.counters.nodes_expanded;
+    NodeView node(node_handle->get(), tree_->dims());
+    for (uint32_t s = 0; s < node.max_entries(); ++s) {
+      if (!node.Valid(s)) continue;
+      SearchEntry child;
+      child.is_data = node.is_leaf();
+      child.id = node.GetId(s);
+      child.rect = node.GetRect(s);
+      child.path = e.path;
+      child.path.push_back(static_cast<uint16_t>(s + 1));
+      child.key = child.is_data ? f_->Score(span_of(child.rect))
+                                : f_->LowerBound(child.rect);
+      auto child_pruned = Prune(child);
+      if (!child_pruned.ok()) return child_pruned.status();
+      if (!*child_pruned) {
+        heap.push(std::move(child));
+        out_.counters.heap_peak =
+            std::max<uint64_t>(out_.counters.heap_peak, heap.size());
+      }
+    }
+  }
+
+  // Preserve the unexamined frontier for incremental queries (Lemma 2).
+  while (!heap.empty()) {
+    out_.remaining.push_back(heap.top());
+    heap.pop();
+  }
+  return std::move(out_);
+}
+
+}  // namespace pcube

@@ -1,0 +1,43 @@
+// Top-k query processing with Algorithm 1 (paper §V.B): identical framework
+// to the skyline engine, but the candidate heap is ordered best-first by the
+// ranking function's lower bound f(n) = min_{x in n} f(x), and preference
+// pruning drops an entry when k results at least as good already exist.
+// Because entries pop in ascending bound order and data objects carry exact
+// scores, the first k accepted data objects are exactly the top-k.
+#pragma once
+
+#include "core/probe.h"
+#include "query/query_types.h"
+#include "query/ranking.h"
+#include "query/verifier.h"
+#include "rtree/rstar_tree.h"
+
+namespace pcube {
+
+/// Executes top-k queries against one R-tree + boolean probe.
+class TopKEngine {
+ public:
+  /// `f` and the probe/verifier must outlive the engine. `verifier` works as
+  /// in SkylineEngine (minimal probing / lossy-probe safety).
+  TopKEngine(const RStarTree* tree, BooleanProbe* probe,
+             const TupleVerifier* verifier, const RankingFunction* f,
+             size_t k);
+
+  /// Runs from the root.
+  Result<TopKOutput> Run();
+
+  /// Runs with a reconstructed candidate heap (Lemma 2 seeds).
+  Result<TopKOutput> RunFrom(const std::vector<SearchEntry>& seed);
+
+ private:
+  Result<bool> Prune(const SearchEntry& e);
+
+  const RStarTree* tree_;
+  BooleanProbe* probe_;
+  const TupleVerifier* verifier_;
+  const RankingFunction* f_;
+  size_t k_;
+  TopKOutput out_;
+};
+
+}  // namespace pcube

@@ -1,0 +1,37 @@
+// Random-access boolean verification against the base table — the minimal
+// probing step [3] of the Domination-first baseline (paper §VI.A: "The
+// boolean verification involves randomly accessing data by tid stored in the
+// R-tree") and the safety net for lossy Bloom probes. Each verification
+// fetches the tuple's heap-file page charged to kBooleanVerify (the paper's
+// DBool accesses).
+#pragma once
+
+#include "cube/cell.h"
+#include "storage/table_store.h"
+
+namespace pcube {
+
+/// Verifies that a candidate tuple satisfies a predicate set.
+class TupleVerifier {
+ public:
+  TupleVerifier(const TableStore* table, PredicateSet preds)
+      : table_(table), preds_(std::move(preds)) {}
+
+  /// True iff tuple `tid` satisfies every predicate.
+  Result<bool> Verify(TupleId tid) const {
+    auto tuple = table_->GetTuple(tid, IoCategory::kBooleanVerify);
+    if (!tuple.ok()) return tuple.status();
+    for (const Predicate& p : preds_.predicates()) {
+      if (tuple->bools[p.dim] != p.value) return false;
+    }
+    return true;
+  }
+
+  const PredicateSet& predicates() const { return preds_; }
+
+ private:
+  const TableStore* table_;
+  PredicateSet preds_;
+};
+
+}  // namespace pcube

@@ -1,0 +1,18 @@
+#include "rtree/geometry.h"
+
+#include <sstream>
+
+namespace pcube {
+
+std::string RectF::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (int d = 0; d < dims; ++d) {
+    if (d > 0) os << " x ";
+    os << "(" << min[d] << "," << max[d] << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace pcube

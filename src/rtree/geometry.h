@@ -1,0 +1,128 @@
+// Axis-aligned rectangles over the preference dimensions. Coordinates are
+// floats, matching the on-page entry layout (paper §V.A sizes signatures
+// assuming ~20-byte R-tree entries).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "common/logging.h"
+
+namespace pcube {
+
+/// Upper bound on preference dimensionality (the paper evaluates 2-5).
+constexpr int kMaxDims = 8;
+
+/// Axis-aligned box; a point is a box with min == max.
+struct RectF {
+  std::array<float, kMaxDims> min{};
+  std::array<float, kMaxDims> max{};
+  int dims = 0;
+
+  static RectF Point(std::span<const float> coords) {
+    PCUBE_DCHECK_LE(coords.size(), static_cast<size_t>(kMaxDims));
+    RectF r;
+    r.dims = static_cast<int>(coords.size());
+    for (int d = 0; d < r.dims; ++d) {
+      r.min[d] = coords[d];
+      r.max[d] = coords[d];
+    }
+    return r;
+  }
+
+  /// An "empty" rect that acts as the identity for Expand.
+  static RectF Empty(int dims) {
+    RectF r;
+    r.dims = dims;
+    for (int d = 0; d < dims; ++d) {
+      r.min[d] = std::numeric_limits<float>::max();
+      r.max[d] = std::numeric_limits<float>::lowest();
+    }
+    return r;
+  }
+
+  bool IsEmpty() const { return dims == 0 || min[0] > max[0]; }
+
+  void Expand(const RectF& o) {
+    PCUBE_DCHECK_EQ(dims, o.dims);
+    for (int d = 0; d < dims; ++d) {
+      min[d] = std::min(min[d], o.min[d]);
+      max[d] = std::max(max[d], o.max[d]);
+    }
+  }
+
+  double Area() const {
+    double a = 1.0;
+    for (int d = 0; d < dims; ++d) a *= static_cast<double>(max[d]) - min[d];
+    return a;
+  }
+
+  double Margin() const {
+    double m = 0.0;
+    for (int d = 0; d < dims; ++d) m += static_cast<double>(max[d]) - min[d];
+    return m;
+  }
+
+  /// Area increase needed to absorb `o`.
+  double Enlargement(const RectF& o) const {
+    double after = 1.0;
+    for (int d = 0; d < dims; ++d) {
+      after *= static_cast<double>(std::max(max[d], o.max[d])) -
+               std::min(min[d], o.min[d]);
+    }
+    return after - Area();
+  }
+
+  double OverlapArea(const RectF& o) const {
+    double a = 1.0;
+    for (int d = 0; d < dims; ++d) {
+      double lo = std::max(min[d], o.min[d]);
+      double hi = std::min(max[d], o.max[d]);
+      if (hi <= lo) return 0.0;
+      a *= hi - lo;
+    }
+    return a;
+  }
+
+  bool ContainsPoint(std::span<const float> p) const {
+    for (int d = 0; d < dims; ++d) {
+      if (p[d] < min[d] || p[d] > max[d]) return false;
+    }
+    return true;
+  }
+
+  bool Equals(const RectF& o) const {
+    if (dims != o.dims) return false;
+    for (int d = 0; d < dims; ++d) {
+      if (min[d] != o.min[d] || max[d] != o.max[d]) return false;
+    }
+    return true;
+  }
+
+  /// Sum of the lower-corner coordinates: the BBS heap key for skylines
+  /// (paper §V.A: d(n) = min over the region of sum of N_i).
+  double MinCoordSum() const {
+    double s = 0.0;
+    for (int d = 0; d < dims; ++d) s += min[d];
+    return s;
+  }
+
+  /// Squared distance between the centers of two rects (R* reinsertion order).
+  double CenterDist2(const RectF& o) const {
+    double s = 0.0;
+    for (int d = 0; d < dims; ++d) {
+      double c1 = 0.5 * (static_cast<double>(min[d]) + max[d]);
+      double c2 = 0.5 * (static_cast<double>(o.min[d]) + o.max[d]);
+      s += (c1 - c2) * (c1 - c2);
+    }
+    return s;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace pcube

@@ -1,0 +1,52 @@
+#include "storage/boolean_index.h"
+
+#include <algorithm>
+
+namespace pcube {
+
+Result<BooleanIndex> BooleanIndex::Build(BufferPool* pool, const Dataset& data,
+                                         int dim) {
+  // Keys are <value, tid>: ascending by construction within a value, and the
+  // tid in the low bits keeps keys strictly ascending overall after sorting.
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(data.num_tuples());
+  for (TupleId t = 0; t < data.num_tuples(); ++t) {
+    entries.emplace_back(MakeKey(data.BoolValue(t, dim), t), t);
+  }
+  std::sort(entries.begin(), entries.end());
+  auto tree = BPlusTree::BulkLoad(pool, entries);
+  if (!tree.ok()) return tree.status();
+  BooleanIndex index(std::move(*tree), dim);
+  index.next_seq_ = data.num_tuples();
+  return index;
+}
+
+Status BooleanIndex::Add(uint32_t value, TupleId tid) {
+  return tree_.Insert(MakeKey(value, next_seq_++), tid);
+}
+
+Result<std::vector<TupleId>> BooleanIndex::Lookup(uint32_t value) const {
+  std::vector<TupleId> out;
+  Status st = tree_.RangeScan(MakeKey(value, 0),
+                              MakeKey(value, (uint64_t{1} << kSeqBits) - 1),
+                              [&](uint64_t, uint64_t tid) {
+                                out.push_back(tid);
+                                return true;
+                              });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<uint64_t> BooleanIndex::Count(uint32_t value) const {
+  uint64_t n = 0;
+  Status st = tree_.RangeScan(MakeKey(value, 0),
+                              MakeKey(value, (uint64_t{1} << kSeqBits) - 1),
+                              [&](uint64_t, uint64_t) {
+                                ++n;
+                                return true;
+                              });
+  if (!st.ok()) return st;
+  return n;
+}
+
+}  // namespace pcube

@@ -1,0 +1,150 @@
+#include "storage/buffer_pool.h"
+
+namespace pcube {
+
+PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    pid_ = o.pid_;
+    page_ = o.page_;
+    o.pool_ = nullptr;
+    o.page_ = nullptr;
+    o.pid_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr && page_ != nullptr) {
+    pool_->Unpin(pid_);
+  }
+  pool_ = nullptr;
+  page_ = nullptr;
+  pid_ = kInvalidPageId;
+}
+
+BufferPool::BufferPool(PageManager* pm, size_t capacity_pages, IoStats* stats)
+    : pm_(pm), capacity_(capacity_pages < 1 ? 1 : capacity_pages), stats_(stats) {}
+
+void BufferPool::Unpin(PageId pid) {
+  auto it = frames_.find(pid);
+  PCUBE_DCHECK(it != frames_.end());
+  PCUBE_DCHECK_GT(it->second.pins, 0);
+  --it->second.pins;
+}
+
+Status BufferPool::EvictOne() {
+  // Scan from the LRU tail for the first unpinned frame. If all frames are
+  // pinned, grow instead of failing.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    PageId victim = *it;
+    auto fit = frames_.find(victim);
+    PCUBE_DCHECK(fit != frames_.end());
+    if (fit->second.pins > 0) continue;
+    if (fit->second.dirty) {
+      PCUBE_RETURN_NOT_OK(pm_->Write(victim, fit->second.page));
+      if (stats_ != nullptr) stats_->CountWrite(fit->second.cat);
+    }
+    lru_.erase(std::next(it).base());
+    frames_.erase(fit);
+    return Status::OK();
+  }
+  return Status::OK();  // everything pinned: grow
+}
+
+Result<BufferPool::Frame*> BufferPool::GetFrame(PageId pid, IoCategory cat,
+                                                bool load) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(pid);
+    it->second.lru_pos = lru_.begin();
+    return &it->second;
+  }
+  ++misses_;
+  if (frames_.size() >= capacity_) {
+    PCUBE_RETURN_NOT_OK(EvictOne());
+  }
+  lru_.push_front(pid);
+  Frame& frame = frames_[pid];
+  frame.lru_pos = lru_.begin();
+  frame.cat = cat;
+  if (load) {
+    Status st = pm_->Read(pid, &frame.page);
+    if (!st.ok()) {
+      lru_.pop_front();
+      frames_.erase(pid);
+      return st;
+    }
+    if (stats_ != nullptr) stats_->CountRead(cat);
+  } else {
+    frame.page.Zero();
+  }
+  return &frame;
+}
+
+Result<PageHandle> BufferPool::Get(PageId pid, IoCategory cat) {
+  auto frame = GetFrame(pid, cat, /*load=*/true);
+  if (!frame.ok()) return frame.status();
+  ++(*frame)->pins;
+  return PageHandle(this, pid, &(*frame)->page);
+}
+
+Result<PageHandle> BufferPool::GetMutable(PageId pid, IoCategory cat) {
+  auto frame = GetFrame(pid, cat, /*load=*/true);
+  if (!frame.ok()) return frame.status();
+  (*frame)->dirty = true;
+  (*frame)->cat = cat;
+  ++(*frame)->pins;
+  return PageHandle(this, pid, &(*frame)->page);
+}
+
+Result<PageHandle> BufferPool::New(IoCategory cat, PageId* pid) {
+  auto alloc = pm_->Allocate();
+  if (!alloc.ok()) return alloc.status();
+  *pid = *alloc;
+  auto frame = GetFrame(*pid, cat, /*load=*/false);
+  if (!frame.ok()) return frame.status();
+  --misses_;  // a fresh page is not a disk read
+  if (stats_ != nullptr) {
+    // GetFrame(load=false) performs no physical read, nothing to undo there.
+  }
+  (*frame)->dirty = true;
+  ++(*frame)->pins;
+  return PageHandle(this, *pid, &(*frame)->page);
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [pid, frame] : frames_) {
+    if (frame.dirty) {
+      PCUBE_RETURN_NOT_OK(pm_->Write(pid, frame.page));
+      if (stats_ != nullptr) stats_->CountWrite(frame.cat);
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FreePage(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) {
+    PCUBE_CHECK_EQ(it->second.pins, 0) << "freeing a pinned page";
+    lru_.erase(it->second.lru_pos);
+    frames_.erase(it);
+  }
+  return pm_->Free(pid);
+}
+
+Status BufferPool::Clear() {
+  PCUBE_RETURN_NOT_OK(FlushAll());
+  for ([[maybe_unused]] auto& [pid, frame] : frames_) {
+    PCUBE_CHECK_EQ(frame.pins, 0) << "Clear() with outstanding pins";
+  }
+  frames_.clear();
+  lru_.clear();
+  return Status::OK();
+}
+
+}  // namespace pcube

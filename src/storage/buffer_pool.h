@@ -1,0 +1,111 @@
+// LRU page cache over a PageManager. A cache miss performs a physical
+// PageManager::Read and is charged to the caller-supplied IoCategory; a hit
+// is free. Benchmarks start each query with a cleared ("cold") pool so the
+// reported disk-access counts match the paper's cold-cache methodology.
+//
+// Frames are handed out as RAII PageHandles that pin the frame: a pinned
+// frame is never evicted, so a handle's Page* stays valid and mutations are
+// never lost. If every frame is pinned the pool grows past its capacity
+// rather than failing (the standard steal-free policy).
+#pragma once
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/io_stats.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/page_manager.h"
+
+namespace pcube {
+
+class BufferPool;
+
+/// Pinning, move-only reference to a cached page frame.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, PageId pid, Page* page)
+      : pool_(pool), pid_(pid), page_(page) {}
+  PageHandle(PageHandle&& o) noexcept { *this = std::move(o); }
+  PageHandle& operator=(PageHandle&& o) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle() { Release(); }
+
+  Page* get() const { return page_; }
+  Page& operator*() const { return *page_; }
+  Page* operator->() const { return page_; }
+  PageId pid() const { return pid_; }
+  bool valid() const { return page_ != nullptr; }
+
+  /// Unpins early (also done by the destructor).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId pid_ = kInvalidPageId;
+  Page* page_ = nullptr;
+};
+
+/// Write-back LRU buffer pool with pinning.
+class BufferPool {
+ public:
+  /// `capacity_pages` bounds the number of cached frames (>= 1) except when
+  /// pins force temporary growth.
+  BufferPool(PageManager* pm, size_t capacity_pages, IoStats* stats);
+
+  /// Fetches `pid` for reading; counts a physical read in `cat` on miss.
+  Result<PageHandle> Get(PageId pid, IoCategory cat);
+
+  /// Fetches `pid` for modification; the frame is marked dirty and written
+  /// back on eviction or FlushAll(). The write-back is charged to `cat`.
+  Result<PageHandle> GetMutable(PageId pid, IoCategory cat);
+
+  /// Allocates a new page and returns a dirty frame for it.
+  Result<PageHandle> New(IoCategory cat, PageId* pid);
+
+  /// Writes back all dirty frames (keeps them cached).
+  Status FlushAll();
+
+  /// Writes back dirty frames and empties the cache (a "cold" restart).
+  /// Requires no outstanding pins.
+  Status Clear();
+
+  /// Frees `pid`: drops any cached frame without write-back and returns the
+  /// page to the PageManager's free list. The page must be unpinned and no
+  /// longer referenced by any structure.
+  Status FreePage(PageId pid);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  PageManager* page_manager() const { return pm_; }
+  IoStats* stats() const { return stats_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    Page page;
+    bool dirty = false;
+    int pins = 0;
+    IoCategory cat = IoCategory::kHeapFile;
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  Result<Frame*> GetFrame(PageId pid, IoCategory cat, bool load);
+  Status EvictOne();
+  void Unpin(PageId pid);
+
+  PageManager* pm_;
+  size_t capacity_;
+  IoStats* stats_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace pcube

@@ -1,0 +1,31 @@
+// The unit of simulated disk I/O. Everything persistent in this library —
+// R-tree nodes, B+-tree nodes, partial signatures, heap-file tuple blocks —
+// lives in fixed-size pages, and every page fetch is charged to an IoStats
+// category. The paper uses a 4 KB page throughout; so do we.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace pcube {
+
+/// Page size in bytes (paper §VI.A: "The page size in R-tree is set as 4KB").
+constexpr size_t kPageSize = 4096;
+
+/// Identifies a page within one PageManager. Dense, starting at 0.
+using PageId = uint64_t;
+
+constexpr PageId kInvalidPageId = ~PageId{0};
+
+/// One fixed-size block of bytes.
+struct Page {
+  std::array<uint8_t, kPageSize> bytes;
+
+  uint8_t* data() { return bytes.data(); }
+  const uint8_t* data() const { return bytes.data(); }
+
+  void Zero() { bytes.fill(0); }
+};
+
+}  // namespace pcube

@@ -1,0 +1,89 @@
+// Backing store for pages. Two implementations:
+//   MemoryPageManager — pages in RAM; the benchmark default. Combined with a
+//     cold BufferPool it yields deterministic, hardware-independent "disk
+//     access" counts.
+//   FilePageManager  — pages in a real file via pread/pwrite, for users who
+//     want actual persistence.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace pcube {
+
+/// Abstract page store. Not thread-safe; the library is single-threaded by
+/// design (the paper's algorithms are sequential).
+class PageManager {
+ public:
+  virtual ~PageManager() = default;
+
+  /// Allocates a fresh zeroed page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+
+  /// Reads page `pid` into `*out`.
+  virtual Status Read(PageId pid, Page* out) = 0;
+
+  /// Writes `page` as the new content of `pid`.
+  virtual Status Write(PageId pid, const Page& page) = 0;
+
+  /// Returns `pid` to the allocator for reuse (space reclamation after
+  /// compaction). Implementations may decline with NotSupported.
+  virtual Status Free(PageId pid) {
+    (void)pid;
+    return Status::NotSupported("page manager has no free list");
+  }
+
+  /// Number of pages allocated so far (freed pages stay counted until
+  /// reused).
+  virtual uint64_t NumPages() const = 0;
+
+  /// Total allocated bytes (NumPages() * kPageSize).
+  uint64_t SizeBytes() const { return NumPages() * kPageSize; }
+};
+
+/// Page store kept entirely in RAM.
+class MemoryPageManager : public PageManager {
+ public:
+  Result<PageId> Allocate() override;
+  Status Read(PageId pid, Page* out) override;
+  Status Write(PageId pid, const Page& page) override;
+  Status Free(PageId pid) override;
+  uint64_t NumPages() const override { return pages_.size(); }
+
+  /// Pages currently on the free list (reused before growing).
+  size_t num_free() const { return free_list_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<PageId> free_list_;
+};
+
+/// Page store backed by a file on disk.
+class FilePageManager : public PageManager {
+ public:
+  /// Creates (truncating) or opens `path`. When opening an existing file the
+  /// page count is recovered from the file size.
+  static Result<std::unique_ptr<FilePageManager>> Open(const std::string& path,
+                                                       bool truncate);
+  ~FilePageManager() override;
+
+  FilePageManager(const FilePageManager&) = delete;
+  FilePageManager& operator=(const FilePageManager&) = delete;
+
+  Result<PageId> Allocate() override;
+  Status Read(PageId pid, Page* out) override;
+  Status Write(PageId pid, const Page& page) override;
+  uint64_t NumPages() const override { return num_pages_; }
+
+ private:
+  FilePageManager(int fd, uint64_t num_pages) : fd_(fd), num_pages_(num_pages) {}
+
+  int fd_;
+  uint64_t num_pages_;
+};
+
+}  // namespace pcube

@@ -1,0 +1,78 @@
+#include "storage/table_store.h"
+
+#include "common/bit_util.h"
+
+namespace pcube {
+
+void TableStore::EncodeRow(std::span<const uint32_t> bools,
+                           std::span<const float> prefs, uint8_t* dst) const {
+  for (int d = 0; d < num_bool_; ++d) {
+    bit_util::StoreLE<uint32_t>(dst + 4 * d, bools[d]);
+  }
+  for (int d = 0; d < num_pref_; ++d) {
+    bit_util::StoreLE<float>(dst + 4 * num_bool_ + 4 * d, prefs[d]);
+  }
+}
+
+void TableStore::DecodeRow(const uint8_t* src, TupleId tid, TupleData* out) const {
+  out->tid = tid;
+  out->bools.resize(num_bool_);
+  out->prefs.resize(num_pref_);
+  for (int d = 0; d < num_bool_; ++d) {
+    out->bools[d] = bit_util::LoadLE<uint32_t>(src + 4 * d);
+  }
+  for (int d = 0; d < num_pref_; ++d) {
+    out->prefs[d] = bit_util::LoadLE<float>(src + 4 * num_bool_ + 4 * d);
+  }
+}
+
+Result<TableStore> TableStore::Build(BufferPool* pool, const Dataset& data) {
+  TableStore store(pool, data.num_bool(), data.num_pref());
+  for (TupleId t = 0; t < data.num_tuples(); ++t) {
+    auto res = store.Append(data.BoolRow(t), data.PrefPoint(t));
+    if (!res.ok()) return res.status();
+  }
+  return store;
+}
+
+Result<TupleId> TableStore::Append(std::span<const uint32_t> bools,
+                                   std::span<const float> prefs) {
+  uint64_t slot = num_tuples_ % rows_per_page_;
+  if (slot == 0) {
+    PageId pid;
+    auto handle = pool_->New(IoCategory::kHeapFile, &pid);
+    if (!handle.ok()) return handle.status();
+    page_ids_.push_back(pid);
+  }
+  auto handle = pool_->GetMutable(page_ids_.back(), IoCategory::kHeapFile);
+  if (!handle.ok()) return handle.status();
+  EncodeRow(bools, prefs, (*handle)->data() + slot * row_size_);
+  return num_tuples_++;
+}
+
+Result<TupleData> TableStore::GetTuple(TupleId tid, IoCategory cat) const {
+  if (tid >= num_tuples_) return Status::OutOfRange("tuple id out of range");
+  PageId pid = page_ids_[tid / rows_per_page_];
+  auto handle = pool_->Get(pid, cat);
+  if (!handle.ok()) return handle.status();
+  TupleData out;
+  DecodeRow((*handle)->data() + (tid % rows_per_page_) * row_size_, tid, &out);
+  return out;
+}
+
+Status TableStore::Scan(const std::function<bool(const TupleData&)>& visit) const {
+  TupleData row;
+  for (uint64_t p = 0; p < page_ids_.size(); ++p) {
+    auto handle = pool_->Get(page_ids_[p], IoCategory::kHeapFile);
+    if (!handle.ok()) return handle.status();
+    uint64_t base = p * rows_per_page_;
+    uint64_t n = std::min(rows_per_page_, num_tuples_ - base);
+    for (uint64_t i = 0; i < n; ++i) {
+      DecodeRow((*handle)->data() + i * row_size_, base + i, &row);
+      if (!visit(row)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pcube

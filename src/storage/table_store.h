@@ -1,0 +1,77 @@
+// Heap file for the base relation: fixed-width rows packed into 4 KB pages.
+// Random tuple fetches (used by the Domination-first baseline for boolean
+// verification, paper's "DBool" accesses) and sequential scans (the
+// Boolean-first baseline's table-scan path) both go through the buffer pool
+// so they show up in IoStats.
+#pragma once
+
+#include <functional>
+
+#include "common/status.h"
+#include "cube/relation.h"
+#include "storage/buffer_pool.h"
+
+namespace pcube {
+
+/// One materialised tuple.
+struct TupleData {
+  TupleId tid = 0;
+  std::vector<uint32_t> bools;
+  std::vector<float> prefs;
+};
+
+/// Paged heap file with fixed-width rows in TupleId order.
+class TableStore {
+ public:
+  /// Materialises `data` into pages of `pool`'s page manager.
+  static Result<TableStore> Build(BufferPool* pool, const Dataset& data);
+
+  /// Re-attaches to previously built pages (catalog-driven reopen).
+  static TableStore Attach(BufferPool* pool, int num_bool, int num_pref,
+                           uint64_t num_tuples, std::vector<PageId> page_ids) {
+    TableStore store(pool, num_bool, num_pref);
+    store.num_tuples_ = num_tuples;
+    store.page_ids_ = std::move(page_ids);
+    return store;
+  }
+
+  const std::vector<PageId>& page_ids() const { return page_ids_; }
+
+  /// Fetches tuple `tid`; the page read is charged to `cat` (the
+  /// Domination-first baseline passes kBooleanVerify).
+  Result<TupleData> GetTuple(TupleId tid,
+                             IoCategory cat = IoCategory::kHeapFile) const;
+
+  /// Appends one tuple (incremental-maintenance path); returns its id.
+  Result<TupleId> Append(std::span<const uint32_t> bools,
+                         std::span<const float> prefs);
+
+  /// Full scan in TupleId order; visitor returns false to stop.
+  Status Scan(const std::function<bool(const TupleData&)>& visit) const;
+
+  uint64_t num_tuples() const { return num_tuples_; }
+  uint64_t num_pages() const { return page_ids_.size(); }
+  uint64_t rows_per_page() const { return rows_per_page_; }
+
+ private:
+  TableStore(BufferPool* pool, int num_bool, int num_pref)
+      : pool_(pool),
+        num_bool_(num_bool),
+        num_pref_(num_pref),
+        row_size_(4 * num_bool + 4 * num_pref),
+        rows_per_page_(kPageSize / row_size_) {}
+
+  void DecodeRow(const uint8_t* src, TupleId tid, TupleData* out) const;
+  void EncodeRow(std::span<const uint32_t> bools, std::span<const float> prefs,
+                 uint8_t* dst) const;
+
+  BufferPool* pool_;
+  int num_bool_;
+  int num_pref_;
+  size_t row_size_;
+  uint64_t rows_per_page_;
+  uint64_t num_tuples_ = 0;
+  std::vector<PageId> page_ids_;
+};
+
+}  // namespace pcube

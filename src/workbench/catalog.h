@@ -1,0 +1,73 @@
+// On-disk catalog: the metadata needed to reopen a persisted workbench —
+// relation schema, heap-file page map, boolean-index roots, R-tree root and
+// shape, and the signature store's directory state. Stored as a chain of
+// pages starting at a fixed root (page 0 of the file), each page holding
+//   u32 payload_len | u64 next_pid | payload
+// so catalogs of any size fit.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/cell.h"
+#include "storage/buffer_pool.h"
+
+namespace pcube {
+
+/// Serializable description of one persisted workbench.
+struct CatalogData {
+  static constexpr uint32_t kMagic = 0x50435542;  // "PCUB"
+  static constexpr uint32_t kVersion = 1;
+
+  // Relation.
+  int num_bool = 0;
+  int num_pref = 0;
+  std::vector<uint32_t> bool_cardinality;
+  uint64_t num_tuples = 0;
+
+  // Heap file.
+  std::vector<PageId> table_pages;
+
+  // Boolean indices, one per dimension.
+  struct IndexInfo {
+    PageId root = kInvalidPageId;
+    uint64_t num_entries = 0;
+    uint64_t num_pages = 0;
+    uint64_t next_seq = 0;
+  };
+  std::vector<IndexInfo> indices;
+
+  // R-tree.
+  PageId rtree_root = kInvalidPageId;
+  int rtree_height = 0;
+  uint32_t rtree_fanout = 0;
+  uint64_t rtree_entries = 0;
+  uint64_t rtree_pages = 0;
+
+  // P-Cube / signature store.
+  bool has_cube = false;
+  PageId sig_index_root = kInvalidPageId;
+  uint64_t sig_index_entries = 0;
+  uint64_t sig_index_pages = 0;
+  std::map<CellId, uint32_t> sig_dense;
+  uint64_t sig_num_partials = 0;
+  uint64_t sig_num_pages = 0;
+  PageId sig_append_page = kInvalidPageId;
+  uint32_t sig_append_offset = 0;
+  uint64_t cube_cells = 0;
+  int cube_levels = 0;
+
+  /// Optional value dictionaries for the boolean dimensions (CSV imports);
+  /// empty = none stored.
+  std::vector<std::vector<std::string>> dictionaries;
+};
+
+/// Writes `catalog` into the page chain rooted at `root` (pages are
+/// allocated as needed; the root must already exist).
+Status SaveCatalog(BufferPool* pool, PageId root, const CatalogData& catalog);
+
+/// Reads a catalog from the chain rooted at `root`.
+Result<CatalogData> LoadCatalog(BufferPool* pool, PageId root);
+
+}  // namespace pcube

@@ -1,0 +1,103 @@
+#include "workbench/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcube {
+
+Result<PlanEstimate> QueryPlanner::Estimate(const PredicateSet& preds) const {
+  PlanEstimate est;
+  const uint64_t total = wb_->data().num_tuples();
+
+  // Exact per-predicate counts from the boolean indices (an index-only
+  // scan; cheap relative to either plan).
+  uint64_t min_count = total;
+  double combined_selectivity = 1.0;
+  for (const Predicate& p : preds.predicates()) {
+    auto count = wb_->indices()[p.dim].Count(p.value);
+    if (!count.ok()) return count.status();
+    min_count = std::min(min_count, *count);
+    combined_selectivity *=
+        total == 0 ? 0.0 : static_cast<double>(*count) / total;
+  }
+  est.matching_tuples = preds.empty()
+                            ? total
+                            : static_cast<uint64_t>(combined_selectivity *
+                                                    static_cast<double>(total));
+
+  // Boolean-first: fetch the most selective predicate's postings (one
+  // random page per tuple) or scan the table, whichever is cheaper — the
+  // same rule BooleanFirstExecutor applies.
+  uint64_t scan_pages = wb_->table()->num_pages();
+  est.boolean_pages = preds.empty() ? scan_pages : std::min(min_count, scan_pages);
+
+  // Signature plan: the branch-and-bound visits the root path plus the
+  // leaf-region around the selected subset's skyline. Model: the traversal
+  // touches the fraction of R-tree pages holding matching tuples, discounted
+  // by preference pruning (empirically ~2/3 of the subset's pages are
+  // pruned), plus one signature page and its directory lookup per predicate.
+  double match_fraction =
+      preds.empty() ? 1.0
+                    : std::max(combined_selectivity,
+                               1.0 / static_cast<double>(std::max<uint64_t>(
+                                         1, wb_->tree()->num_pages())));
+  constexpr double kPreferencePruning = 1.0 / 3.0;
+  est.signature_pages =
+      static_cast<uint64_t>(wb_->tree()->height() + 1 +
+                            match_fraction * kPreferencePruning *
+                                static_cast<double>(wb_->tree()->num_pages())) +
+      2 * preds.size();
+
+  est.choice = est.signature_pages <= est.boolean_pages
+                   ? PlanChoice::kSignature
+                   : PlanChoice::kBooleanFirst;
+  return est;
+}
+
+Result<PlannedSkyline> QueryPlanner::Skyline(const PredicateSet& preds) {
+  auto est = Estimate(preds);
+  if (!est.ok()) return est.status();
+  PlannedSkyline out;
+  out.estimate = *est;
+  PCUBE_RETURN_NOT_OK(wb_->ColdStart());
+  if (est->choice == PlanChoice::kSignature) {
+    auto run = wb_->SignatureSkyline(preds);
+    if (!run.ok()) return run.status();
+    for (const SearchEntry& e : run->skyline) out.tids.push_back(e.id);
+  } else {
+    BooleanFirstExecutor boolean(&wb_->indices(), wb_->table());
+    auto run = boolean.Skyline(preds);
+    if (!run.ok()) return run.status();
+    out.tids = run->tids;
+  }
+  std::sort(out.tids.begin(), out.tids.end());
+  out.executed_io = wb_->IoSince();
+  return out;
+}
+
+Result<PlannedTopK> QueryPlanner::TopK(const PredicateSet& preds,
+                                       const RankingFunction& f, size_t k) {
+  auto est = Estimate(preds);
+  if (!est.ok()) return est.status();
+  PlannedTopK out;
+  out.estimate = *est;
+  PCUBE_RETURN_NOT_OK(wb_->ColdStart());
+  if (est->choice == PlanChoice::kSignature) {
+    auto run = wb_->SignatureTopK(preds, f, k);
+    if (!run.ok()) return run.status();
+    for (const SearchEntry& e : run->results) {
+      out.results.emplace_back(e.id, e.key);
+    }
+  } else {
+    BooleanFirstExecutor boolean(&wb_->indices(), wb_->table());
+    auto run = boolean.TopK(preds, f, k);
+    if (!run.ok()) return run.status();
+    for (size_t i = 0; i < run->tids.size(); ++i) {
+      out.results.emplace_back(run->tids[i], run->scores[i]);
+    }
+  }
+  out.executed_io = wb_->IoSince();
+  return out;
+}
+
+}  // namespace pcube

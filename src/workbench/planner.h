@@ -1,0 +1,61 @@
+// Cost-based method selection. Fig. 11 of the paper shows a crossover: for
+// highly selective predicates (large C) the Boolean-first plan approaches —
+// and can beat — the signature plan, because fetching a handful of matching
+// tuples is cheaper than any space traversal. A production system should
+// therefore pick the method per query. This planner estimates page costs
+// from the boolean indices' exact match counts and a simple R-tree traversal
+// model, runs the cheaper plan, and reports both the estimates and what was
+// executed.
+#pragma once
+
+#include "workbench/workbench.h"
+
+namespace pcube {
+
+/// Which physical plan the planner chose.
+enum class PlanChoice { kSignature, kBooleanFirst };
+
+/// Cost estimates (in 4 KB page reads) and the decision.
+struct PlanEstimate {
+  uint64_t matching_tuples = 0;
+  uint64_t boolean_pages = 0;    ///< selection fetches or table scan
+  uint64_t signature_pages = 0;  ///< modelled R-tree blocks + signatures
+  PlanChoice choice = PlanChoice::kSignature;
+};
+
+/// Result of a planned skyline query.
+struct PlannedSkyline {
+  std::vector<TupleId> tids;  ///< ascending
+  PlanEstimate estimate;
+  IoStats executed_io;
+};
+
+/// Result of a planned top-k query.
+struct PlannedTopK {
+  std::vector<std::pair<TupleId, double>> results;  ///< ascending score
+  PlanEstimate estimate;
+  IoStats executed_io;
+};
+
+/// Chooses and executes plans against one workbench.
+class QueryPlanner {
+ public:
+  /// `wb` must outlive the planner and have indices + cube built.
+  explicit QueryPlanner(Workbench* wb) : wb_(wb) {}
+
+  /// Estimates both plans for `preds` without executing anything
+  /// (index-only match counting).
+  Result<PlanEstimate> Estimate(const PredicateSet& preds) const;
+
+  /// Runs the cheaper skyline plan (cold cache).
+  Result<PlannedSkyline> Skyline(const PredicateSet& preds);
+
+  /// Runs the cheaper top-k plan (cold cache).
+  Result<PlannedTopK> TopK(const PredicateSet& preds, const RankingFunction& f,
+                           size_t k);
+
+ private:
+  Workbench* wb_;
+};
+
+}  // namespace pcube

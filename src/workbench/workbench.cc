@@ -1,0 +1,191 @@
+#include "workbench/workbench.h"
+
+#include "workbench/catalog.h"
+
+namespace pcube {
+
+Result<std::unique_ptr<Workbench>> Workbench::Build(Dataset data,
+                                                    WorkbenchOptions options) {
+  std::unique_ptr<Workbench> wb(new Workbench());
+  wb->data_ = std::move(data);
+  if (options.file_path.empty()) {
+    wb->pm_ = std::make_unique<MemoryPageManager>();
+  } else {
+    auto fpm = FilePageManager::Open(options.file_path, /*truncate=*/true);
+    if (!fpm.ok()) return fpm.status();
+    wb->pm_ = std::move(*fpm);
+  }
+  wb->pool_ = std::make_unique<BufferPool>(wb->pm_.get(), options.pool_pages,
+                                           &wb->stats_);
+  if (!options.file_path.empty()) {
+    // Reserve the catalog root before anything else so Open() can find it.
+    auto handle = wb->pool_->New(IoCategory::kBtree, &wb->catalog_root_);
+    if (!handle.ok()) return handle.status();
+    PCUBE_CHECK_EQ(wb->catalog_root_, PageId{0});
+  }
+  if (options.build_table) {
+    auto table = TableStore::Build(wb->pool_.get(), wb->data_);
+    if (!table.ok()) return table.status();
+    wb->table_ = std::make_unique<TableStore>(std::move(*table));
+  }
+  if (options.build_indices) {
+    for (int d = 0; d < wb->data_.num_bool(); ++d) {
+      auto index = BooleanIndex::Build(wb->pool_.get(), wb->data_, d);
+      if (!index.ok()) return index.status();
+      wb->indices_.push_back(std::move(*index));
+    }
+  }
+  RTreeOptions rtree_options = options.rtree;
+  rtree_options.dims = wb->data_.num_pref();
+  wb->rtree_options_ = rtree_options;
+  auto tree =
+      options.grid_cells_per_dim > 0
+          ? RStarTree::BuildGridPartition(wb->pool_.get(), wb->data_,
+                                          rtree_options,
+                                          options.grid_cells_per_dim)
+          : (options.rtree_by_insertion
+                 ? RStarTree::BuildByInsertion(wb->pool_.get(), wb->data_,
+                                               rtree_options)
+                 : RStarTree::BulkLoad(wb->pool_.get(), wb->data_,
+                                       rtree_options));
+  if (!tree.ok()) return tree.status();
+  wb->tree_ = std::make_unique<RStarTree>(std::move(*tree));
+  if (options.build_cube) {
+    auto cube = PCube::Build(wb->pool_.get(), wb->data_, *wb->tree_,
+                             options.pcube);
+    if (!cube.ok()) return cube.status();
+    wb->cube_ = std::make_unique<PCube>(std::move(*cube));
+  }
+  PCUBE_RETURN_NOT_OK(wb->ColdStart());
+  return wb;
+}
+
+Status Workbench::Save() {
+  if (catalog_root_ == kInvalidPageId) {
+    return Status::InvalidArgument(
+        "Save() requires a file-backed workbench (options.file_path)");
+  }
+  if (table_ == nullptr) {
+    return Status::InvalidArgument("Save() requires build_table");
+  }
+  CatalogData c;
+  c.num_bool = data_.num_bool();
+  c.num_pref = data_.num_pref();
+  c.bool_cardinality = data_.schema().bool_cardinality;
+  c.num_tuples = table_->num_tuples();
+  c.table_pages = table_->page_ids();
+  for (const BooleanIndex& index : indices_) {
+    CatalogData::IndexInfo info;
+    info.root = index.tree().root();
+    info.num_entries = index.tree().num_entries();
+    info.num_pages = index.tree().num_pages();
+    info.next_seq = index.next_seq();
+    c.indices.push_back(info);
+  }
+  c.rtree_root = tree_->root();
+  c.rtree_height = tree_->height();
+  c.rtree_fanout = tree_->fanout();
+  c.rtree_entries = tree_->num_entries();
+  c.rtree_pages = tree_->num_pages();
+  if (cube_ != nullptr) {
+    c.has_cube = true;
+    const SignatureStore& store = cube_->store();
+    c.sig_index_root = store.index().root();
+    c.sig_index_entries = store.num_index_entries();
+    c.sig_index_pages = store.index().num_pages();
+    c.sig_dense = store.dense_cells();
+    c.sig_num_partials = store.num_partials();
+    c.sig_num_pages = store.num_pages();
+    c.sig_append_page = store.append_page();
+    c.sig_append_offset = store.append_offset();
+    c.cube_cells = cube_->num_cells();
+    c.cube_levels = cube_->levels();
+  }
+  c.dictionaries = dictionaries_;
+  PCUBE_RETURN_NOT_OK(SaveCatalog(pool_.get(), catalog_root_, c));
+  return pool_->FlushAll();
+}
+
+Result<std::unique_ptr<Workbench>> Workbench::Open(const std::string& path,
+                                                   size_t pool_pages) {
+  std::unique_ptr<Workbench> wb(new Workbench());
+  auto fpm = FilePageManager::Open(path, /*truncate=*/false);
+  if (!fpm.ok()) return fpm.status();
+  wb->pm_ = std::move(*fpm);
+  wb->pool_ = std::make_unique<BufferPool>(wb->pm_.get(), pool_pages,
+                                           &wb->stats_);
+  wb->catalog_root_ = 0;
+  auto catalog = LoadCatalog(wb->pool_.get(), wb->catalog_root_);
+  if (!catalog.ok()) return catalog.status();
+  const CatalogData& c = *catalog;
+
+  wb->table_ = std::make_unique<TableStore>(TableStore::Attach(
+      wb->pool_.get(), c.num_bool, c.num_pref, c.num_tuples, c.table_pages));
+  for (size_t d = 0; d < c.indices.size(); ++d) {
+    wb->indices_.push_back(BooleanIndex::Attach(
+        wb->pool_.get(), static_cast<int>(d), c.indices[d].root,
+        c.indices[d].num_entries, c.indices[d].num_pages,
+        c.indices[d].next_seq));
+  }
+  RTreeOptions rtree_options;
+  rtree_options.dims = c.num_pref;
+  rtree_options.max_entries = c.rtree_fanout;
+  wb->rtree_options_ = rtree_options;
+  wb->tree_ = std::make_unique<RStarTree>(
+      RStarTree::Attach(wb->pool_.get(), rtree_options, c.rtree_root,
+                        c.rtree_height, c.rtree_entries, c.rtree_pages));
+  if (c.has_cube) {
+    auto store = std::make_unique<SignatureStore>(SignatureStore::Attach(
+        wb->pool_.get(), c.sig_index_root, c.sig_index_entries,
+        c.sig_index_pages, c.sig_dense, c.sig_num_partials, c.sig_num_pages,
+        c.sig_append_page, c.sig_append_offset));
+    wb->cube_ = std::make_unique<PCube>(
+        PCube::Attach(std::move(store), c.rtree_fanout, c.cube_levels,
+                      c.num_bool, c.cube_cells));
+  }
+
+  wb->dictionaries_ = c.dictionaries;
+
+  // Rebuild the in-memory Dataset from the heap file.
+  Schema schema;
+  schema.num_bool = c.num_bool;
+  schema.num_pref = c.num_pref;
+  schema.bool_cardinality = c.bool_cardinality;
+  wb->data_ = Dataset(schema, 0);
+  Status scan = wb->table_->Scan([&](const TupleData& row) {
+    wb->data_.Append(row.bools, row.prefs);
+    return true;
+  });
+  if (!scan.ok()) return scan;
+  PCUBE_RETURN_NOT_OK(wb->ColdStart());
+  return wb;
+}
+
+Status Workbench::ColdStart() {
+  PCUBE_RETURN_NOT_OK(pool_->Clear());
+  snapshot_ = stats_;
+  return Status::OK();
+}
+
+Result<SkylineOutput> Workbench::SignatureSkyline(const PredicateSet& preds,
+                                                  std::vector<int> pref_dims) {
+  PCUBE_CHECK(cube_ != nullptr);
+  auto probe = cube_->MakeProbe(preds);
+  if (!probe.ok()) return probe.status();
+  SkylineQueryOptions options;
+  options.pref_dims = std::move(pref_dims);
+  SkylineEngine engine(tree_.get(), probe->get(), nullptr, options);
+  return engine.Run();
+}
+
+Result<TopKOutput> Workbench::SignatureTopK(const PredicateSet& preds,
+                                            const RankingFunction& f,
+                                            size_t k) {
+  PCUBE_CHECK(cube_ != nullptr);
+  auto probe = cube_->MakeProbe(preds);
+  if (!probe.ok()) return probe.status();
+  TopKEngine engine(tree_.get(), probe->get(), nullptr, &f, k);
+  return engine.Run();
+}
+
+}  // namespace pcube

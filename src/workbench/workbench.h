@@ -1,0 +1,111 @@
+// End-to-end assembly of one experimental instance: a simulated disk
+// (MemoryPageManager + BufferPool + IoStats), the heap file, the boolean
+// B+-tree indices, the shared R*-tree partition and the P-Cube built over
+// it. Tests, benchmarks and examples all start from here so they measure
+// the same storage stack the paper describes in §VI.A.
+#pragma once
+
+#include <memory>
+
+#include "baselines/boolean_first.h"
+#include "baselines/domination_first.h"
+#include "baselines/index_merge.h"
+#include "core/pcube.h"
+#include "data/generators.h"
+#include "query/incremental.h"
+#include "query/skyline_engine.h"
+#include "query/topk_engine.h"
+#include "storage/table_store.h"
+
+namespace pcube {
+
+/// Knobs for Workbench::Build.
+struct WorkbenchOptions {
+  /// Buffer-pool capacity in pages (default 64Ki pages = 256 MiB of frames).
+  size_t pool_pages = size_t{1} << 16;
+  RTreeOptions rtree;
+  PCubeOptions pcube;
+  /// Build the R-tree by repeated R* insertion (construction benchmarks)
+  /// instead of STR bulk loading.
+  bool rtree_by_insertion = false;
+  /// When > 0, use an equi-width grid partition with this many cells per
+  /// dimension as the P-Cube template instead of an R-tree clustering.
+  int grid_cells_per_dim = 0;
+  bool build_indices = true;
+  bool build_cube = true;
+  bool build_table = true;
+  /// When non-empty, back everything by a file instead of RAM; the instance
+  /// can then be persisted with Save() and reopened with Workbench::Open().
+  std::string file_path;
+};
+
+/// One fully built experimental instance. Movable-only aggregate.
+class Workbench {
+ public:
+  /// Builds every structure for `data` (the R-tree dims follow the schema).
+  static Result<std::unique_ptr<Workbench>> Build(Dataset data,
+                                                  WorkbenchOptions options);
+
+  /// Writes the catalog and flushes all pages; only valid for file-backed
+  /// instances (options.file_path). Requires build_table and build_indices;
+  /// the cube must use atomic cuboids without Bloom signatures.
+  Status Save();
+
+  /// Reopens a previously Save()d file: re-attaches every structure and
+  /// reconstructs the in-memory Dataset from the heap file.
+  static Result<std::unique_ptr<Workbench>> Open(const std::string& path,
+                                                 size_t pool_pages = size_t{1}
+                                                                     << 16);
+
+  /// Flushes and empties the buffer pool and snapshots IoStats — queries run
+  /// after this observe cold-cache disk-access counts.
+  Status ColdStart();
+
+  /// I/O performed since the last ColdStart().
+  IoStats IoSince() const { return stats_.Delta(snapshot_); }
+
+  const Dataset& data() const { return data_; }
+  Dataset* mutable_data() { return &data_; }
+  BufferPool* pool() { return pool_.get(); }
+  IoStats* stats() { return &stats_; }
+  TableStore* table() { return table_.get(); }
+  const std::vector<BooleanIndex>& indices() const { return indices_; }
+  std::vector<BooleanIndex>* mutable_indices() { return &indices_; }
+  RStarTree* tree() { return tree_.get(); }
+  PCube* cube() { return cube_.get(); }
+  PageManager* page_manager() { return pm_.get(); }
+
+  /// Optional value dictionaries for the boolean dimensions (set by CSV
+  /// importers); persisted with Save() and restored by Open().
+  void set_dictionaries(std::vector<std::vector<std::string>> dicts) {
+    dictionaries_ = std::move(dicts);
+  }
+  const std::vector<std::vector<std::string>>& dictionaries() const {
+    return dictionaries_;
+  }
+
+  /// Convenience: signature-based skyline with cold-cache accounting.
+  Result<SkylineOutput> SignatureSkyline(const PredicateSet& preds,
+                                         std::vector<int> pref_dims = {});
+  /// Convenience: signature-based top-k.
+  Result<TopKOutput> SignatureTopK(const PredicateSet& preds,
+                                   const RankingFunction& f, size_t k);
+
+ private:
+  Workbench() : pool_(nullptr) {}
+
+  Dataset data_;
+  IoStats stats_;
+  IoStats snapshot_;
+  std::unique_ptr<PageManager> pm_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<TableStore> table_;
+  std::vector<BooleanIndex> indices_;
+  std::unique_ptr<RStarTree> tree_;
+  std::unique_ptr<PCube> cube_;
+  PageId catalog_root_ = kInvalidPageId;
+  RTreeOptions rtree_options_;
+  std::vector<std::vector<std::string>> dictionaries_;
+};
+
+}  // namespace pcube

@@ -1,0 +1,162 @@
+// Round-trip and adaptivity tests for the node-level bitmap codecs
+// (verbatim / WAH / sparse).
+#include <gtest/gtest.h>
+
+#include "bitmap/codec.h"
+#include "common/random.h"
+
+namespace pcube {
+namespace {
+
+BitVector FromPositions(size_t n, std::vector<uint32_t> positions) {
+  BitVector v(n);
+  for (uint32_t p : positions) v.Set(p);
+  return v;
+}
+
+void ExpectRoundTrip(BitmapScheme scheme, const BitVector& bits) {
+  std::vector<uint8_t> buf;
+  BitmapCodec::EncodeWith(scheme, bits, &buf);
+  size_t offset = 0;
+  BitVector decoded;
+  ASSERT_TRUE(BitmapCodec::Decode(buf.data(), buf.size(), &offset, &decoded).ok());
+  EXPECT_EQ(offset, buf.size());
+  EXPECT_TRUE(decoded == bits) << "scheme " << static_cast<int>(scheme);
+}
+
+TEST(BitmapCodecTest, RoundTripAllSchemesSmall) {
+  BitVector bits = FromPositions(10, {0, 3, 9});
+  for (auto scheme : {BitmapScheme::kVerbatim, BitmapScheme::kWah,
+                      BitmapScheme::kSparse}) {
+    ExpectRoundTrip(scheme, bits);
+  }
+}
+
+TEST(BitmapCodecTest, RoundTripEmptyAndFull) {
+  for (size_t n : {1u, 31u, 32u, 62u, 63u, 100u, 255u}) {
+    BitVector empty(n);
+    BitVector full(n);
+    for (size_t i = 0; i < n; ++i) full.Set(i);
+    for (auto scheme : {BitmapScheme::kVerbatim, BitmapScheme::kWah,
+                        BitmapScheme::kSparse}) {
+      ExpectRoundTrip(scheme, empty);
+      ExpectRoundTrip(scheme, full);
+    }
+  }
+}
+
+TEST(BitmapCodecTest, AdaptivePicksSmallest) {
+  // Very sparse array: sparse coding must win over verbatim.
+  BitVector sparse = FromPositions(2000, {1500});
+  std::vector<uint8_t> buf;
+  BitmapCodec::Encode(sparse, &buf);
+  auto scheme = BitmapCodec::PeekScheme(buf.data(), buf.size());
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_NE(*scheme, BitmapScheme::kVerbatim);
+  EXPECT_LT(buf.size(), size_t{2000 / 8});
+  ExpectRoundTrip(*scheme, sparse);
+}
+
+TEST(BitmapCodecTest, AdaptiveDenseStaysCompact) {
+  Random rng(1);
+  BitVector dense(256);
+  for (size_t i = 0; i < 256; ++i) {
+    if (rng.Uniform(2) == 0) dense.Set(i);
+  }
+  std::vector<uint8_t> buf;
+  BitmapCodec::Encode(dense, &buf);
+  // Never worse than verbatim + header.
+  EXPECT_LE(buf.size(), 3 + 32u);
+}
+
+TEST(BitmapCodecTest, EncodedSizeMatchesEncode) {
+  Random rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 1 + rng.Uniform(400);
+    BitVector bits(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Uniform(4) == 0) bits.Set(i);
+    }
+    std::vector<uint8_t> buf;
+    BitmapCodec::Encode(bits, &buf);
+    EXPECT_EQ(BitmapCodec::EncodedSize(bits), buf.size());
+  }
+}
+
+TEST(BitmapCodecTest, SequentialDecodeOfConcatenatedArrays) {
+  std::vector<BitVector> arrays;
+  std::vector<uint8_t> buf;
+  Random rng(3);
+  for (int i = 0; i < 20; ++i) {
+    size_t n = 1 + rng.Uniform(200);
+    BitVector bits(n);
+    for (size_t j = 0; j < n; ++j) {
+      if (rng.Uniform(3) == 0) bits.Set(j);
+    }
+    BitmapCodec::Encode(bits, &buf);
+    arrays.push_back(std::move(bits));
+  }
+  size_t offset = 0;
+  for (const BitVector& expect : arrays) {
+    BitVector decoded;
+    ASSERT_TRUE(
+        BitmapCodec::Decode(buf.data(), buf.size(), &offset, &decoded).ok());
+    EXPECT_TRUE(decoded == expect);
+  }
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(BitmapCodecTest, DecodeRejectsTruncation) {
+  BitVector bits = FromPositions(100, {5, 50, 99});
+  std::vector<uint8_t> buf;
+  BitmapCodec::Encode(bits, &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    size_t offset = 0;
+    BitVector decoded;
+    Status st = BitmapCodec::Decode(buf.data(), cut, &offset, &decoded);
+    EXPECT_FALSE(st.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(BitmapCodecTest, DecodeRejectsBadScheme) {
+  std::vector<uint8_t> buf = {0x7F, 10, 0};
+  size_t offset = 0;
+  BitVector decoded;
+  EXPECT_FALSE(BitmapCodec::Decode(buf.data(), buf.size(), &offset, &decoded).ok());
+  EXPECT_FALSE(BitmapCodec::PeekScheme(buf.data(), buf.size()).ok());
+}
+
+// Property: all three schemes round-trip random arrays at several densities.
+class CodecPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CodecPropertyTest, RoundTripRandom) {
+  auto [seed, density_pct] = GetParam();
+  Random rng(seed);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 1 + rng.Uniform(500);
+    BitVector bits(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Uniform(100) < static_cast<uint64_t>(density_pct)) bits.Set(i);
+    }
+    for (auto scheme : {BitmapScheme::kVerbatim, BitmapScheme::kWah,
+                        BitmapScheme::kSparse}) {
+      ExpectRoundTrip(scheme, bits);
+    }
+    std::vector<uint8_t> buf;
+    BitmapCodec::Encode(bits, &buf);
+    size_t offset = 0;
+    BitVector decoded;
+    ASSERT_TRUE(
+        BitmapCodec::Decode(buf.data(), buf.size(), &offset, &decoded).ok());
+    EXPECT_TRUE(decoded == bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDensities, CodecPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1, 10, 50, 90, 99)));
+
+}  // namespace
+}  // namespace pcube

@@ -1,0 +1,76 @@
+// Bloom filter tests: no false negatives ever, bounded false positives,
+// serialisation round-trip.
+#include <gtest/gtest.h>
+
+#include "bitmap/bloom_filter.h"
+#include "common/random.h"
+
+namespace pcube {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1000, 10.0);
+  for (uint64_t k = 0; k < 1000; ++k) filter.Add(k * 977 + 13);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(filter.MayContain(k * 977 + 13));
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateReasonable) {
+  BloomFilter filter(10000, 10.0);
+  Random rng(11);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 10000; ++i) {
+    keys.push_back(rng.Next());
+    filter.Add(keys.back());
+  }
+  int fp = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    // Fresh random keys; collision with an inserted key is negligible.
+    if (filter.MayContain(rng.Next())) ++fp;
+  }
+  // 10 bits/key targets ~1% FP; allow generous slack.
+  EXPECT_LT(static_cast<double>(fp) / probes, 0.05);
+}
+
+TEST(BloomFilterTest, SerializeRoundTrip) {
+  BloomFilter filter(500, 8.0);
+  for (uint64_t k = 0; k < 500; ++k) filter.Add(k * k + 7);
+  BloomFilter copy = BloomFilter::Deserialize(filter.Serialize());
+  EXPECT_EQ(copy.SizeBytes(), filter.SizeBytes());
+  for (uint64_t k = 0; k < 500; ++k) {
+    EXPECT_TRUE(copy.MayContain(k * k + 7));
+  }
+  Random rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t key = rng.Next();
+    EXPECT_EQ(copy.MayContain(key), filter.MayContain(key));
+  }
+}
+
+TEST(BloomFilterTest, TinyFilterStillWorks) {
+  BloomFilter filter(1, 4.0);
+  filter.Add(42);
+  EXPECT_TRUE(filter.MayContain(42));
+}
+
+TEST(BloomFilterTest, MoreBitsFewerFalsePositives) {
+  Random rng(13);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) keys.push_back(rng.Next());
+  auto fp_rate = [&](double bits_per_key) {
+    BloomFilter f(keys.size(), bits_per_key);
+    for (uint64_t k : keys) f.Add(k);
+    Random probe_rng(14);
+    int fp = 0;
+    for (int i = 0; i < 20000; ++i) {
+      if (f.MayContain(probe_rng.Next())) ++fp;
+    }
+    return static_cast<double>(fp);
+  };
+  EXPECT_LT(fp_rate(12.0), fp_rate(4.0));
+}
+
+}  // namespace
+}  // namespace pcube

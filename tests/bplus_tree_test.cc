@@ -1,0 +1,191 @@
+// B+-tree tests: point ops, splits across many levels, range scans, bulk
+// loading, and a randomized property test against a std::map oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "storage/bplus_tree.h"
+
+namespace pcube {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  BPlusTreeTest() : pool_(&pm_, 1024, &stats_) {}
+
+  MemoryPageManager pm_;
+  IoStats stats_;
+  BufferPool pool_;
+};
+
+TEST_F(BPlusTreeTest, EmptyTree) {
+  auto tree = BPlusTree::Create(&pool_);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_entries(), 0u);
+  EXPECT_FALSE(tree->Get(1).ok());
+  int visits = 0;
+  ASSERT_TRUE(tree->RangeScan(0, ~uint64_t{0}, [&](uint64_t, uint64_t) {
+    ++visits;
+    return true;
+  }).ok());
+  EXPECT_EQ(visits, 0);
+}
+
+TEST_F(BPlusTreeTest, InsertGetOverwrite) {
+  auto tree = BPlusTree::Create(&pool_);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert(5, 50).ok());
+  ASSERT_TRUE(tree->Insert(3, 30).ok());
+  ASSERT_TRUE(tree->Insert(8, 80).ok());
+  EXPECT_EQ(*tree->Get(5), 50u);
+  EXPECT_EQ(*tree->Get(3), 30u);
+  ASSERT_TRUE(tree->Insert(5, 55).ok());
+  EXPECT_EQ(*tree->Get(5), 55u);
+  EXPECT_EQ(tree->num_entries(), 3u);
+  EXPECT_TRUE(tree->Get(4).status().IsNotFound());
+}
+
+TEST_F(BPlusTreeTest, ManyInsertsForceMultiLevelSplits) {
+  auto tree = BPlusTree::Create(&pool_);
+  ASSERT_TRUE(tree.ok());
+  const uint64_t n = 100000;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = (i * 2654435761u) % (10 * n);  // scrambled order
+    ASSERT_TRUE(tree->Insert(key, key + 1).ok());
+  }
+  EXPECT_GE(tree->height(), 2);
+  for (uint64_t i = 0; i < n; i += 997) {
+    uint64_t key = (i * 2654435761u) % (10 * n);
+    EXPECT_EQ(*tree->Get(key), key + 1);
+  }
+}
+
+TEST_F(BPlusTreeTest, RangeScanAscendingAndBounded) {
+  auto tree = BPlusTree::Create(&pool_);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t k = 0; k < 3000; k += 3) {
+    ASSERT_TRUE(tree->Insert(k, k * 10).ok());
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(tree->RangeScan(100, 200, [&](uint64_t k, uint64_t v) {
+    EXPECT_EQ(v, k * 10);
+    seen.push_back(k);
+    return true;
+  }).ok());
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.front(), 102u);
+  EXPECT_EQ(seen.back(), 198u);
+  for (size_t i = 1; i < seen.size(); ++i) EXPECT_LT(seen[i - 1], seen[i]);
+  // Early stop.
+  int count = 0;
+  ASSERT_TRUE(tree->RangeScan(0, ~uint64_t{0}, [&](uint64_t, uint64_t) {
+    return ++count < 5;
+  }).ok());
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(BPlusTreeTest, BulkLoadMatchesInserts) {
+  std::vector<std::pair<uint64_t, uint64_t>> sorted;
+  for (uint64_t k = 0; k < 60000; ++k) sorted.emplace_back(k * 7, k);
+  auto bulk = BPlusTree::BulkLoad(&pool_, sorted);
+  ASSERT_TRUE(bulk.ok());
+  EXPECT_EQ(bulk->num_entries(), sorted.size());
+  for (uint64_t k = 0; k < 60000; k += 1009) {
+    EXPECT_EQ(*bulk->Get(k * 7), k);
+  }
+  EXPECT_FALSE(bulk->Get(3).ok());
+  // Full scan returns everything in order.
+  uint64_t expect = 0;
+  ASSERT_TRUE(bulk->RangeScan(0, ~uint64_t{0}, [&](uint64_t k, uint64_t v) {
+    EXPECT_EQ(k, expect * 7);
+    EXPECT_EQ(v, expect);
+    ++expect;
+    return true;
+  }).ok());
+  EXPECT_EQ(expect, 60000u);
+}
+
+TEST_F(BPlusTreeTest, BulkLoadEmptyAndSingle) {
+  auto empty = BPlusTree::BulkLoad(&pool_, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_entries(), 0u);
+  auto one = BPlusTree::BulkLoad(&pool_, {{42, 420}});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one->Get(42), 420u);
+}
+
+TEST_F(BPlusTreeTest, InsertAfterBulkLoad) {
+  std::vector<std::pair<uint64_t, uint64_t>> sorted;
+  for (uint64_t k = 0; k < 10000; ++k) sorted.emplace_back(2 * k, k);
+  auto tree = BPlusTree::BulkLoad(&pool_, sorted);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(tree->Insert(2 * k + 1, k).ok());
+  }
+  for (uint64_t k = 0; k < 2000; ++k) {
+    EXPECT_EQ(*tree->Get(2 * k + 1), k);
+    EXPECT_EQ(*tree->Get(2 * k), k);
+  }
+}
+
+TEST_F(BPlusTreeTest, SurvivesTinyBufferPool) {
+  // With capacity 3 the tree thrashes the pool; correctness must hold.
+  BufferPool tiny(&pm_, 3, &stats_);
+  auto tree = BPlusTree::Create(&tiny);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t k = 0; k < 20000; ++k) {
+    ASSERT_TRUE(tree->Insert(k * 13 % 50021, k).ok());
+  }
+  for (uint64_t k = 0; k < 20000; k += 503) {
+    EXPECT_EQ(*tree->Get(k * 13 % 50021), k);
+  }
+}
+
+class BPlusTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesMapOracle) {
+  MemoryPageManager pm;
+  IoStats stats;
+  BufferPool pool(&pm, 64, &stats);
+  auto tree = BPlusTree::Create(&pool);
+  ASSERT_TRUE(tree.ok());
+  std::map<uint64_t, uint64_t> oracle;
+  Random rng(GetParam());
+  for (int op = 0; op < 20000; ++op) {
+    uint64_t k = rng.Uniform(5000);
+    uint64_t v = rng.Next();
+    ASSERT_TRUE(tree->Insert(k, v).ok());
+    oracle[k] = v;
+  }
+  EXPECT_EQ(tree->num_entries(), oracle.size());
+  // Point queries.
+  for (uint64_t k = 0; k < 5000; k += 7) {
+    auto it = oracle.find(k);
+    auto got = tree->Get(k);
+    if (it == oracle.end()) {
+      EXPECT_FALSE(got.ok());
+    } else {
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, it->second);
+    }
+  }
+  // Random range scans.
+  for (int trial = 0; trial < 20; ++trial) {
+    uint64_t lo = rng.Uniform(5000);
+    uint64_t hi = lo + rng.Uniform(1000);
+    std::vector<std::pair<uint64_t, uint64_t>> got;
+    ASSERT_TRUE(tree->RangeScan(lo, hi, [&](uint64_t k, uint64_t v) {
+      got.emplace_back(k, v);
+      return true;
+    }).ok());
+    std::vector<std::pair<uint64_t, uint64_t>> expect(
+        oracle.lower_bound(lo), oracle.upper_bound(hi));
+    EXPECT_EQ(got, expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreePropertyTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace pcube

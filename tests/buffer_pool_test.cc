@@ -1,0 +1,124 @@
+// BufferPool tests: hit/miss accounting, eviction with write-back, pinning,
+// cold restarts.
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+
+namespace pcube {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  MemoryPageManager pm_;
+  IoStats stats_;
+};
+
+TEST_F(BufferPoolTest, NewPagesAreZeroedAndNotCountedAsReads) {
+  BufferPool pool(&pm_, 4, &stats_);
+  PageId pid;
+  auto h = pool.New(IoCategory::kHeapFile, &pid);
+  ASSERT_TRUE(h.ok());
+  for (size_t i = 0; i < kPageSize; ++i) EXPECT_EQ((*h)->bytes[i], 0);
+  EXPECT_EQ(stats_.TotalReads(), 0u);
+}
+
+TEST_F(BufferPoolTest, HitsAreFreeMissesCharge) {
+  BufferPool pool(&pm_, 4, &stats_);
+  PageId pid;
+  { auto h = pool.New(IoCategory::kRtreeBlock, &pid); ASSERT_TRUE(h.ok()); }
+  ASSERT_TRUE(pool.Clear().ok());
+  stats_.Reset();
+
+  { auto h = pool.Get(pid, IoCategory::kRtreeBlock); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(stats_.ReadCount(IoCategory::kRtreeBlock), 1u);
+  { auto h = pool.Get(pid, IoCategory::kRtreeBlock); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(stats_.ReadCount(IoCategory::kRtreeBlock), 1u);  // cached
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyFrames) {
+  BufferPool pool(&pm_, 2, &stats_);
+  PageId a, b, c;
+  {
+    auto h = pool.New(IoCategory::kHeapFile, &a);
+    ASSERT_TRUE(h.ok());
+    (*h)->bytes[0] = 42;
+  }
+  { auto h = pool.New(IoCategory::kHeapFile, &b); ASSERT_TRUE(h.ok()); }
+  // Third page forces eviction of `a` (LRU), which must write back.
+  { auto h = pool.New(IoCategory::kHeapFile, &c); ASSERT_TRUE(h.ok()); }
+  Page raw;
+  ASSERT_TRUE(pm_.Read(a, &raw).ok());
+  EXPECT_EQ(raw.bytes[0], 42);
+}
+
+TEST_F(BufferPoolTest, PinnedFramesSurviveEvictionPressure) {
+  BufferPool pool(&pm_, 2, &stats_);
+  PageId a;
+  auto pinned = pool.New(IoCategory::kHeapFile, &a);
+  ASSERT_TRUE(pinned.ok());
+  (*pinned)->bytes[0] = 7;
+  // Flood the pool far past capacity while `a` stays pinned.
+  for (int i = 0; i < 10; ++i) {
+    PageId p;
+    auto h = pool.New(IoCategory::kHeapFile, &p);
+    ASSERT_TRUE(h.ok());
+  }
+  // The pinned frame is still the same memory and still mutable.
+  (*pinned)->bytes[1] = 8;
+  pinned->Release();
+  ASSERT_TRUE(pool.FlushAll().ok());
+  Page raw;
+  ASSERT_TRUE(pm_.Read(a, &raw).ok());
+  EXPECT_EQ(raw.bytes[0], 7);
+  EXPECT_EQ(raw.bytes[1], 8);
+}
+
+TEST_F(BufferPoolTest, ClearFlushesAndEmpties) {
+  BufferPool pool(&pm_, 8, &stats_);
+  PageId a;
+  {
+    auto h = pool.New(IoCategory::kBtree, &a);
+    ASSERT_TRUE(h.ok());
+    (*h)->bytes[5] = 11;
+  }
+  ASSERT_TRUE(pool.Clear().ok());
+  Page raw;
+  ASSERT_TRUE(pm_.Read(a, &raw).ok());
+  EXPECT_EQ(raw.bytes[5], 11);
+  // Next access is a miss again (cold).
+  stats_.Reset();
+  { auto h = pool.Get(a, IoCategory::kBtree); ASSERT_TRUE(h.ok()); }
+  EXPECT_EQ(stats_.ReadCount(IoCategory::kBtree), 1u);
+}
+
+TEST_F(BufferPoolTest, GetMutableMarksDirty) {
+  BufferPool pool(&pm_, 4, &stats_);
+  PageId a;
+  { auto h = pool.New(IoCategory::kHeapFile, &a); ASSERT_TRUE(h.ok()); }
+  ASSERT_TRUE(pool.Clear().ok());
+  {
+    auto h = pool.GetMutable(a, IoCategory::kHeapFile);
+    ASSERT_TRUE(h.ok());
+    (*h)->bytes[9] = 99;
+  }
+  ASSERT_TRUE(pool.Clear().ok());
+  Page raw;
+  ASSERT_TRUE(pm_.Read(a, &raw).ok());
+  EXPECT_EQ(raw.bytes[9], 99);
+}
+
+TEST_F(BufferPoolTest, MoveHandleTransfersPin) {
+  BufferPool pool(&pm_, 2, &stats_);
+  PageId a;
+  auto h = pool.New(IoCategory::kHeapFile, &a);
+  ASSERT_TRUE(h.ok());
+  PageHandle moved = std::move(*h);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(h->valid());
+  moved.Release();
+  ASSERT_TRUE(pool.Clear().ok());  // would abort if a pin leaked
+}
+
+}  // namespace
+}  // namespace pcube

@@ -1,0 +1,146 @@
+// Unit tests for src/common: Status/Result, Random, bit utilities, IoStats.
+#include <gtest/gtest.h>
+
+#include "common/bit_util.h"
+#include "common/io_stats.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace pcube {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_EQ(s.ToString(), "Not found: missing key");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_FALSE(StatusCodeToString(static_cast<StatusCode>(c)).empty());
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::IoError("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+Status FailsThrough() {
+  PCUBE_RETURN_NOT_OK(Status::Corruption("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kCorruption);
+}
+
+TEST(RandomTest, DeterministicInSeed) {
+  Random a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Random a2(123), c2(124);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c2.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformBounded) {
+  Random rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+  }
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random rng(7);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(BitUtilTest, SetGetClear) {
+  uint64_t words[2] = {0, 0};
+  bit_util::SetBit(words, 0);
+  bit_util::SetBit(words, 63);
+  bit_util::SetBit(words, 64);
+  EXPECT_TRUE(bit_util::GetBit(words, 0));
+  EXPECT_TRUE(bit_util::GetBit(words, 63));
+  EXPECT_TRUE(bit_util::GetBit(words, 64));
+  EXPECT_FALSE(bit_util::GetBit(words, 1));
+  bit_util::ClearBit(words, 63);
+  EXPECT_FALSE(bit_util::GetBit(words, 63));
+}
+
+TEST(BitUtilTest, Sizing) {
+  EXPECT_EQ(bit_util::Words64(0), 0u);
+  EXPECT_EQ(bit_util::Words64(1), 1u);
+  EXPECT_EQ(bit_util::Words64(64), 1u);
+  EXPECT_EQ(bit_util::Words64(65), 2u);
+  EXPECT_EQ(bit_util::Bytes(9), 2u);
+  EXPECT_EQ(bit_util::CeilDiv(10, 3), 4u);
+}
+
+TEST(BitUtilTest, LoadStoreRoundTrip) {
+  uint8_t buf[8];
+  bit_util::StoreLE<uint32_t>(buf, 0xdeadbeef);
+  EXPECT_EQ(bit_util::LoadLE<uint32_t>(buf), 0xdeadbeefu);
+  bit_util::StoreLE<float>(buf, 3.25f);
+  EXPECT_EQ(bit_util::LoadLE<float>(buf), 3.25f);
+}
+
+TEST(IoStatsTest, CountsAndDeltas) {
+  IoStats s;
+  s.CountRead(IoCategory::kRtreeBlock, 3);
+  s.CountRead(IoCategory::kSignature);
+  s.CountWrite(IoCategory::kBtree, 2);
+  EXPECT_EQ(s.ReadCount(IoCategory::kRtreeBlock), 3u);
+  EXPECT_EQ(s.TotalReads(), 4u);
+  EXPECT_EQ(s.TotalWrites(), 2u);
+  IoStats snap = s;
+  s.CountRead(IoCategory::kRtreeBlock, 5);
+  IoStats d = s.Delta(snap);
+  EXPECT_EQ(d.ReadCount(IoCategory::kRtreeBlock), 5u);
+  EXPECT_EQ(d.ReadCount(IoCategory::kSignature), 0u);
+  EXPECT_NE(s.ToString().find("rtree"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcube

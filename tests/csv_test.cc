@@ -1,0 +1,91 @@
+// CSV import tests: parsing, dictionary coding, quoting, error handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/csv.h"
+
+namespace pcube {
+namespace {
+
+TEST(CsvTest, BasicImportWithHeader) {
+  std::istringstream in(
+      "type,color,price,mileage\n"
+      "sedan,red,0.5,0.3\n"
+      "suv,blue,0.7,0.1\n"
+      "sedan,blue,0.2,0.9\n");
+  auto table = ReadCsv(in, "bbpp", /*has_header=*/true);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->data.num_tuples(), 3u);
+  EXPECT_EQ(table->data.num_bool(), 2);
+  EXPECT_EQ(table->data.num_pref(), 2);
+  EXPECT_EQ(table->bool_names, (std::vector<std::string>{"type", "color"}));
+  EXPECT_EQ(table->pref_names, (std::vector<std::string>{"price", "mileage"}));
+  // Dictionary coding in order of first appearance.
+  EXPECT_EQ(table->dictionaries[0],
+            (std::vector<std::string>{"sedan", "suv"}));
+  EXPECT_EQ(table->dictionaries[1], (std::vector<std::string>{"red", "blue"}));
+  EXPECT_EQ(table->data.BoolValue(0, 0), 0u);  // sedan
+  EXPECT_EQ(table->data.BoolValue(1, 0), 1u);  // suv
+  EXPECT_EQ(table->data.BoolValue(2, 1), 1u);  // blue
+  EXPECT_FLOAT_EQ(table->data.PrefValue(2, 1), 0.9f);
+  EXPECT_EQ(table->data.schema().bool_cardinality[0], 2u);
+}
+
+TEST(CsvTest, SkippedColumnsAndNoHeader) {
+  std::istringstream in(
+      "a,ignored,0.1,x\n"
+      "b,junk,0.2,y\n");
+  auto table = ReadCsv(in, "b-p", /*has_header=*/false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->data.num_tuples(), 2u);
+  EXPECT_EQ(table->data.num_bool(), 1);
+  EXPECT_EQ(table->data.num_pref(), 1);
+  EXPECT_FLOAT_EQ(table->data.PrefValue(1, 0), 0.2f);
+}
+
+TEST(CsvTest, QuotedFields) {
+  std::istringstream in(
+      "\"sedan, sporty\",0.5\n"
+      "\"say \"\"hi\"\"\",0.25\n");
+  auto table = ReadCsv(in, "bp", false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->dictionaries[0][0], "sedan, sporty");
+  EXPECT_EQ(table->dictionaries[0][1], "say \"hi\"");
+}
+
+TEST(CsvTest, RejectsBadSpec) {
+  std::istringstream in("a,0.5\n");
+  EXPECT_TRUE(ReadCsv(in, "bx", false).status().IsInvalidArgument());
+  std::istringstream in2("a,b\n");
+  EXPECT_TRUE(ReadCsv(in2, "bb", false).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  std::istringstream in("a,0.5\nb\n");
+  EXPECT_TRUE(ReadCsv(in, "bp", false).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, RejectsNonNumericPreference) {
+  std::istringstream in("a,cheap\n");
+  auto r = ReadCsv(in, "bp", false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("non-numeric"), std::string::npos);
+}
+
+TEST(CsvTest, EmptyInputYieldsEmptyDataset) {
+  std::istringstream in("");
+  auto table = ReadCsv(in, "bp", false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->data.num_tuples(), 0u);
+}
+
+TEST(CsvTest, BlankLinesSkipped) {
+  std::istringstream in("a,0.5\n\n\nb,0.7\n");
+  auto table = ReadCsv(in, "bp", false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->data.num_tuples(), 2u);
+}
+
+}  // namespace
+}  // namespace pcube

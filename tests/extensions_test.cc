@@ -1,0 +1,177 @@
+// Tests for the §VII extension queries: dynamic skylines, k-skybands, their
+// combination, and convex-hull queries — all with signature pruning and all
+// checked against naive references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "query/convex_hull.h"
+#include "query/reference.h"
+#include "workbench/workbench.h"
+
+namespace pcube {
+namespace {
+
+std::vector<TupleId> SkylineTids(const SkylineOutput& out) {
+  std::vector<TupleId> tids;
+  for (const SearchEntry& e : out.skyline) tids.push_back(e.id);
+  std::sort(tids.begin(), tids.end());
+  return tids;
+}
+
+class ExtensionsTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<Workbench> MakeWorkbench(uint64_t seed, int dp = 2) {
+    SyntheticConfig config;
+    config.num_tuples = 2500;
+    config.num_bool = 2;
+    config.num_pref = dp;
+    config.bool_cardinality = 3;
+    config.seed = seed;
+    WorkbenchOptions options;
+    options.rtree.max_entries = 10;
+    auto wb = Workbench::Build(GenerateSynthetic(config), options);
+    PCUBE_CHECK(wb.ok());
+    return std::move(*wb);
+  }
+
+  Result<SkylineOutput> Run(Workbench& w, const PredicateSet& preds,
+                            SkylineQueryOptions options) {
+    auto probe = w.cube()->MakeProbe(preds);
+    if (!probe.ok()) return probe.status();
+    SkylineEngine engine(w.tree(), probe->get(), nullptr, std::move(options));
+    return engine.Run();
+  }
+};
+
+TEST_P(ExtensionsTest, DynamicSkylineMatchesNaive) {
+  auto wb = MakeWorkbench(800 + GetParam());
+  Random rng(GetParam());
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<float> origin = {static_cast<float>(rng.NextDouble()),
+                                 static_cast<float>(rng.NextDouble())};
+    PredicateSet preds{{0, static_cast<uint32_t>(rng.Uniform(3))}};
+    SkylineQueryOptions options;
+    options.origin = origin;
+    auto out = Run(*wb, preds, options);
+    ASSERT_TRUE(out.ok());
+    auto naive = NaiveSkyband(wb->data(), preds, {}, origin, 1);
+    std::sort(naive.begin(), naive.end());
+    EXPECT_EQ(SkylineTids(*out), naive)
+        << "origin (" << origin[0] << "," << origin[1] << ")";
+  }
+}
+
+TEST_P(ExtensionsTest, SkybandMatchesNaive) {
+  auto wb = MakeWorkbench(830 + GetParam());
+  Random rng(50 + GetParam());
+  for (size_t k : {2u, 3u, 5u}) {
+    PredicateSet preds{{1, static_cast<uint32_t>(rng.Uniform(3))}};
+    SkylineQueryOptions options;
+    options.skyband_k = k;
+    auto out = Run(*wb, preds, options);
+    ASSERT_TRUE(out.ok());
+    auto naive = NaiveSkyband(wb->data(), preds, {}, {}, k);
+    std::sort(naive.begin(), naive.end());
+    EXPECT_EQ(SkylineTids(*out), naive) << "k=" << k;
+  }
+}
+
+TEST_P(ExtensionsTest, DynamicSkybandCombination) {
+  auto wb = MakeWorkbench(860 + GetParam());
+  Random rng(100 + GetParam());
+  std::vector<float> origin = {0.5f, 0.5f};
+  PredicateSet preds{{0, static_cast<uint32_t>(rng.Uniform(3))}};
+  SkylineQueryOptions options;
+  options.origin = origin;
+  options.skyband_k = 3;
+  auto out = Run(*wb, preds, options);
+  ASSERT_TRUE(out.ok());
+  auto naive = NaiveSkyband(wb->data(), preds, {}, origin, 3);
+  std::sort(naive.begin(), naive.end());
+  EXPECT_EQ(SkylineTids(*out), naive);
+}
+
+TEST_P(ExtensionsTest, SkybandContainsSkyline) {
+  auto wb = MakeWorkbench(890 + GetParam());
+  PredicateSet preds{{0, 1}};
+  SkylineQueryOptions sky_opts;
+  auto sky = Run(*wb, preds, sky_opts);
+  ASSERT_TRUE(sky.ok());
+  SkylineQueryOptions band_opts;
+  band_opts.skyband_k = 4;
+  auto band = Run(*wb, preds, band_opts);
+  ASSERT_TRUE(band.ok());
+  auto sky_tids = SkylineTids(*sky);
+  auto band_tids = SkylineTids(*band);
+  EXPECT_GE(band_tids.size(), sky_tids.size());
+  EXPECT_TRUE(std::includes(band_tids.begin(), band_tids.end(),
+                            sky_tids.begin(), sky_tids.end()));
+}
+
+TEST_P(ExtensionsTest, ConvexHullMatchesNaive) {
+  auto wb = MakeWorkbench(920 + GetParam());
+  Random rng(150 + GetParam());
+  PredicateSet preds{{0, static_cast<uint32_t>(rng.Uniform(3))}};
+  auto probe = wb->cube()->MakeProbe(preds);
+  ASSERT_TRUE(probe.ok());
+  auto out = ConvexHullQuery(*wb->tree(), probe->get(), 0, 1);
+  ASSERT_TRUE(out.ok());
+  std::vector<TupleId> got;
+  for (const HullVertex& v : out->hull) got.push_back(v.tid);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, NaiveConvexHull(wb->data(), preds, 0, 1));
+}
+
+TEST_P(ExtensionsTest, ConvexHullContainsEveryLinearOptimum) {
+  // Property behind the hull query: for any non-negative weights, the top-1
+  // under the linear function is a hull vertex (ties allowed).
+  auto wb = MakeWorkbench(950 + GetParam());
+  PredicateSet preds{{1, 0}};
+  auto probe = wb->cube()->MakeProbe(preds);
+  ASSERT_TRUE(probe.ok());
+  auto out = ConvexHullQuery(*wb->tree(), probe->get(), 0, 1);
+  ASSERT_TRUE(out.ok());
+  ASSERT_FALSE(out->hull.empty());
+  Random rng(200 + GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    double w = rng.NextDouble();
+    LinearRanking f({w, 1.0 - w});
+    auto naive = NaiveTopK(wb->data(), preds, f, 1);
+    ASSERT_EQ(naive.size(), 1u);
+    double best = naive[0].second;
+    // Some hull vertex attains the optimal score.
+    bool attained = false;
+    for (const HullVertex& v : out->hull) {
+      double score = w * v.x + (1.0 - w) * v.y;
+      if (std::abs(score - best) < 1e-6) attained = true;
+    }
+    EXPECT_TRUE(attained) << "w=" << w;
+  }
+}
+
+TEST_P(ExtensionsTest, HullIsSubsetOfSkyline) {
+  auto wb = MakeWorkbench(980 + GetParam());
+  PredicateSet preds;
+  auto probe = wb->cube()->MakeProbe(preds);
+  ASSERT_TRUE(probe.ok());
+  auto out = ConvexHullQuery(*wb->tree(), probe->get(), 0, 1);
+  ASSERT_TRUE(out.ok());
+  std::vector<TupleId> sky = SkylineTids(out->skyline);
+  EXPECT_LE(out->hull.size(), sky.size());
+  for (const HullVertex& v : out->hull) {
+    EXPECT_TRUE(std::binary_search(sky.begin(), sky.end(), v.tid));
+  }
+  // Hull vertices arrive ordered by ascending x, descending y.
+  for (size_t i = 1; i < out->hull.size(); ++i) {
+    EXPECT_LT(out->hull[i - 1].x, out->hull[i].x);
+    EXPECT_GT(out->hull[i - 1].y, out->hull[i].y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtensionsTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace pcube

@@ -1,0 +1,180 @@
+// PCube end-to-end tests: build over real R-trees, probe correctness
+// against brute force, composite materialisation, Bloom variant.
+#include <gtest/gtest.h>
+
+#include "core/pcube.h"
+#include "data/generators.h"
+#include "query/reference.h"
+#include "workbench/workbench.h"
+
+namespace pcube {
+namespace {
+
+SyntheticConfig SmallConfig(uint64_t seed) {
+  SyntheticConfig config;
+  config.num_tuples = 2000;
+  config.num_bool = 3;
+  config.num_pref = 2;
+  config.bool_cardinality = 4;
+  config.seed = seed;
+  return config;
+}
+
+WorkbenchOptions SmallTreeOptions() {
+  WorkbenchOptions options;
+  options.rtree.max_entries = 8;
+  options.rtree_by_insertion = true;
+  return options;
+}
+
+TEST(PCubeTest, ProbeMatchesBruteForceOnAtomicCells) {
+  auto wb = Workbench::Build(GenerateSynthetic(SmallConfig(51)),
+                             SmallTreeOptions());
+  ASSERT_TRUE(wb.ok());
+  Workbench& w = **wb;
+  auto paths = PathTable::Collect(*w.tree());
+  ASSERT_TRUE(paths.ok());
+
+  for (int dim = 0; dim < 3; ++dim) {
+    for (uint32_t v = 0; v < 4; ++v) {
+      PredicateSet preds{{dim, v}};
+      auto probe = w.cube()->MakeProbe(preds);
+      ASSERT_TRUE(probe.ok());
+      Signature oracle = BuildCellSignature(w.data(), *paths, preds,
+                                            w.tree()->fanout(),
+                                            w.cube()->levels());
+      for (TupleId t = 0; t < w.data().num_tuples(); t += 37) {
+        const Path& p = paths->path(t);
+        for (size_t len = 1; len <= p.size(); ++len) {
+          Path prefix(p.begin(), p.begin() + len);
+          auto got = (*probe)->Test(prefix);
+          ASSERT_TRUE(got.ok());
+          EXPECT_EQ(*got, oracle.Test(prefix))
+              << "dim=" << dim << " v=" << v << " " << PathToString(prefix);
+        }
+      }
+    }
+  }
+}
+
+TEST(PCubeTest, MultiPredicateLazyAndIsSoundAndTupleExact) {
+  auto wb = Workbench::Build(GenerateSynthetic(SmallConfig(52)),
+                             SmallTreeOptions());
+  ASSERT_TRUE(wb.ok());
+  Workbench& w = **wb;
+  auto paths = PathTable::Collect(*w.tree());
+  ASSERT_TRUE(paths.ok());
+
+  PredicateSet preds{{0, 1}, {2, 3}};
+  auto probe = w.cube()->MakeProbe(preds);
+  ASSERT_TRUE(probe.ok());
+  Signature exact = BuildCellSignature(w.data(), *paths, preds,
+                                       w.tree()->fanout(), w.cube()->levels());
+  for (TupleId t = 0; t < w.data().num_tuples(); t += 11) {
+    const Path& p = paths->path(t);
+    // Tuple level must be exact.
+    auto leaf = (*probe)->Test(p);
+    ASSERT_TRUE(leaf.ok());
+    EXPECT_EQ(*leaf, preds.Matches(w.data(), t));
+    // Node levels: lazy AND is an upper bound of the exact intersection —
+    // it may fail to prune but must never prune a region with matches.
+    for (size_t len = 1; len < p.size(); ++len) {
+      Path prefix(p.begin(), p.begin() + len);
+      auto got = (*probe)->Test(prefix);
+      ASSERT_TRUE(got.ok());
+      if (exact.Test(prefix)) {
+        EXPECT_TRUE(*got);
+      }
+    }
+  }
+}
+
+TEST(PCubeTest, CompositeMaterializationIsExactAtNodeLevel) {
+  WorkbenchOptions options = SmallTreeOptions();
+  options.pcube.materialize_max_dims = 2;
+  auto wb = Workbench::Build(GenerateSynthetic(SmallConfig(53)), options);
+  ASSERT_TRUE(wb.ok());
+  Workbench& w = **wb;
+  auto paths = PathTable::Collect(*w.tree());
+  ASSERT_TRUE(paths.ok());
+
+  PredicateSet preds{{0, 2}, {1, 1}};
+  auto probe = w.cube()->MakeProbe(preds);
+  ASSERT_TRUE(probe.ok());
+  Signature exact = BuildCellSignature(w.data(), *paths, preds,
+                                       w.tree()->fanout(), w.cube()->levels());
+  for (TupleId t = 0; t < w.data().num_tuples(); t += 7) {
+    const Path& p = paths->path(t);
+    for (size_t len = 1; len <= p.size(); ++len) {
+      Path prefix(p.begin(), p.begin() + len);
+      auto got = (*probe)->Test(prefix);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, exact.Test(prefix)) << PathToString(prefix);
+    }
+  }
+}
+
+TEST(PCubeTest, EmptyPredicateGivesTrueProbe) {
+  auto wb = Workbench::Build(GenerateSynthetic(SmallConfig(54)),
+                             SmallTreeOptions());
+  ASSERT_TRUE(wb.ok());
+  auto probe = (*wb)->cube()->MakeProbe({});
+  ASSERT_TRUE(probe.ok());
+  auto got = (*probe)->Test({1});
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(*got);
+}
+
+TEST(PCubeTest, BloomProbeNeverFalseNegative) {
+  WorkbenchOptions options = SmallTreeOptions();
+  options.pcube.build_bloom = true;
+  auto wb = Workbench::Build(GenerateSynthetic(SmallConfig(55)), options);
+  ASSERT_TRUE(wb.ok());
+  Workbench& w = **wb;
+  auto paths = PathTable::Collect(*w.tree());
+  ASSERT_TRUE(paths.ok());
+
+  PredicateSet preds{{1, 2}};
+  auto bloom = w.cube()->MakeBloomProbe(preds);
+  ASSERT_TRUE(bloom.ok());
+  EXPECT_FALSE((*bloom)->exact());
+  Signature exact = BuildCellSignature(w.data(), *paths, preds,
+                                       w.tree()->fanout(), w.cube()->levels());
+  uint64_t false_positives = 0, probes = 0;
+  for (TupleId t = 0; t < w.data().num_tuples(); t += 3) {
+    const Path& p = paths->path(t);
+    for (size_t len = 1; len <= p.size(); ++len) {
+      Path prefix(p.begin(), p.begin() + len);
+      auto got = (*bloom)->Test(prefix);
+      ASSERT_TRUE(got.ok());
+      ++probes;
+      if (exact.Test(prefix)) {
+        EXPECT_TRUE(*got) << "bloom false negative at " << PathToString(prefix);
+      } else if (*got) {
+        ++false_positives;
+      }
+    }
+  }
+  EXPECT_LT(static_cast<double>(false_positives) / probes, 0.2);
+}
+
+TEST(PCubeTest, BloomProbeWithoutBuildFails) {
+  auto wb = Workbench::Build(GenerateSynthetic(SmallConfig(56)),
+                             SmallTreeOptions());
+  ASSERT_TRUE(wb.ok());
+  EXPECT_FALSE((*wb)->cube()->MakeBloomProbe({{0, 0}}).ok());
+}
+
+TEST(PCubeTest, MaterializedSizeIsBounded) {
+  auto wb = Workbench::Build(GenerateSynthetic(SmallConfig(57)),
+                             SmallTreeOptions());
+  ASSERT_TRUE(wb.ok());
+  Workbench& w = **wb;
+  EXPECT_GT(w.cube()->num_cells(), 0u);
+  EXPECT_GT(w.cube()->MaterializedPages(), 0u);
+  // P-Cube should be much smaller than the R-tree itself (Fig. 6 shows 8x).
+  EXPECT_LT(w.cube()->MaterializedPages(), w.tree()->num_pages());
+}
+
+}  // namespace
+}  // namespace pcube

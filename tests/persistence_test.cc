@@ -1,0 +1,204 @@
+// Persistence tests: a file-backed workbench survives Save() + Open() with
+// identical query answers, signatures, and structures; catalog corruption is
+// detected.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/generators.h"
+#include "query/reference.h"
+#include "workbench/catalog.h"
+#include "workbench/workbench.h"
+
+namespace pcube {
+namespace {
+
+std::vector<TupleId> SkylineTids(const SkylineOutput& out) {
+  std::vector<TupleId> tids;
+  for (const SearchEntry& e : out.skyline) tids.push_back(e.id);
+  std::sort(tids.begin(), tids.end());
+  return tids;
+}
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  std::string path_ = testing::TempDir() + "/pcube_persist_test.db";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Dataset MakeData(uint64_t seed) {
+    SyntheticConfig config;
+    config.num_tuples = 3000;
+    config.num_bool = 3;
+    config.num_pref = 2;
+    config.bool_cardinality = 4;
+    config.seed = seed;
+    return GenerateSynthetic(config);
+  }
+};
+
+TEST_F(PersistenceTest, SaveOpenRoundTripsQueries) {
+  PredicateSet preds{{0, 2}};
+  LinearRanking f({0.3, 0.7});
+  std::vector<TupleId> skyline_before;
+  std::vector<double> topk_before;
+  {
+    WorkbenchOptions options;
+    options.file_path = path_;
+    auto wb = Workbench::Build(MakeData(71), options);
+    ASSERT_TRUE(wb.ok()) << wb.status().ToString();
+    auto sky = (*wb)->SignatureSkyline(preds);
+    ASSERT_TRUE(sky.ok());
+    skyline_before = SkylineTids(*sky);
+    auto topk = (*wb)->SignatureTopK(preds, f, 15);
+    ASSERT_TRUE(topk.ok());
+    for (const auto& e : topk->results) topk_before.push_back(e.key);
+    ASSERT_TRUE((*wb)->Save().ok());
+  }  // workbench destroyed; only the file remains
+
+  auto wb = Workbench::Open(path_);
+  ASSERT_TRUE(wb.ok()) << wb.status().ToString();
+  // The reconstructed Dataset matches the generator.
+  Dataset expect = MakeData(71);
+  ASSERT_EQ((*wb)->data().num_tuples(), expect.num_tuples());
+  for (TupleId t = 0; t < expect.num_tuples(); t += 113) {
+    EXPECT_EQ((*wb)->data().BoolValue(t, 1), expect.BoolValue(t, 1));
+    EXPECT_EQ((*wb)->data().PrefValue(t, 0), expect.PrefValue(t, 0));
+  }
+  // Queries give identical answers (and match naive).
+  auto sky = (*wb)->SignatureSkyline(preds);
+  ASSERT_TRUE(sky.ok());
+  EXPECT_EQ(SkylineTids(*sky), skyline_before);
+  EXPECT_EQ(SkylineTids(*sky), NaiveSkyline((*wb)->data(), preds));
+  auto topk = (*wb)->SignatureTopK(preds, f, 15);
+  ASSERT_TRUE(topk.ok());
+  ASSERT_EQ(topk->results.size(), topk_before.size());
+  for (size_t i = 0; i < topk_before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(topk->results[i].key, topk_before[i]);
+  }
+}
+
+TEST_F(PersistenceTest, ReopenedSignaturesAreBitIdentical) {
+  {
+    WorkbenchOptions options;
+    options.file_path = path_;
+    auto wb = Workbench::Build(MakeData(72), options);
+    ASSERT_TRUE(wb.ok());
+    ASSERT_TRUE((*wb)->Save().ok());
+  }
+  auto wb = Workbench::Open(path_);
+  ASSERT_TRUE(wb.ok());
+  Workbench& w = **wb;
+  auto paths = PathTable::Collect(*w.tree());
+  ASSERT_TRUE(paths.ok());
+  for (int dim = 0; dim < 3; ++dim) {
+    for (uint32_t v = 0; v < 4; ++v) {
+      Signature expect = BuildCellSignature(w.data(), *paths, {{dim, v}},
+                                            w.tree()->fanout(),
+                                            w.cube()->levels());
+      auto got = w.cube()->store().LoadFull(AtomicCellId(dim, v),
+                                            w.tree()->fanout(),
+                                            w.cube()->levels());
+      ASSERT_TRUE(got.ok());
+      EXPECT_TRUE(got->Equals(expect)) << "dim=" << dim << " v=" << v;
+    }
+  }
+}
+
+TEST_F(PersistenceTest, ReopenedWorkbenchSupportsMaintenance) {
+  {
+    WorkbenchOptions options;
+    options.file_path = path_;
+    auto wb = Workbench::Build(MakeData(73), options);
+    ASSERT_TRUE(wb.ok());
+    ASSERT_TRUE((*wb)->Save().ok());
+  }
+  auto wb = Workbench::Open(path_);
+  ASSERT_TRUE(wb.ok());
+  Workbench& w = **wb;
+  // Insert 20 new tuples through the reopened stack.
+  Dataset extra = MakeData(74);
+  PathChangeSet changes;
+  for (TupleId i = 0; i < 20; ++i) {
+    TupleId tid = w.mutable_data()->Append(extra.BoolRow(i), extra.PrefPoint(i));
+    ASSERT_TRUE(w.tree()->Insert(extra.PrefPoint(i), tid, &changes).ok());
+  }
+  Status st = w.cube()->ApplyChanges(w.data(), changes);
+  if (!st.ok()) {
+    ASSERT_TRUE(w.cube()->Rebuild(w.data(), *w.tree()).ok());
+  }
+  // Queries still match naive over the extended dataset.
+  PredicateSet preds{{1, 1}};
+  auto sky = w.SignatureSkyline(preds);
+  ASSERT_TRUE(sky.ok());
+  EXPECT_EQ(SkylineTids(*sky), NaiveSkyline(w.data(), preds));
+}
+
+TEST_F(PersistenceTest, SaveRequiresFileBacking) {
+  auto wb = Workbench::Build(MakeData(75), WorkbenchOptions{});
+  ASSERT_TRUE(wb.ok());
+  EXPECT_TRUE((*wb)->Save().IsInvalidArgument());
+}
+
+TEST_F(PersistenceTest, OpenRejectsGarbageFile) {
+  {
+    auto fpm = FilePageManager::Open(path_, /*truncate=*/true);
+    ASSERT_TRUE(fpm.ok());
+    Page junk;
+    junk.Zero();
+    junk.bytes[0] = 0x42;
+    auto pid = (*fpm)->Allocate();
+    ASSERT_TRUE(pid.ok());
+    ASSERT_TRUE((*fpm)->Write(*pid, junk).ok());
+  }
+  auto wb = Workbench::Open(path_);
+  EXPECT_FALSE(wb.ok());
+}
+
+TEST_F(PersistenceTest, CatalogRoundTripsLargeTableMaps) {
+  // Force a multi-page catalog: thousands of table page ids.
+  MemoryPageManager pm;
+  IoStats stats;
+  BufferPool pool(&pm, 256, &stats);
+  PageId root;
+  { auto h = pool.New(IoCategory::kBtree, &root); ASSERT_TRUE(h.ok()); }
+  CatalogData c;
+  c.num_bool = 2;
+  c.num_pref = 3;
+  c.bool_cardinality = {10, 20};
+  c.num_tuples = 123456;
+  for (PageId p = 0; p < 5000; ++p) c.table_pages.push_back(p * 7);
+  CatalogData::IndexInfo info;
+  info.root = 9;
+  info.num_entries = 11;
+  info.num_pages = 3;
+  info.next_seq = 123;
+  c.indices = {info, info};
+  c.rtree_root = 77;
+  c.rtree_height = 3;
+  c.rtree_fanout = 127;
+  c.rtree_entries = 123456;
+  c.rtree_pages = 999;
+  c.has_cube = true;
+  for (uint64_t i = 0; i < 500; ++i) c.sig_dense.emplace(i * 3 + (1ull << 32), i);
+  c.sig_index_root = 5;
+  c.sig_num_partials = 42;
+  c.sig_num_pages = 17;
+  c.sig_append_page = 900;
+  c.sig_append_offset = 1234;
+  c.cube_cells = 30;
+  c.cube_levels = 3;
+  ASSERT_TRUE(SaveCatalog(&pool, root, c).ok());
+  auto back = LoadCatalog(&pool, root);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->table_pages, c.table_pages);
+  EXPECT_EQ(back->sig_dense, c.sig_dense);
+  EXPECT_EQ(back->rtree_fanout, c.rtree_fanout);
+  EXPECT_EQ(back->indices.size(), 2u);
+  EXPECT_EQ(back->indices[1].next_seq, 123u);
+  EXPECT_EQ(back->sig_append_offset, 1234u);
+  EXPECT_EQ(back->cube_levels, 3);
+}
+
+}  // namespace
+}  // namespace pcube

@@ -1,0 +1,116 @@
+// QueryPlanner tests: both plans return correct answers, the crossover of
+// Fig. 11 drives the choice, and the executed cost is never far from the
+// better plan.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "query/reference.h"
+#include "workbench/planner.h"
+
+namespace pcube {
+namespace {
+
+std::unique_ptr<Workbench> MakeWorkbench(uint32_t cardinality, uint64_t seed) {
+  SyntheticConfig config;
+  config.num_tuples = 20000;
+  config.num_bool = 2;
+  config.num_pref = 2;
+  config.bool_cardinality = cardinality;
+  config.seed = seed;
+  auto wb = Workbench::Build(GenerateSynthetic(config), WorkbenchOptions{});
+  PCUBE_CHECK(wb.ok());
+  return std::move(*wb);
+}
+
+TEST(PlannerTest, AnswersAlwaysCorrectEitherPlan) {
+  for (uint32_t c : {5u, 2000u}) {
+    auto wb = MakeWorkbench(c, 300 + c);
+    QueryPlanner planner(wb.get());
+    Random rng(c);
+    for (int trial = 0; trial < 4; ++trial) {
+      PredicateSet preds{{0, static_cast<uint32_t>(rng.Uniform(c))}};
+      auto out = planner.Skyline(preds);
+      ASSERT_TRUE(out.ok());
+      EXPECT_EQ(out->tids, NaiveSkyline(wb->data(), preds))
+          << "C=" << c << " " << preds.ToString();
+    }
+  }
+}
+
+TEST(PlannerTest, ChoosesSignatureForBroadPredicates) {
+  // C = 5: each cell holds 20% of 20k tuples; fetching 4000 tuples at one
+  // page each dwarfs the space traversal.
+  auto wb = MakeWorkbench(5, 301);
+  QueryPlanner planner(wb.get());
+  auto est = planner.Estimate({{0, 2}});
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->choice, PlanChoice::kSignature);
+  EXPECT_GT(est->matching_tuples, 3000u);
+}
+
+TEST(PlannerTest, ChoosesBooleanForNeedleQueries) {
+  // C = 5000 over 20k tuples: ~4 matches; fetching them directly beats any
+  // traversal.
+  SyntheticConfig config;
+  config.num_tuples = 20000;
+  config.num_bool = 1;
+  config.num_pref = 2;
+  config.bool_cardinality = 5000;
+  config.seed = 302;
+  auto wb = Workbench::Build(GenerateSynthetic(config), WorkbenchOptions{});
+  ASSERT_TRUE(wb.ok());
+  QueryPlanner planner(wb->get());
+  auto est = planner.Estimate({{0, 123}});
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->choice, PlanChoice::kBooleanFirst);
+  EXPECT_LT(est->matching_tuples, 50u);
+  // And the executed plan is indeed cheap.
+  auto out = planner.Skyline({{0, 123}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->tids, NaiveSkyline((*wb)->data(), {{0, 123}}));
+  EXPECT_LT(out->executed_io.TotalReads(), 60u);
+}
+
+TEST(PlannerTest, ExecutedCostNeverCatastrophic) {
+  // Across a selectivity sweep, the planner's executed page count stays
+  // within a small factor of the better of the two plans measured directly.
+  for (uint32_t c : {10u, 100u, 1000u}) {
+    auto wb = MakeWorkbench(c, 310 + c);
+    PredicateSet preds{{0, c / 2}};
+
+    ASSERT_TRUE(wb->ColdStart().ok());
+    auto sig = wb->SignatureSkyline(preds);
+    ASSERT_TRUE(sig.ok());
+    uint64_t sig_pages = wb->IoSince().TotalReads();
+
+    ASSERT_TRUE(wb->ColdStart().ok());
+    BooleanFirstExecutor boolean(&wb->indices(), wb->table());
+    ASSERT_TRUE(boolean.Skyline(preds).ok());
+    uint64_t bool_pages = wb->IoSince().TotalReads();
+
+    QueryPlanner planner(wb.get());
+    auto out = planner.Skyline(preds);
+    ASSERT_TRUE(out.ok());
+    uint64_t best = std::min(sig_pages, bool_pages);
+    EXPECT_LE(out->executed_io.TotalReads(), 3 * best + 10)
+        << "C=" << c << " sig=" << sig_pages << " bool=" << bool_pages;
+  }
+}
+
+TEST(PlannerTest, TopKPlansCorrectly) {
+  auto wb = MakeWorkbench(50, 320);
+  QueryPlanner planner(wb.get());
+  LinearRanking f({0.6, 0.4});
+  PredicateSet preds{{1, 7}};
+  auto out = planner.TopK(preds, f, 12);
+  ASSERT_TRUE(out.ok());
+  auto naive = NaiveTopK(wb->data(), preds, f, 12);
+  ASSERT_EQ(out->results.size(), naive.size());
+  for (size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_NEAR(out->results[i].second, naive[i].second, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace pcube

@@ -1,0 +1,164 @@
+// SignatureStore + SignatureCursor tests: persistence round-trips, rewrites
+// with tombstones, lazy cursor loading with exact SSig page accounting.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/signature_cursor.h"
+#include "core/signature_store.h"
+
+namespace pcube {
+namespace {
+
+Signature RandomSignature(uint32_t m, int levels, int paths, uint64_t seed) {
+  Random rng(seed);
+  Signature sig(m, levels);
+  for (int i = 0; i < paths; ++i) {
+    Path p(levels);
+    for (auto& s : p) s = static_cast<uint16_t>(1 + rng.Uniform(m));
+    sig.SetPath(p);
+  }
+  return sig;
+}
+
+class SignatureStoreTest : public ::testing::Test {
+ protected:
+  SignatureStoreTest() : pool_(&pm_, 4096, &stats_) {}
+
+  MemoryPageManager pm_;
+  IoStats stats_;
+  BufferPool pool_;
+};
+
+TEST_F(SignatureStoreTest, PutLoadFullRoundTrip) {
+  auto store = SignatureStore::Create(&pool_);
+  ASSERT_TRUE(store.ok());
+  Signature sig = RandomSignature(5, 3, 200, 41);
+  ASSERT_TRUE(store->Put(77, sig).ok());
+  auto loaded = store->LoadFull(77, 5, 3);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->Equals(sig));
+  EXPECT_TRUE(*store->HasCell(77));
+  EXPECT_FALSE(*store->HasCell(78));
+  auto missing = store->LoadFull(78, 5, 3);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->Empty());
+}
+
+TEST_F(SignatureStoreTest, RewriteReplacesAndTombstones) {
+  auto store = SignatureStore::Create(&pool_);
+  ASSERT_TRUE(store.ok());
+  Signature big = RandomSignature(40, 3, 40000, 42);
+  ASSERT_TRUE(store->Put(5, big).ok());
+  auto sids_before = store->ListPartials(5);
+  ASSERT_TRUE(sids_before.ok());
+  EXPECT_GT(sids_before->size(), 1u);
+
+  Signature small(40, 3);
+  small.SetPath({1, 1, 1});
+  ASSERT_TRUE(store->Put(5, small).ok());
+  auto loaded = store->LoadFull(5, 40, 3);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->Equals(small));
+  auto sids_after = store->ListPartials(5);
+  ASSERT_TRUE(sids_after.ok());
+  EXPECT_EQ(sids_after->size(), 1u);
+
+  // Tombstoned partials must be invisible.
+  for (uint64_t sid : *sids_before) {
+    if (sid != (*sids_after)[0]) {
+      EXPECT_TRUE(store->LoadPartial(5, sid).status().IsNotFound());
+    }
+  }
+  // Rewriting to empty removes the cell entirely.
+  Signature empty(40, 3);
+  ASSERT_TRUE(store->Put(5, empty).ok());
+  EXPECT_FALSE(*store->HasCell(5));
+}
+
+TEST_F(SignatureStoreTest, ManyCellsCoexist) {
+  auto store = SignatureStore::Create(&pool_);
+  ASSERT_TRUE(store.ok());
+  std::vector<Signature> sigs;
+  for (uint64_t c = 0; c < 30; ++c) {
+    sigs.push_back(RandomSignature(4, 3, 50, 400 + c));
+    ASSERT_TRUE(store->Put(1000 + c, sigs.back()).ok());
+  }
+  for (uint64_t c = 0; c < 30; ++c) {
+    auto loaded = store->LoadFull(1000 + c, 4, 3);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_TRUE(loaded->Equals(sigs[c])) << "cell " << c;
+  }
+}
+
+TEST_F(SignatureStoreTest, CursorMatchesSignature) {
+  auto store = SignatureStore::Create(&pool_);
+  ASSERT_TRUE(store.ok());
+  Signature sig = RandomSignature(4, 3, 120, 43);
+  ASSERT_TRUE(store->Put(9, sig).ok());
+
+  SignatureCursor cursor(&*store, 9, 4, 3);
+  Random rng(44);
+  for (int i = 0; i < 2000; ++i) {
+    size_t len = 1 + rng.Uniform(3);
+    Path p(len);
+    for (auto& s : p) s = static_cast<uint16_t>(1 + rng.Uniform(4));
+    auto got = cursor.Test(p);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, sig.Test(p)) << PathToString(p);
+  }
+}
+
+TEST_F(SignatureStoreTest, CursorOnEmptyCellPrunesEverything) {
+  auto store = SignatureStore::Create(&pool_);
+  ASSERT_TRUE(store.ok());
+  SignatureCursor cursor(&*store, 12345, 4, 3);
+  auto got = cursor.Test({1, 1, 1});
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(*got);
+  EXPECT_EQ(cursor.partials_loaded(), 0u);
+}
+
+TEST_F(SignatureStoreTest, CursorLoadsPartialsLazily) {
+  auto store = SignatureStore::Create(&pool_);
+  ASSERT_TRUE(store.ok());
+  // A wide signature over a large fanout forces many partials.
+  Signature sig = RandomSignature(120, 3, 60000, 45);
+  ASSERT_TRUE(store->Put(3, sig).ok());
+  auto all_sids = store->ListPartials(3);
+  ASSERT_TRUE(all_sids.ok());
+  ASSERT_GT(all_sids->size(), 3u);
+
+  SignatureCursor cursor(&*store, 3, 120, 3);
+  // Probing one shallow path loads at most a couple of partials, not all.
+  Path probe = {1, 1, 1};
+  ASSERT_TRUE(cursor.Test(probe).ok());
+  EXPECT_LT(cursor.partials_loaded(), all_sids->size());
+  EXPECT_GE(cursor.partials_loaded(), 1u);
+
+  // Exhaustive agreement after arbitrary probing order.
+  Random rng(46);
+  for (int i = 0; i < 3000; ++i) {
+    size_t len = 1 + rng.Uniform(3);
+    Path p(len);
+    for (auto& s : p) s = static_cast<uint16_t>(1 + rng.Uniform(120));
+    auto got = cursor.Test(p);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, sig.Test(p)) << PathToString(p);
+  }
+}
+
+TEST_F(SignatureStoreTest, CursorPageLoadsChargeSignatureCategory) {
+  auto store = SignatureStore::Create(&pool_);
+  ASSERT_TRUE(store.ok());
+  Signature sig = RandomSignature(8, 3, 400, 47);
+  ASSERT_TRUE(store->Put(6, sig).ok());
+  ASSERT_TRUE(pool_.Clear().ok());
+  stats_.Reset();
+  SignatureCursor cursor(&*store, 6, 8, 3);
+  ASSERT_TRUE(cursor.Test({1, 1, 1}).ok());
+  EXPECT_EQ(stats_.ReadCount(IoCategory::kSignature), cursor.partials_loaded());
+  EXPECT_GT(stats_.ReadCount(IoCategory::kBtree), 0u);  // directory lookups
+}
+
+}  // namespace
+}  // namespace pcube

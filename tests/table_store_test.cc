@@ -1,0 +1,123 @@
+// TableStore + BooleanIndex tests.
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "storage/boolean_index.h"
+#include "storage/table_store.h"
+
+namespace pcube {
+namespace {
+
+class TableStoreTest : public ::testing::Test {
+ protected:
+  TableStoreTest() : pool_(&pm_, 4096, &stats_) {
+    SyntheticConfig config;
+    config.num_tuples = 5000;
+    config.num_bool = 3;
+    config.num_pref = 2;
+    config.bool_cardinality = 10;
+    config.seed = 77;
+    data_ = GenerateSynthetic(config);
+  }
+
+  MemoryPageManager pm_;
+  IoStats stats_;
+  BufferPool pool_;
+  Dataset data_;
+};
+
+TEST_F(TableStoreTest, RoundTripsEveryTuple) {
+  auto table = TableStore::Build(&pool_, data_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_tuples(), data_.num_tuples());
+  for (TupleId t = 0; t < data_.num_tuples(); t += 97) {
+    auto row = table->GetTuple(t);
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ(row->tid, t);
+    for (int d = 0; d < data_.num_bool(); ++d) {
+      EXPECT_EQ(row->bools[d], data_.BoolValue(t, d));
+    }
+    for (int d = 0; d < data_.num_pref(); ++d) {
+      EXPECT_EQ(row->prefs[d], data_.PrefValue(t, d));
+    }
+  }
+  EXPECT_FALSE(table->GetTuple(data_.num_tuples()).ok());
+}
+
+TEST_F(TableStoreTest, ScanVisitsAllInOrder) {
+  auto table = TableStore::Build(&pool_, data_);
+  ASSERT_TRUE(table.ok());
+  TupleId expect = 0;
+  ASSERT_TRUE(table->Scan([&](const TupleData& row) {
+    EXPECT_EQ(row.tid, expect++);
+    return true;
+  }).ok());
+  EXPECT_EQ(expect, data_.num_tuples());
+}
+
+TEST_F(TableStoreTest, RandomAccessChargesRequestedCategory) {
+  auto table = TableStore::Build(&pool_, data_);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(pool_.Clear().ok());
+  stats_.Reset();
+  ASSERT_TRUE(table->GetTuple(17, IoCategory::kBooleanVerify).ok());
+  EXPECT_EQ(stats_.ReadCount(IoCategory::kBooleanVerify), 1u);
+  EXPECT_EQ(stats_.ReadCount(IoCategory::kHeapFile), 0u);
+}
+
+TEST_F(TableStoreTest, PageCountMatchesRowWidth) {
+  auto table = TableStore::Build(&pool_, data_);
+  ASSERT_TRUE(table.ok());
+  uint64_t expect_pages =
+      (data_.num_tuples() + table->rows_per_page() - 1) / table->rows_per_page();
+  EXPECT_EQ(table->num_pages(), expect_pages);
+}
+
+TEST_F(TableStoreTest, BooleanIndexFindsExactlyMatchingTuples) {
+  auto table = TableStore::Build(&pool_, data_);
+  ASSERT_TRUE(table.ok());
+  for (int dim = 0; dim < data_.num_bool(); ++dim) {
+    auto index = BooleanIndex::Build(&pool_, data_, dim);
+    ASSERT_TRUE(index.ok());
+    for (uint32_t v = 0; v < 10; v += 3) {
+      auto tids = index->Lookup(v);
+      ASSERT_TRUE(tids.ok());
+      std::vector<TupleId> expect;
+      for (TupleId t = 0; t < data_.num_tuples(); ++t) {
+        if (data_.BoolValue(t, dim) == v) expect.push_back(t);
+      }
+      EXPECT_EQ(*tids, expect);
+      auto count = index->Count(v);
+      ASSERT_TRUE(count.ok());
+      EXPECT_EQ(*count, expect.size());
+    }
+  }
+}
+
+TEST_F(TableStoreTest, BooleanIndexAddAfterBuild) {
+  auto index = BooleanIndex::Build(&pool_, data_, 0);
+  ASSERT_TRUE(index.ok());
+  uint64_t before = index->Lookup(3)->size();
+  ASSERT_TRUE(index->Add(3, 999999).ok());
+  auto after = index->Lookup(3);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), before + 1);
+  EXPECT_EQ(after->back(), 999999u);
+}
+
+TEST_F(TableStoreTest, AppendExtendsTable) {
+  auto table = TableStore::Build(&pool_, data_);
+  ASSERT_TRUE(table.ok());
+  std::vector<uint32_t> bools = {1, 2, 3};
+  std::vector<float> prefs = {0.5f, 0.25f};
+  auto tid = table->Append(bools, prefs);
+  ASSERT_TRUE(tid.ok());
+  EXPECT_EQ(*tid, data_.num_tuples());
+  auto row = table->GetTuple(*tid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->bools[2], 3u);
+  EXPECT_EQ(row->prefs[1], 0.25f);
+}
+
+}  // namespace
+}  // namespace pcube

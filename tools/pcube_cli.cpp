@@ -1,0 +1,403 @@
+// pcube — command-line front end for the P-Cube library.
+//
+//   pcube generate --rows N [--bool K --pref M --card C --dist D --seed S]
+//                  --out data.csv
+//       Emit a synthetic CSV (boolean columns first, then preference
+//       columns; distribution D in {uniform, correlated, anticorrelated}).
+//
+//   pcube build --csv data.csv --spec bbbppp [--header] --db data.pcube
+//       Import a CSV (spec: 'b' boolean column, 'p' preference column,
+//       '-' skip), build the heap file, boolean B+-trees, R*-tree and
+//       P-Cube, and persist everything to one file.
+//
+//   pcube info --db data.pcube
+//       Print the stored relation and structure statistics.
+//
+//   pcube explain --db data.pcube [--where ...]
+//       Print the planner's cost estimates and plan choice for a query.
+//
+//   pcube skyline --db data.pcube [--where "col=value,col=value"]
+//                 [--band K] [--origin x,y,...] [--limit N]
+//       Signature-pruned skyline / k-skyband / dynamic skyline.
+//
+//   pcube topk --db data.pcube --k N [--where ...]
+//              (--weights w1,w2,... | --target t1,... [--tweights w1,...])
+//       Signature-pruned top-k under a linear function (--weights) or a
+//       weighted squared distance to a target point (--target).
+//
+// Predicate values use the stored dictionary when the database came from a
+// CSV import ("color=red"); raw codes also work ("color=#3" or "2=#3").
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/random.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "workbench/planner.h"
+#include "workbench/workbench.h"
+
+using namespace pcube;
+
+namespace {
+
+// ------------------------------------------------------------- arg parsing
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::string Require(const std::string& key) const {
+    if (!Has(key)) {
+      std::fprintf(stderr, "missing required --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return values_.at(key);
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    return Has(key) ? std::strtoll(values_.at(key).c_str(), nullptr, 10)
+                    : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<std::string> SplitList(const std::string& s, char sep = ',') {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, sep)) out.push_back(item);
+  return out;
+}
+
+std::vector<double> ParseDoubles(const std::string& s) {
+  std::vector<double> out;
+  for (const std::string& item : SplitList(s)) {
+    out.push_back(std::strtod(item.c_str(), nullptr));
+  }
+  return out;
+}
+
+[[noreturn]] void Die(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T Unwrap(Result<T> r) {
+  if (!r.ok()) Die(r.status());
+  return std::move(*r);
+}
+
+// --------------------------------------------------------------- database
+
+std::unique_ptr<Workbench> OpenDb(const Args& args) {
+  return Unwrap(Workbench::Open(args.Require("db")));
+}
+
+/// Resolves "name=value" predicates against the stored dictionaries; names
+/// may be dimension indices, values may be "#<code>".
+PredicateSet ParseWhere(const Workbench& wb, const std::string& where) {
+  PredicateSet preds;
+  if (where.empty()) return preds;
+  const auto& dicts = wb.dictionaries();
+  for (const std::string& term : SplitList(where)) {
+    size_t eq = term.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad predicate '%s' (want col=value)\n",
+                   term.c_str());
+      std::exit(2);
+    }
+    std::string col = term.substr(0, eq);
+    std::string value = term.substr(eq + 1);
+    int dim = -1;
+    // Column: numeric index, or a dictionary... columns have no stored
+    // names; accept indices only unless value lookup disambiguates.
+    char* end = nullptr;
+    long parsed = std::strtol(col.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0') {
+      dim = static_cast<int>(parsed);
+    }
+    uint32_t code = 0;
+    bool have_code = false;
+    if (!value.empty() && value[0] == '#') {
+      code = static_cast<uint32_t>(std::strtoul(value.c_str() + 1, nullptr, 10));
+      have_code = true;
+    }
+    if (!have_code) {
+      // Dictionary lookup: in the named dimension, or in all of them.
+      for (size_t d = 0; d < dicts.size(); ++d) {
+        if (dim >= 0 && static_cast<int>(d) != dim) continue;
+        for (size_t v = 0; v < dicts[d].size(); ++v) {
+          if (dicts[d][v] == value) {
+            dim = static_cast<int>(d);
+            code = static_cast<uint32_t>(v);
+            have_code = true;
+            break;
+          }
+        }
+        if (have_code) break;
+      }
+    }
+    if (dim < 0 || !have_code) {
+      std::fprintf(stderr, "cannot resolve predicate '%s'\n", term.c_str());
+      std::exit(2);
+    }
+    preds.Add({dim, code});
+  }
+  return preds;
+}
+
+const char* DictValue(const Workbench& wb, int dim, uint32_t code) {
+  static std::string scratch;
+  const auto& dicts = wb.dictionaries();
+  if (static_cast<size_t>(dim) < dicts.size() &&
+      code < dicts[dim].size()) {
+    return dicts[dim][code].c_str();
+  }
+  scratch = "#" + std::to_string(code);
+  return scratch.c_str();
+}
+
+void PrintTuple(const Workbench& wb, TupleId tid, double score,
+                bool with_score) {
+  const Dataset& data = wb.data();
+  std::printf("  #%-8llu", static_cast<unsigned long long>(tid));
+  for (int d = 0; d < data.num_bool(); ++d) {
+    std::printf(" %s", DictValue(wb, d, data.BoolValue(tid, d)));
+  }
+  std::printf(" |");
+  for (int d = 0; d < data.num_pref(); ++d) {
+    std::printf(" %.4f", data.PrefValue(tid, d));
+  }
+  if (with_score) std::printf("  (score %.6f)", score);
+  std::printf("\n");
+}
+
+// --------------------------------------------------------------- commands
+
+int CmdGenerate(const Args& args) {
+  SyntheticConfig config;
+  config.num_tuples = static_cast<uint64_t>(args.GetInt("rows", 10000));
+  config.num_bool = static_cast<int>(args.GetInt("bool", 3));
+  config.num_pref = static_cast<int>(args.GetInt("pref", 3));
+  config.bool_cardinality = static_cast<uint32_t>(args.GetInt("card", 100));
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  std::string dist = args.Get("dist", "uniform");
+  if (dist == "correlated") {
+    config.dist = PrefDistribution::kCorrelated;
+  } else if (dist == "anticorrelated") {
+    config.dist = PrefDistribution::kAntiCorrelated;
+  } else if (dist != "uniform") {
+    std::fprintf(stderr, "unknown --dist '%s'\n", dist.c_str());
+    return 2;
+  }
+  Dataset data = GenerateSynthetic(config);
+
+  std::ofstream out(args.Require("out"));
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open output file\n");
+    return 1;
+  }
+  for (int d = 0; d < config.num_bool; ++d) out << "b" << d << ",";
+  for (int d = 0; d < config.num_pref; ++d) {
+    out << "p" << d << (d + 1 < config.num_pref ? "," : "\n");
+  }
+  for (TupleId t = 0; t < data.num_tuples(); ++t) {
+    for (int d = 0; d < config.num_bool; ++d) {
+      out << "v" << data.BoolValue(t, d) << ",";
+    }
+    for (int d = 0; d < config.num_pref; ++d) {
+      out << data.PrefValue(t, d) << (d + 1 < config.num_pref ? "," : "\n");
+    }
+  }
+  std::printf("wrote %llu rows to %s (spec: %s)\n",
+              static_cast<unsigned long long>(data.num_tuples()),
+              args.Get("out").c_str(),
+              (std::string(config.num_bool, 'b') +
+               std::string(config.num_pref, 'p'))
+                  .c_str());
+  return 0;
+}
+
+int CmdBuild(const Args& args) {
+  CsvTable table = Unwrap(ReadCsvFile(args.Require("csv"),
+                                      args.Require("spec"),
+                                      args.Has("header")));
+  std::printf("imported %llu rows: %d boolean dims, %d preference dims\n",
+              static_cast<unsigned long long>(table.data.num_tuples()),
+              table.data.num_bool(), table.data.num_pref());
+  WorkbenchOptions options;
+  options.file_path = args.Require("db");
+  auto wb = Unwrap(Workbench::Build(std::move(table.data), options));
+  wb->set_dictionaries(std::move(table.dictionaries));
+  if (Status st = wb->Save(); !st.ok()) Die(st);
+  std::printf(
+      "built %s: %llu pages (heap %llu, r-tree %llu, p-cube %llu), %llu "
+      "signature cells\n",
+      args.Get("db").c_str(),
+      static_cast<unsigned long long>(wb->page_manager()->NumPages()),
+      static_cast<unsigned long long>(wb->table()->num_pages()),
+      static_cast<unsigned long long>(wb->tree()->num_pages()),
+      static_cast<unsigned long long>(wb->cube()->MaterializedPages()),
+      static_cast<unsigned long long>(wb->cube()->num_cells()));
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  auto wb = OpenDb(args);
+  const Dataset& data = wb->data();
+  std::printf("%s\n", args.Get("db").c_str());
+  std::printf("  tuples:           %llu\n",
+              static_cast<unsigned long long>(data.num_tuples()));
+  std::printf("  boolean dims:     %d (cardinalities:", data.num_bool());
+  for (uint32_t card : data.schema().bool_cardinality) std::printf(" %u", card);
+  std::printf(")\n");
+  std::printf("  preference dims:  %d\n", data.num_pref());
+  std::printf("  r-tree:           height %d, fanout %u, %llu pages\n",
+              wb->tree()->height(), wb->tree()->fanout(),
+              static_cast<unsigned long long>(wb->tree()->num_pages()));
+  std::printf("  p-cube:           %llu cells, %llu pages\n",
+              static_cast<unsigned long long>(wb->cube()->num_cells()),
+              static_cast<unsigned long long>(wb->cube()->MaterializedPages()));
+  std::printf("  total file:       %.2f MB\n",
+              static_cast<double>(wb->page_manager()->SizeBytes()) / 1e6);
+  return 0;
+}
+
+int CmdSkyline(const Args& args) {
+  auto wb = OpenDb(args);
+  PredicateSet preds = ParseWhere(*wb, args.Get("where"));
+  SkylineQueryOptions options;
+  options.skyband_k = static_cast<size_t>(args.GetInt("band", 1));
+  if (args.Has("origin")) {
+    for (double v : ParseDoubles(args.Get("origin"))) {
+      options.origin.push_back(static_cast<float>(v));
+    }
+  }
+  auto probe = Unwrap(wb->cube()->MakeProbe(preds));
+  SkylineEngine engine(wb->tree(), probe.get(), nullptr, options);
+  auto out = Unwrap(engine.Run());
+  std::printf("%zu result(s) for %s\n", out.skyline.size(),
+              preds.empty() ? "(no predicate)" : preds.ToString().c_str());
+  size_t limit = static_cast<size_t>(args.GetInt("limit", 50));
+  for (size_t i = 0; i < out.skyline.size() && i < limit; ++i) {
+    PrintTuple(*wb, out.skyline[i].id, 0, false);
+  }
+  if (out.skyline.size() > limit) std::printf("  ... (--limit to see more)\n");
+  IoStats io = wb->IoSince();
+  std::printf("disk: %llu page reads (%llu r-tree, %llu signature)\n",
+              static_cast<unsigned long long>(io.TotalReads()),
+              static_cast<unsigned long long>(
+                  io.ReadCount(IoCategory::kRtreeBlock)),
+              static_cast<unsigned long long>(
+                  io.ReadCount(IoCategory::kSignature)));
+  return 0;
+}
+
+int CmdTopK(const Args& args) {
+  auto wb = OpenDb(args);
+  PredicateSet preds = ParseWhere(*wb, args.Get("where"));
+  size_t k = static_cast<size_t>(args.GetInt("k", 10));
+  std::unique_ptr<RankingFunction> f;
+  int dp = wb->data().num_pref();
+  if (args.Has("target")) {
+    std::vector<double> target = ParseDoubles(args.Get("target"));
+    std::vector<double> weights =
+        args.Has("tweights") ? ParseDoubles(args.Get("tweights"))
+                             : std::vector<double>(target.size(), 1.0);
+    if (static_cast<int>(target.size()) != dp) {
+      std::fprintf(stderr, "--target needs %d coordinates\n", dp);
+      return 2;
+    }
+    f = std::make_unique<WeightedL2Ranking>(target, weights);
+  } else {
+    std::vector<double> weights =
+        args.Has("weights") ? ParseDoubles(args.Get("weights"))
+                            : std::vector<double>(dp, 1.0);
+    if (static_cast<int>(weights.size()) != dp) {
+      std::fprintf(stderr, "--weights needs %d values\n", dp);
+      return 2;
+    }
+    f = std::make_unique<LinearRanking>(weights);
+  }
+  auto probe = Unwrap(wb->cube()->MakeProbe(preds));
+  TopKEngine engine(wb->tree(), probe.get(), nullptr, f.get(), k);
+  auto out = Unwrap(engine.Run());
+  std::printf("top %zu for %s\n", out.results.size(),
+              preds.empty() ? "(no predicate)" : preds.ToString().c_str());
+  for (const SearchEntry& e : out.results) {
+    PrintTuple(*wb, e.id, e.key, true);
+  }
+  return 0;
+}
+
+int CmdExplain(const Args& args) {
+  auto wb = OpenDb(args);
+  PredicateSet preds = ParseWhere(*wb, args.Get("where"));
+  QueryPlanner planner(wb.get());
+  auto est = planner.Estimate(preds);
+  if (!est.ok()) Die(est.status());
+  std::printf("query: %s\n",
+              preds.empty() ? "(no predicate)" : preds.ToString().c_str());
+  std::printf("  estimated matching tuples: %llu\n",
+              static_cast<unsigned long long>(est->matching_tuples));
+  std::printf("  boolean-first plan:        ~%llu page reads\n",
+              static_cast<unsigned long long>(est->boolean_pages));
+  std::printf("  signature plan:            ~%llu page reads\n",
+              static_cast<unsigned long long>(est->signature_pages));
+  std::printf("  chosen plan:               %s\n",
+              est->choice == PlanChoice::kSignature ? "signature (P-Cube)"
+                                                    : "boolean-first");
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pcube <generate|build|info|explain|skyline|topk>"
+               " [--options]\n"
+               "see the header of tools/pcube_cli.cpp for details\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  Args args(argc, argv);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "build") return CmdBuild(args);
+  if (cmd == "info") return CmdInfo(args);
+  if (cmd == "explain") return CmdExplain(args);
+  if (cmd == "skyline") return CmdSkyline(args);
+  if (cmd == "topk") return CmdTopK(args);
+  return Usage();
+}
