@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_heap.dir/bench_fig10_heap.cc.o"
+  "CMakeFiles/bench_fig10_heap.dir/bench_fig10_heap.cc.o.d"
+  "bench_fig10_heap"
+  "bench_fig10_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

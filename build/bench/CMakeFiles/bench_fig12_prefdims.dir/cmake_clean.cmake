@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_prefdims.dir/bench_fig12_prefdims.cc.o"
+  "CMakeFiles/bench_fig12_prefdims.dir/bench_fig12_prefdims.cc.o.d"
+  "bench_fig12_prefdims"
+  "bench_fig12_prefdims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_prefdims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

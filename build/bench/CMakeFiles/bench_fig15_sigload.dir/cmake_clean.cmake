@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_sigload.dir/bench_fig15_sigload.cc.o"
+  "CMakeFiles/bench_fig15_sigload.dir/bench_fig15_sigload.cc.o.d"
+  "bench_fig15_sigload"
+  "bench_fig15_sigload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_sigload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

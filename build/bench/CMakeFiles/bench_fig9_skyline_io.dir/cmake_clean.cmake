@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_skyline_io.dir/bench_fig9_skyline_io.cc.o"
+  "CMakeFiles/bench_fig9_skyline_io.dir/bench_fig9_skyline_io.cc.o.d"
+  "bench_fig9_skyline_io"
+  "bench_fig9_skyline_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_skyline_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

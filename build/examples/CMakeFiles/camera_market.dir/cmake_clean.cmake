@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_market.dir/camera_market.cpp.o"
+  "CMakeFiles/camera_market.dir/camera_market.cpp.o.d"
+  "camera_market"
+  "camera_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

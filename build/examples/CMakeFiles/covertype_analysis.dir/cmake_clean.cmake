@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covertype_analysis.dir/covertype_analysis.cpp.o"
+  "CMakeFiles/covertype_analysis.dir/covertype_analysis.cpp.o.d"
+  "covertype_analysis"
+  "covertype_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covertype_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

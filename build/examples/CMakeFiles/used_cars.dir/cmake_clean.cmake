@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/used_cars.dir/used_cars.cpp.o"
+  "CMakeFiles/used_cars.dir/used_cars.cpp.o.d"
+  "used_cars"
+  "used_cars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/used_cars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

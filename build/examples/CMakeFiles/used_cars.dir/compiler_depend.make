@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for used_cars.
+# This may be replaced when dependencies are built.

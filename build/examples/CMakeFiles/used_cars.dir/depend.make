@@ -1,0 +1,2 @@
+# Empty dependencies file for used_cars.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/boolean_first.cc" "src/baselines/CMakeFiles/pcube_baselines.dir/boolean_first.cc.o" "gcc" "src/baselines/CMakeFiles/pcube_baselines.dir/boolean_first.cc.o.d"
+  "/root/repo/src/baselines/domination_first.cc" "src/baselines/CMakeFiles/pcube_baselines.dir/domination_first.cc.o" "gcc" "src/baselines/CMakeFiles/pcube_baselines.dir/domination_first.cc.o.d"
+  "/root/repo/src/baselines/index_merge.cc" "src/baselines/CMakeFiles/pcube_baselines.dir/index_merge.cc.o" "gcc" "src/baselines/CMakeFiles/pcube_baselines.dir/index_merge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/pcube_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pcube_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/pcube_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/pcube_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/pcube_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcube_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube_baselines.dir/boolean_first.cc.o"
+  "CMakeFiles/pcube_baselines.dir/boolean_first.cc.o.d"
+  "CMakeFiles/pcube_baselines.dir/domination_first.cc.o"
+  "CMakeFiles/pcube_baselines.dir/domination_first.cc.o.d"
+  "CMakeFiles/pcube_baselines.dir/index_merge.cc.o"
+  "CMakeFiles/pcube_baselines.dir/index_merge.cc.o.d"
+  "libpcube_baselines.a"
+  "libpcube_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitmap/bitvector.cc" "src/bitmap/CMakeFiles/pcube_bitmap.dir/bitvector.cc.o" "gcc" "src/bitmap/CMakeFiles/pcube_bitmap.dir/bitvector.cc.o.d"
+  "/root/repo/src/bitmap/bloom_filter.cc" "src/bitmap/CMakeFiles/pcube_bitmap.dir/bloom_filter.cc.o" "gcc" "src/bitmap/CMakeFiles/pcube_bitmap.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/bitmap/codec.cc" "src/bitmap/CMakeFiles/pcube_bitmap.dir/codec.cc.o" "gcc" "src/bitmap/CMakeFiles/pcube_bitmap.dir/codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcube_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

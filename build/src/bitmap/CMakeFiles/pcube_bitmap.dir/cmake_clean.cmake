@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube_bitmap.dir/bitvector.cc.o"
+  "CMakeFiles/pcube_bitmap.dir/bitvector.cc.o.d"
+  "CMakeFiles/pcube_bitmap.dir/bloom_filter.cc.o"
+  "CMakeFiles/pcube_bitmap.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/pcube_bitmap.dir/codec.cc.o"
+  "CMakeFiles/pcube_bitmap.dir/codec.cc.o.d"
+  "libpcube_bitmap.a"
+  "libpcube_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube_common.dir/io_stats.cc.o"
+  "CMakeFiles/pcube_common.dir/io_stats.cc.o.d"
+  "CMakeFiles/pcube_common.dir/status.cc.o"
+  "CMakeFiles/pcube_common.dir/status.cc.o.d"
+  "libpcube_common.a"
+  "libpcube_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

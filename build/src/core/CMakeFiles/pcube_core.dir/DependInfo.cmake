@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bloom_store.cc" "src/core/CMakeFiles/pcube_core.dir/bloom_store.cc.o" "gcc" "src/core/CMakeFiles/pcube_core.dir/bloom_store.cc.o.d"
+  "/root/repo/src/core/pcube.cc" "src/core/CMakeFiles/pcube_core.dir/pcube.cc.o" "gcc" "src/core/CMakeFiles/pcube_core.dir/pcube.cc.o.d"
+  "/root/repo/src/core/signature.cc" "src/core/CMakeFiles/pcube_core.dir/signature.cc.o" "gcc" "src/core/CMakeFiles/pcube_core.dir/signature.cc.o.d"
+  "/root/repo/src/core/signature_algebra.cc" "src/core/CMakeFiles/pcube_core.dir/signature_algebra.cc.o" "gcc" "src/core/CMakeFiles/pcube_core.dir/signature_algebra.cc.o.d"
+  "/root/repo/src/core/signature_builder.cc" "src/core/CMakeFiles/pcube_core.dir/signature_builder.cc.o" "gcc" "src/core/CMakeFiles/pcube_core.dir/signature_builder.cc.o.d"
+  "/root/repo/src/core/signature_codec.cc" "src/core/CMakeFiles/pcube_core.dir/signature_codec.cc.o" "gcc" "src/core/CMakeFiles/pcube_core.dir/signature_codec.cc.o.d"
+  "/root/repo/src/core/signature_cursor.cc" "src/core/CMakeFiles/pcube_core.dir/signature_cursor.cc.o" "gcc" "src/core/CMakeFiles/pcube_core.dir/signature_cursor.cc.o.d"
+  "/root/repo/src/core/signature_store.cc" "src/core/CMakeFiles/pcube_core.dir/signature_store.cc.o" "gcc" "src/core/CMakeFiles/pcube_core.dir/signature_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/pcube_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/pcube_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pcube_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/pcube_rtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube_core.dir/bloom_store.cc.o"
+  "CMakeFiles/pcube_core.dir/bloom_store.cc.o.d"
+  "CMakeFiles/pcube_core.dir/pcube.cc.o"
+  "CMakeFiles/pcube_core.dir/pcube.cc.o.d"
+  "CMakeFiles/pcube_core.dir/signature.cc.o"
+  "CMakeFiles/pcube_core.dir/signature.cc.o.d"
+  "CMakeFiles/pcube_core.dir/signature_algebra.cc.o"
+  "CMakeFiles/pcube_core.dir/signature_algebra.cc.o.d"
+  "CMakeFiles/pcube_core.dir/signature_builder.cc.o"
+  "CMakeFiles/pcube_core.dir/signature_builder.cc.o.d"
+  "CMakeFiles/pcube_core.dir/signature_codec.cc.o"
+  "CMakeFiles/pcube_core.dir/signature_codec.cc.o.d"
+  "CMakeFiles/pcube_core.dir/signature_cursor.cc.o"
+  "CMakeFiles/pcube_core.dir/signature_cursor.cc.o.d"
+  "CMakeFiles/pcube_core.dir/signature_store.cc.o"
+  "CMakeFiles/pcube_core.dir/signature_store.cc.o.d"
+  "libpcube_core.a"
+  "libpcube_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube_cube.dir/cuboid.cc.o"
+  "CMakeFiles/pcube_cube.dir/cuboid.cc.o.d"
+  "libpcube_cube.a"
+  "libpcube_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/covertype.cc" "src/data/CMakeFiles/pcube_data.dir/covertype.cc.o" "gcc" "src/data/CMakeFiles/pcube_data.dir/covertype.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/pcube_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/pcube_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/pcube_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/pcube_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/table1.cc" "src/data/CMakeFiles/pcube_data.dir/table1.cc.o" "gcc" "src/data/CMakeFiles/pcube_data.dir/table1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcube_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/pcube_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/pcube_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pcube_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube_data.dir/covertype.cc.o"
+  "CMakeFiles/pcube_data.dir/covertype.cc.o.d"
+  "CMakeFiles/pcube_data.dir/csv.cc.o"
+  "CMakeFiles/pcube_data.dir/csv.cc.o.d"
+  "CMakeFiles/pcube_data.dir/generators.cc.o"
+  "CMakeFiles/pcube_data.dir/generators.cc.o.d"
+  "CMakeFiles/pcube_data.dir/table1.cc.o"
+  "CMakeFiles/pcube_data.dir/table1.cc.o.d"
+  "libpcube_data.a"
+  "libpcube_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/convex_hull.cc" "src/query/CMakeFiles/pcube_query.dir/convex_hull.cc.o" "gcc" "src/query/CMakeFiles/pcube_query.dir/convex_hull.cc.o.d"
+  "/root/repo/src/query/reference.cc" "src/query/CMakeFiles/pcube_query.dir/reference.cc.o" "gcc" "src/query/CMakeFiles/pcube_query.dir/reference.cc.o.d"
+  "/root/repo/src/query/skyline_engine.cc" "src/query/CMakeFiles/pcube_query.dir/skyline_engine.cc.o" "gcc" "src/query/CMakeFiles/pcube_query.dir/skyline_engine.cc.o.d"
+  "/root/repo/src/query/topk_engine.cc" "src/query/CMakeFiles/pcube_query.dir/topk_engine.cc.o" "gcc" "src/query/CMakeFiles/pcube_query.dir/topk_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pcube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/pcube_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/pcube_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pcube_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/pcube_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcube_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

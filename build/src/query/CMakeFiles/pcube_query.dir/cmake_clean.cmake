@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube_query.dir/convex_hull.cc.o"
+  "CMakeFiles/pcube_query.dir/convex_hull.cc.o.d"
+  "CMakeFiles/pcube_query.dir/reference.cc.o"
+  "CMakeFiles/pcube_query.dir/reference.cc.o.d"
+  "CMakeFiles/pcube_query.dir/skyline_engine.cc.o"
+  "CMakeFiles/pcube_query.dir/skyline_engine.cc.o.d"
+  "CMakeFiles/pcube_query.dir/topk_engine.cc.o"
+  "CMakeFiles/pcube_query.dir/topk_engine.cc.o.d"
+  "libpcube_query.a"
+  "libpcube_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

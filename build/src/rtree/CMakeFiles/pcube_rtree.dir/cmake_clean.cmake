@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube_rtree.dir/geometry.cc.o"
+  "CMakeFiles/pcube_rtree.dir/geometry.cc.o.d"
+  "CMakeFiles/pcube_rtree.dir/rstar_tree.cc.o"
+  "CMakeFiles/pcube_rtree.dir/rstar_tree.cc.o.d"
+  "libpcube_rtree.a"
+  "libpcube_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

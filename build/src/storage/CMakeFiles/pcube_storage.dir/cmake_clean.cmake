@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube_storage.dir/boolean_index.cc.o"
+  "CMakeFiles/pcube_storage.dir/boolean_index.cc.o.d"
+  "CMakeFiles/pcube_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/pcube_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/pcube_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/pcube_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/pcube_storage.dir/page_manager.cc.o"
+  "CMakeFiles/pcube_storage.dir/page_manager.cc.o.d"
+  "CMakeFiles/pcube_storage.dir/table_store.cc.o"
+  "CMakeFiles/pcube_storage.dir/table_store.cc.o.d"
+  "libpcube_storage.a"
+  "libpcube_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

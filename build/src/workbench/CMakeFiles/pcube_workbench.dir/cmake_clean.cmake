@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube_workbench.dir/catalog.cc.o"
+  "CMakeFiles/pcube_workbench.dir/catalog.cc.o.d"
+  "CMakeFiles/pcube_workbench.dir/planner.cc.o"
+  "CMakeFiles/pcube_workbench.dir/planner.cc.o.d"
+  "CMakeFiles/pcube_workbench.dir/workbench.cc.o"
+  "CMakeFiles/pcube_workbench.dir/workbench.cc.o.d"
+  "libpcube_workbench.a"
+  "libpcube_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

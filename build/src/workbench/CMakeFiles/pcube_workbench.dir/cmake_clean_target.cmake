@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcube_workbench.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_codec_test.dir/bitmap_codec_test.cc.o"
+  "CMakeFiles/bitmap_codec_test.dir/bitmap_codec_test.cc.o.d"
+  "bitmap_codec_test"
+  "bitmap_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_partition_test.dir/grid_partition_test.cc.o"
+  "CMakeFiles/grid_partition_test.dir/grid_partition_test.cc.o.d"
+  "grid_partition_test"
+  "grid_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_manager_test.dir/page_manager_test.cc.o"
+  "CMakeFiles/page_manager_test.dir/page_manager_test.cc.o.d"
+  "page_manager_test"
+  "page_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

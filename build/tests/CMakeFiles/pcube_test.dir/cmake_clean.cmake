@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube_test.dir/pcube_test.cc.o"
+  "CMakeFiles/pcube_test.dir/pcube_test.cc.o.d"
+  "pcube_test"
+  "pcube_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

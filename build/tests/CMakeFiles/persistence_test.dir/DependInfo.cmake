@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/persistence_test.cc" "tests/CMakeFiles/persistence_test.dir/persistence_test.cc.o" "gcc" "tests/CMakeFiles/persistence_test.dir/persistence_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workbench/CMakeFiles/pcube_workbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pcube_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/pcube_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pcube_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/pcube_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pcube_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/pcube_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/pcube_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/pcube_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcube_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_algebra_test.dir/signature_algebra_test.cc.o"
+  "CMakeFiles/signature_algebra_test.dir/signature_algebra_test.cc.o.d"
+  "signature_algebra_test"
+  "signature_algebra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

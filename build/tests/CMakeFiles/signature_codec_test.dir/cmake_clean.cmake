@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_codec_test.dir/signature_codec_test.cc.o"
+  "CMakeFiles/signature_codec_test.dir/signature_codec_test.cc.o.d"
+  "signature_codec_test"
+  "signature_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

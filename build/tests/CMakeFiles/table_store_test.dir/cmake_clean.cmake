@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_store_test.dir/table_store_test.cc.o"
+  "CMakeFiles/table_store_test.dir/table_store_test.cc.o.d"
+  "table_store_test"
+  "table_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workbench_test.dir/workbench_test.cc.o"
+  "CMakeFiles/workbench_test.dir/workbench_test.cc.o.d"
+  "workbench_test"
+  "workbench_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

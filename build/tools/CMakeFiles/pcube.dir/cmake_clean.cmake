@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcube.dir/pcube_cli.cpp.o"
+  "CMakeFiles/pcube.dir/pcube_cli.cpp.o.d"
+  "pcube"
+  "pcube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
