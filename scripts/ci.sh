@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI driver: builds and tests the tree twice —
+#   1. plain RelWithDebInfo, full ctest suite;
+#   2. ThreadSanitizer (-DPCUBE_SANITIZE=thread), concurrency-focused tests
+#      (thread pool, striped buffer pool, batch executor, plus the classic
+#      buffer pool and workbench suites that share the touched code).
+# Usage: scripts/ci.sh [jobs]   (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "=== plain build ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$JOBS"
+echo "=== plain ctest ==="
+ctest --test-dir build --output-on-failure
+
+echo "=== tsan build ==="
+cmake -B build-tsan -S . -DPCUBE_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target \
+  thread_pool_test buffer_pool_concurrency_test batch_executor_test \
+  buffer_pool_test workbench_test
+echo "=== tsan ctest ==="
+ctest --test-dir build-tsan --output-on-failure -R \
+  '^(thread_pool_test|buffer_pool_concurrency_test|batch_executor_test|buffer_pool_test|workbench_test)$'
+
+echo "ci.sh: all green"

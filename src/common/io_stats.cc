@@ -14,10 +14,12 @@ std::string IoStats::ToString() const {
   os << "IoStats{";
   bool first = true;
   for (int i = 0; i < static_cast<int>(IoCategory::kNumCategories); ++i) {
-    if (reads[i] == 0 && writes[i] == 0) continue;
+    uint64_t r = reads[i].load(std::memory_order_relaxed);
+    uint64_t w = writes[i].load(std::memory_order_relaxed);
+    if (r == 0 && w == 0) continue;
     if (!first) os << ", ";
     first = false;
-    os << kCategoryNames[i] << ": r=" << reads[i] << " w=" << writes[i];
+    os << kCategoryNames[i] << ": r=" << r << " w=" << w;
   }
   os << "}";
   return os.str();

@@ -3,8 +3,17 @@
 // The paper's "number of disk accesses" figures (Fig. 9, Fig. 15) are read
 // straight from an IoStats snapshot, which makes them deterministic and
 // hardware-independent.
+//
+// Thread-safety: counters are relaxed atomics, so one IoStats instance may
+// be charged from many threads at once (the striped BufferPool does exactly
+// that). Copying an IoStats takes an element-wise snapshot; reading totals
+// while writers are active yields a momentary (not transactionally
+// consistent) view — exact once the writers have quiesced, which is when
+// benchmarks and tests read them. Per-thread attribution on top of the
+// shared counters is provided by BufferPool::ScopedThreadStats.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -22,34 +31,71 @@ enum class IoCategory : int {
 
 /// Mutable counter block shared by the storage structures of one experiment.
 struct IoStats {
-  uint64_t reads[static_cast<int>(IoCategory::kNumCategories)] = {};
-  uint64_t writes[static_cast<int>(IoCategory::kNumCategories)] = {};
+  std::atomic<uint64_t> reads[static_cast<int>(IoCategory::kNumCategories)] = {};
+  std::atomic<uint64_t> writes[static_cast<int>(IoCategory::kNumCategories)] = {};
 
-  void CountRead(IoCategory c, uint64_t n = 1) { reads[static_cast<int>(c)] += n; }
-  void CountWrite(IoCategory c, uint64_t n = 1) { writes[static_cast<int>(c)] += n; }
+  IoStats() = default;
+  IoStats(const IoStats& o) { *this = o; }
+  IoStats& operator=(const IoStats& o) {
+    if (this != &o) {
+      for (int i = 0; i < static_cast<int>(IoCategory::kNumCategories); ++i) {
+        reads[i].store(o.reads[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+        writes[i].store(o.writes[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      }
+    }
+    return *this;
+  }
 
-  uint64_t ReadCount(IoCategory c) const { return reads[static_cast<int>(c)]; }
-  uint64_t WriteCount(IoCategory c) const { return writes[static_cast<int>(c)]; }
+  void CountRead(IoCategory c, uint64_t n = 1) {
+    reads[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountWrite(IoCategory c, uint64_t n = 1) {
+    writes[static_cast<int>(c)].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t ReadCount(IoCategory c) const {
+    return reads[static_cast<int>(c)].load(std::memory_order_relaxed);
+  }
+  uint64_t WriteCount(IoCategory c) const {
+    return writes[static_cast<int>(c)].load(std::memory_order_relaxed);
+  }
 
   uint64_t TotalReads() const {
     uint64_t t = 0;
-    for (uint64_t r : reads) t += r;
+    for (const auto& r : reads) t += r.load(std::memory_order_relaxed);
     return t;
   }
   uint64_t TotalWrites() const {
     uint64_t t = 0;
-    for (uint64_t w : writes) t += w;
+    for (const auto& w : writes) t += w.load(std::memory_order_relaxed);
     return t;
   }
 
   void Reset() { *this = IoStats(); }
 
+  /// Element-wise accumulation of another counter block into this one (used
+  /// to merge per-thread stats into a global snapshot).
+  void Merge(const IoStats& other) {
+    for (int i = 0; i < static_cast<int>(IoCategory::kNumCategories); ++i) {
+      CountRead(static_cast<IoCategory>(i),
+                other.reads[i].load(std::memory_order_relaxed));
+      CountWrite(static_cast<IoCategory>(i),
+                 other.writes[i].load(std::memory_order_relaxed));
+    }
+  }
+
   /// Difference of two snapshots (this - other), element-wise.
   IoStats Delta(const IoStats& other) const {
     IoStats d;
     for (int i = 0; i < static_cast<int>(IoCategory::kNumCategories); ++i) {
-      d.reads[i] = reads[i] - other.reads[i];
-      d.writes[i] = writes[i] - other.writes[i];
+      d.reads[i].store(reads[i].load(std::memory_order_relaxed) -
+                           other.reads[i].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      d.writes[i].store(writes[i].load(std::memory_order_relaxed) -
+                            other.writes[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
     }
     return d;
   }

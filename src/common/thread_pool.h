@@ -1,0 +1,71 @@
+// Fixed-size worker pool for inter-query parallelism. The P-Cube query
+// structures are read-only once built (see DESIGN.md "Concurrency model"),
+// so throughput scaling comes from running many independent queries at once
+// over the shared index; this pool is the execution substrate the
+// BatchExecutor fans queries out on.
+//
+// Thread-safety: Submit/Wait may be called from any thread. Tasks must not
+// Submit to the pool they run on and then block on the returned future from
+// within Wait-ing code (classic pool deadlock); the BatchExecutor only
+// submits from the driver thread.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pcube {
+
+/// Fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Graceful shutdown: drains every task already queued, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown by
+  /// the task are captured into the future.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only but std::function requires copyable
+    // callables, so the task rides behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_;   // workers: queue non-empty or stopping
+  std::condition_variable idle_;   // Wait(): queue drained and all idle
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;  // tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pcube

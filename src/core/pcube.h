@@ -12,6 +12,12 @@
 //   * maintenance — ApplyChanges(): flip affected cells' signature bits for
 //                   every path change the R-tree reports
 //   * §VII extras — optional Bloom-filter signatures (MakeBloomProbe)
+//
+// Thread-safety: a built cube is immutable at query time. MakeProbe /
+// MakeBloomProbe are const and safe to call from any number of threads —
+// each returned probe owns its private cursors and must be confined to the
+// query (thread) that made it. Build and ApplyChanges are single-threaded
+// by contract (DESIGN.md "Concurrency model").
 #pragma once
 
 #include <memory>

@@ -8,6 +8,11 @@
 //   BloomProbe      §VII lossy variant (false positives possible even at
 //                   tuple level -> results need table verification);
 //   TrueProbe       no boolean pruning (the Domination baseline and BBS).
+//
+// Thread-safety: probes memoise loaded signature state, so a probe instance
+// belongs to exactly one query and must not be shared across threads.
+// Concurrent queries each call PCube::MakeProbe for their own instance —
+// that is cheap and safe (see pcube.h).
 #pragma once
 
 #include <memory>

@@ -7,6 +7,10 @@
 // from the root to n as reference to load the next partial signature; if
 // that partial has already been loaded, check the second-level node, and so
 // on". Each partial load costs exactly one signature-page read (SSig).
+//
+// Thread-safety: a cursor is mutable per-query state (the set of loaded
+// partials grows as the query probes). One cursor serves one query on one
+// thread; concurrent queries get independent cursors via PCube::MakeProbe.
 #pragma once
 
 #include <set>

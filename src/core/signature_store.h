@@ -3,6 +3,11 @@
 // "Signatures are compressed, decomposed and indexed (using B+-tree) by cell
 // IDs and SID's"). Loads of partial-signature pages are charged to
 // IoCategory::kSignature — the paper's "SSig" disk accesses.
+//
+// Thread-safety: after construction the store is read-only; LoadPartial and
+// ListPartials are const, cache nothing locally, and may be called from any
+// number of threads (the BufferPool serialises same-page access). Append /
+// Rewrite are build- and maintenance-time only, single-threaded by contract.
 #pragma once
 
 #include <algorithm>

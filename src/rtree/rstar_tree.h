@@ -10,6 +10,12 @@
 //     tuple's path only changes under node splits / forced re-insertion;
 //   * reports every such path change through a PathChangeSet so the P-Cube
 //     can be maintained incrementally.
+//
+// Thread-safety: the const read path (ReadNode, ResolvePath, Root and the
+// accessors) keeps no mutable state of its own — all page traffic goes
+// through the striped BufferPool — so any number of threads may query a
+// built tree concurrently. Insert/Delete/BulkLoad mutate nodes in place and
+// are single-threaded by contract (DESIGN.md "Concurrency model").
 #pragma once
 
 #include <functional>

@@ -8,6 +8,10 @@
 //
 // Keys are unique; callers needing duplicates pack a sequence number into
 // the key's low bits (see BooleanIndex).
+//
+// Thread-safety: Get and RangeScan are const, keep no iterator state in the
+// tree, and are safe from any number of threads against a built tree.
+// Insert splits pages in place and is single-threaded by contract.
 #pragma once
 
 #include <cstdint>

@@ -2,6 +2,18 @@
 
 namespace pcube {
 
+namespace {
+// Per-thread attribution sink shared by every pool (see ScopedThreadStats).
+thread_local IoStats* tls_io_stats = nullptr;
+}  // namespace
+
+BufferPool::ScopedThreadStats::ScopedThreadStats(IoStats* stats)
+    : saved_(tls_io_stats) {
+  tls_io_stats = stats;
+}
+
+BufferPool::ScopedThreadStats::~ScopedThreadStats() { tls_io_stats = saved_; }
+
 PageHandle& PageHandle::operator=(PageHandle&& o) noexcept {
   if (this != &o) {
     Release();
@@ -24,126 +36,176 @@ void PageHandle::Release() {
   pid_ = kInvalidPageId;
 }
 
-BufferPool::BufferPool(PageManager* pm, size_t capacity_pages, IoStats* stats)
-    : pm_(pm), capacity_(capacity_pages < 1 ? 1 : capacity_pages), stats_(stats) {}
+BufferPool::BufferPool(PageManager* pm, size_t capacity_pages, IoStats* stats,
+                       size_t num_stripes)
+    : pm_(pm), stats_(stats) {
+  if (capacity_pages < 1) capacity_pages = 1;
+  if (num_stripes == 0) num_stripes = capacity_pages >= 256 ? 32 : 1;
+  if (num_stripes > capacity_pages) num_stripes = capacity_pages;
+  stripes_.reserve(num_stripes);
+  for (size_t i = 0; i < num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+    // Distribute the capacity; every stripe keeps at least one frame.
+    stripes_.back()->capacity =
+        std::max<size_t>(1, capacity_pages / num_stripes);
+  }
+}
+
+void BufferPool::ChargeRead(IoCategory cat) {
+  if (stats_ != nullptr) stats_->CountRead(cat);
+  if (tls_io_stats != nullptr) tls_io_stats->CountRead(cat);
+}
+
+void BufferPool::ChargeWrite(IoCategory cat) {
+  if (stats_ != nullptr) stats_->CountWrite(cat);
+  if (tls_io_stats != nullptr) tls_io_stats->CountWrite(cat);
+}
 
 void BufferPool::Unpin(PageId pid) {
-  auto it = frames_.find(pid);
-  PCUBE_DCHECK(it != frames_.end());
+  Stripe& stripe = StripeFor(pid);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.frames.find(pid);
+  PCUBE_DCHECK(it != stripe.frames.end());
   PCUBE_DCHECK_GT(it->second.pins, 0);
   --it->second.pins;
 }
 
-Status BufferPool::EvictOne() {
+Status BufferPool::EvictOne(Stripe* stripe) {
   // Scan from the LRU tail for the first unpinned frame. If all frames are
   // pinned, grow instead of failing.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+  for (auto it = stripe->lru.rbegin(); it != stripe->lru.rend(); ++it) {
     PageId victim = *it;
-    auto fit = frames_.find(victim);
-    PCUBE_DCHECK(fit != frames_.end());
-    if (fit->second.pins > 0) continue;
+    auto fit = stripe->frames.find(victim);
+    PCUBE_DCHECK(fit != stripe->frames.end());
+    if (fit->second.pins > 0 || fit->second.loading) continue;
     if (fit->second.dirty) {
       PCUBE_RETURN_NOT_OK(pm_->Write(victim, fit->second.page));
-      if (stats_ != nullptr) stats_->CountWrite(fit->second.cat);
+      ChargeWrite(fit->second.cat);
     }
-    lru_.erase(std::next(it).base());
-    frames_.erase(fit);
+    stripe->lru.erase(std::next(it).base());
+    stripe->frames.erase(fit);
     return Status::OK();
   }
   return Status::OK();  // everything pinned: grow
 }
 
-Result<BufferPool::Frame*> BufferPool::GetFrame(PageId pid, IoCategory cat,
-                                                bool load) {
-  auto it = frames_.find(pid);
-  if (it != frames_.end()) {
-    ++hits_;
-    lru_.erase(it->second.lru_pos);
-    lru_.push_front(pid);
-    it->second.lru_pos = lru_.begin();
-    return &it->second;
+Result<PageHandle> BufferPool::Fetch(PageId pid, IoCategory cat, bool load,
+                                     bool dirty) {
+  Stripe& stripe = StripeFor(pid);
+  std::unique_lock<std::mutex> lock(stripe.mu);
+  for (;;) {
+    auto it = stripe.frames.find(pid);
+    if (it == stripe.frames.end()) break;
+    Frame& frame = it->second;
+    if (frame.loading) {
+      // Another thread is reading this page in. Wait and re-check: if its
+      // load fails it removes the frame, and we retry as a fresh miss.
+      stripe.cv.wait(lock);
+      continue;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    stripe.lru.erase(frame.lru_pos);
+    stripe.lru.push_front(pid);
+    frame.lru_pos = stripe.lru.begin();
+    if (dirty) {
+      frame.dirty = true;
+      frame.cat = cat;
+    }
+    ++frame.pins;
+    return PageHandle(this, pid, &frame.page);
   }
-  ++misses_;
-  if (frames_.size() >= capacity_) {
-    PCUBE_RETURN_NOT_OK(EvictOne());
+  if (load) misses_.fetch_add(1, std::memory_order_relaxed);
+  if (stripe.frames.size() >= stripe.capacity) {
+    PCUBE_RETURN_NOT_OK(EvictOne(&stripe));
   }
-  lru_.push_front(pid);
-  Frame& frame = frames_[pid];
-  frame.lru_pos = lru_.begin();
+  stripe.lru.push_front(pid);
+  Frame& frame = stripe.frames[pid];
+  frame.lru_pos = stripe.lru.begin();
   frame.cat = cat;
   if (load) {
+    // The physical read happens OUTSIDE the stripe lock so misses on
+    // different pages overlap their I/O stalls. While it is in flight the
+    // frame is marked `loading`: eviction skips it and same-page fetchers
+    // wait on the stripe's condition variable instead of issuing a second
+    // read, so the PageManager still never sees two concurrent accesses to
+    // one page. &frame stays valid across the unlock because unordered_map
+    // never invalidates references on insert, and erase of a loading frame
+    // is excluded by the eviction rule.
+    frame.loading = true;
+    lock.unlock();
     Status st = pm_->Read(pid, &frame.page);
+    lock.lock();
+    frame.loading = false;
     if (!st.ok()) {
-      lru_.pop_front();
-      frames_.erase(pid);
+      stripe.lru.erase(frame.lru_pos);
+      stripe.frames.erase(pid);
+      stripe.cv.notify_all();
       return st;
     }
-    if (stats_ != nullptr) stats_->CountRead(cat);
+    ChargeRead(cat);
+    stripe.cv.notify_all();
   } else {
     frame.page.Zero();
   }
-  return &frame;
+  if (dirty) frame.dirty = true;
+  ++frame.pins;
+  return PageHandle(this, pid, &frame.page);
 }
 
 Result<PageHandle> BufferPool::Get(PageId pid, IoCategory cat) {
-  auto frame = GetFrame(pid, cat, /*load=*/true);
-  if (!frame.ok()) return frame.status();
-  ++(*frame)->pins;
-  return PageHandle(this, pid, &(*frame)->page);
+  return Fetch(pid, cat, /*load=*/true, /*dirty=*/false);
 }
 
 Result<PageHandle> BufferPool::GetMutable(PageId pid, IoCategory cat) {
-  auto frame = GetFrame(pid, cat, /*load=*/true);
-  if (!frame.ok()) return frame.status();
-  (*frame)->dirty = true;
-  (*frame)->cat = cat;
-  ++(*frame)->pins;
-  return PageHandle(this, pid, &(*frame)->page);
+  return Fetch(pid, cat, /*load=*/true, /*dirty=*/true);
 }
 
 Result<PageHandle> BufferPool::New(IoCategory cat, PageId* pid) {
   auto alloc = pm_->Allocate();
   if (!alloc.ok()) return alloc.status();
   *pid = *alloc;
-  auto frame = GetFrame(*pid, cat, /*load=*/false);
-  if (!frame.ok()) return frame.status();
-  --misses_;  // a fresh page is not a disk read
-  if (stats_ != nullptr) {
-    // GetFrame(load=false) performs no physical read, nothing to undo there.
-  }
-  (*frame)->dirty = true;
-  ++(*frame)->pins;
-  return PageHandle(this, *pid, &(*frame)->page);
+  // A fresh page is zero-filled in place: no physical read, no miss charged.
+  return Fetch(*pid, cat, /*load=*/false, /*dirty=*/true);
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [pid, frame] : frames_) {
-    if (frame.dirty) {
-      PCUBE_RETURN_NOT_OK(pm_->Write(pid, frame.page));
-      if (stats_ != nullptr) stats_->CountWrite(frame.cat);
-      frame.dirty = false;
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (auto& [pid, frame] : stripe->frames) {
+      if (frame.dirty) {
+        PCUBE_RETURN_NOT_OK(pm_->Write(pid, frame.page));
+        ChargeWrite(frame.cat);
+        frame.dirty = false;
+      }
     }
   }
   return Status::OK();
 }
 
 Status BufferPool::FreePage(PageId pid) {
-  auto it = frames_.find(pid);
-  if (it != frames_.end()) {
-    PCUBE_CHECK_EQ(it->second.pins, 0) << "freeing a pinned page";
-    lru_.erase(it->second.lru_pos);
-    frames_.erase(it);
+  Stripe& stripe = StripeFor(pid);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.frames.find(pid);
+    if (it != stripe.frames.end()) {
+      PCUBE_CHECK_EQ(it->second.pins, 0) << "freeing a pinned page";
+      stripe.lru.erase(it->second.lru_pos);
+      stripe.frames.erase(it);
+    }
   }
   return pm_->Free(pid);
 }
 
 Status BufferPool::Clear() {
   PCUBE_RETURN_NOT_OK(FlushAll());
-  for ([[maybe_unused]] auto& [pid, frame] : frames_) {
-    PCUBE_CHECK_EQ(frame.pins, 0) << "Clear() with outstanding pins";
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for ([[maybe_unused]] auto& [pid, frame] : stripe->frames) {
+      PCUBE_CHECK_EQ(frame.pins, 0) << "Clear() with outstanding pins";
+    }
+    stripe->frames.clear();
+    stripe->lru.clear();
   }
-  frames_.clear();
-  lru_.clear();
   return Status::OK();
 }
 

@@ -7,12 +7,29 @@
 // frame is never evicted, so a handle's Page* stays valid and mutations are
 // never lost. If every frame is pinned the pool grows past its capacity
 // rather than failing (the standard steal-free policy).
+//
+// Thread-safety (concurrent query execution): the pool is internally
+// partitioned into stripes, each owning a mutex, a frame map and an LRU
+// list; a page always maps to the same stripe, so Get/GetMutable/Unpin on
+// different pages mostly proceed in parallel while operations on the same
+// page serialise. Hit/miss counters are atomics and IoStats charging is
+// race-free (see io_stats.h). This makes the READ path — Get() on pages
+// written by a happens-before build phase — safe from any number of threads,
+// which is what concurrent TopKEngine/SkylineEngine instances need. The
+// MUTATION entry points (New, FreePage, FlushAll, Clear) additionally call
+// PageManager::Allocate/Free, which are NOT thread-safe; build and
+// maintenance remain single-threaded by contract (DESIGN.md "Concurrency
+// model").
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/io_stats.h"
 #include "common/status.h"
@@ -50,37 +67,60 @@ class PageHandle {
   Page* page_ = nullptr;
 };
 
-/// Write-back LRU buffer pool with pinning.
+/// Write-back LRU buffer pool with pinning and lock striping.
 class BufferPool {
  public:
   /// `capacity_pages` bounds the number of cached frames (>= 1) except when
-  /// pins force temporary growth.
-  BufferPool(PageManager* pm, size_t capacity_pages, IoStats* stats);
+  /// pins force temporary growth. `num_stripes` controls lock striping:
+  /// 0 picks automatically — a single stripe for small pools (preserving the
+  /// strict global-LRU eviction order the paper experiments and unit tests
+  /// rely on) and 32 stripes for pools of >= 256 pages, where per-stripe
+  /// LRU is indistinguishable in practice and concurrency matters.
+  BufferPool(PageManager* pm, size_t capacity_pages, IoStats* stats,
+             size_t num_stripes = 0);
+
+  /// Registers `stats` as this thread's attribution sink: physical reads and
+  /// write-backs performed by the calling thread on ANY BufferPool are also
+  /// charged to it (on top of the pool's shared IoStats). The BatchExecutor
+  /// wraps each query in one of these to report per-query I/O.
+  class ScopedThreadStats {
+   public:
+    explicit ScopedThreadStats(IoStats* stats);
+    ~ScopedThreadStats();
+    ScopedThreadStats(const ScopedThreadStats&) = delete;
+    ScopedThreadStats& operator=(const ScopedThreadStats&) = delete;
+
+   private:
+    IoStats* saved_;
+  };
 
   /// Fetches `pid` for reading; counts a physical read in `cat` on miss.
+  /// Safe to call concurrently with other Get/GetMutable/Unpin.
   Result<PageHandle> Get(PageId pid, IoCategory cat);
 
   /// Fetches `pid` for modification; the frame is marked dirty and written
   /// back on eviction or FlushAll(). The write-back is charged to `cat`.
   Result<PageHandle> GetMutable(PageId pid, IoCategory cat);
 
-  /// Allocates a new page and returns a dirty frame for it.
+  /// Allocates a new page and returns a dirty frame for it. Single-threaded
+  /// (calls PageManager::Allocate).
   Result<PageHandle> New(IoCategory cat, PageId* pid);
 
-  /// Writes back all dirty frames (keeps them cached).
+  /// Writes back all dirty frames (keeps them cached). Single-threaded.
   Status FlushAll();
 
   /// Writes back dirty frames and empties the cache (a "cold" restart).
-  /// Requires no outstanding pins.
+  /// Requires no outstanding pins. Single-threaded.
   Status Clear();
 
   /// Frees `pid`: drops any cached frame without write-back and returns the
   /// page to the PageManager's free list. The page must be unpinned and no
-  /// longer referenced by any structure.
+  /// longer referenced by any structure. Single-threaded.
   Status FreePage(PageId pid);
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t num_stripes() const { return stripes_.size(); }
   PageManager* page_manager() const { return pm_; }
   IoStats* stats() const { return stats_; }
 
@@ -90,22 +130,44 @@ class BufferPool {
   struct Frame {
     Page page;
     bool dirty = false;
+    // True while the frame's physical read is in flight outside the stripe
+    // lock; loading frames are never evicted and same-page fetchers wait on
+    // Stripe::cv until the flag clears.
+    bool loading = false;
     int pins = 0;
     IoCategory cat = IoCategory::kHeapFile;
     std::list<PageId>::iterator lru_pos;
   };
 
-  Result<Frame*> GetFrame(PageId pid, IoCategory cat, bool load);
-  Status EvictOne();
+  /// One lock-striping partition: pages hash onto exactly one stripe, which
+  /// owns their frames, their LRU order and a share of the capacity.
+  struct Stripe {
+    std::mutex mu;
+    std::condition_variable cv;  // signalled when a loading frame settles
+    std::unordered_map<PageId, Frame> frames;
+    std::list<PageId> lru;  // front = most recent
+    size_t capacity = 1;
+  };
+
+  Stripe& StripeFor(PageId pid) {
+    return *stripes_[static_cast<size_t>(pid) % stripes_.size()];
+  }
+
+  /// Hit-or-load; the physical read runs outside the stripe lock so misses
+  /// on different pages overlap. Returns a pinned handle.
+  Result<PageHandle> Fetch(PageId pid, IoCategory cat, bool load, bool dirty);
+  /// Evicts the LRU unpinned frame of `stripe` (caller holds its mutex); a
+  /// fully pinned stripe grows instead of failing.
+  Status EvictOne(Stripe* stripe);
   void Unpin(PageId pid);
+  void ChargeRead(IoCategory cat);
+  void ChargeWrite(IoCategory cat);
 
   PageManager* pm_;
-  size_t capacity_;
   IoStats* stats_;
-  std::unordered_map<PageId, Frame> frames_;
-  std::list<PageId> lru_;  // front = most recent
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace pcube

@@ -4,7 +4,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace pcube {
 
@@ -92,6 +94,15 @@ Status FilePageManager::Write(PageId pid, const Page& page) {
     return Status::IoError("pwrite: " + std::string(std::strerror(errno)));
   }
   return Status::OK();
+}
+
+Status LatencyPageManager::Read(PageId pid, Page* out) {
+  double us = read_latency_us_.load(std::memory_order_relaxed);
+  if (us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(us));
+  }
+  return inner_->Read(pid, out);
 }
 
 }  // namespace pcube

@@ -1,11 +1,15 @@
-// Backing store for pages. Two implementations:
+// Backing store for pages. Implementations:
 //   MemoryPageManager — pages in RAM; the benchmark default. Combined with a
 //     cold BufferPool it yields deterministic, hardware-independent "disk
 //     access" counts.
 //   FilePageManager  — pages in a real file via pread/pwrite, for users who
 //     want actual persistence.
+//   LatencyPageManager — decorator that sleeps per physical read, turning
+//     the cost model's per-page latency into real blocked time (throughput
+//     benchmarks overlap these stalls across worker threads).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,8 +19,16 @@
 
 namespace pcube {
 
-/// Abstract page store. Not thread-safe; the library is single-threaded by
-/// design (the paper's algorithms are sequential).
+/// Abstract page store.
+///
+/// Thread-safety contract: Allocate/Free/NumPages mutate allocator state and
+/// are single-threaded (build/maintenance paths only). Read/Write are safe
+/// to call concurrently for DIFFERENT pages; the striped BufferPool
+/// guarantees it never issues two concurrent accesses to the SAME page
+/// (same-page operations serialise on the page's stripe). Under that
+/// discipline MemoryPageManager reads touch disjoint Page objects and
+/// FilePageManager uses positional pread/pwrite, so the concurrent query
+/// path is race-free.
 class PageManager {
  public:
   virtual ~PageManager() = default;
@@ -84,6 +96,38 @@ class FilePageManager : public PageManager {
 
   int fd_;
   uint64_t num_pages_;
+};
+
+/// Decorator that adds a fixed sleep to every physical Read, simulating the
+/// random-access latency of the paper's 2008-era disk (bench_common.h adds
+/// the same latency arithmetically; this version actually blocks, so
+/// concurrent queries can overlap their stalls). The latency is an atomic:
+/// benchmarks build at zero latency and enable it for the measured phase.
+class LatencyPageManager : public PageManager {
+ public:
+  explicit LatencyPageManager(std::unique_ptr<PageManager> inner,
+                              double read_latency_us = 0)
+      : inner_(std::move(inner)), read_latency_us_(read_latency_us) {}
+
+  void set_read_latency_us(double us) {
+    read_latency_us_.store(us, std::memory_order_relaxed);
+  }
+  double read_latency_us() const {
+    return read_latency_us_.load(std::memory_order_relaxed);
+  }
+  PageManager* inner() const { return inner_.get(); }
+
+  Result<PageId> Allocate() override { return inner_->Allocate(); }
+  Status Read(PageId pid, Page* out) override;
+  Status Write(PageId pid, const Page& page) override {
+    return inner_->Write(pid, page);
+  }
+  Status Free(PageId pid) override { return inner_->Free(pid); }
+  uint64_t NumPages() const override { return inner_->NumPages(); }
+
+ private:
+  std::unique_ptr<PageManager> inner_;
+  std::atomic<double> read_latency_us_;
 };
 
 }  // namespace pcube

@@ -3,6 +3,9 @@
 // verification, paper's "DBool" accesses) and sequential scans (the
 // Boolean-first baseline's table-scan path) both go through the buffer pool
 // so they show up in IoStats.
+//
+// Thread-safety: GetTuple and Scan are const and safe from any number of
+// threads once the table is built; Append is single-threaded by contract.
 #pragma once
 
 #include <functional>

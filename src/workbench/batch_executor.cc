@@ -1,0 +1,68 @@
+#include "workbench/batch_executor.h"
+
+#include "common/timer.h"
+
+namespace pcube {
+
+BatchQueryResult BatchExecutor::RunOne(const BatchQuery& query) const {
+  BatchQueryResult result;
+  // Per-thread I/O attribution: every physical read this worker performs
+  // while the query runs lands in result.io.
+  BufferPool::ScopedThreadStats scope(&result.io);
+  Timer timer;
+  auto probe = cube_->MakeProbe(query.preds);
+  if (!probe.ok()) {
+    result.status = probe.status();
+    return result;
+  }
+  switch (query.kind) {
+    case BatchQuery::Kind::kSkyline: {
+      SkylineEngine engine(tree_, probe->get(), nullptr, query.skyline);
+      auto out = engine.Run();
+      if (out.ok()) {
+        result.skyline = std::move(*out);
+      } else {
+        result.status = out.status();
+      }
+      break;
+    }
+    case BatchQuery::Kind::kTopK: {
+      if (query.ranking == nullptr) {
+        result.status = Status::InvalidArgument("top-k query without ranking");
+        break;
+      }
+      TopKEngine engine(tree_, probe->get(), nullptr, query.ranking.get(),
+                        query.k);
+      auto out = engine.Run();
+      if (out.ok()) {
+        result.topk = std::move(*out);
+      } else {
+        result.status = out.status();
+      }
+      break;
+    }
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+BatchOutput BatchExecutor::Execute(const std::vector<BatchQuery>& queries) {
+  Timer timer;
+  BatchOutput out;
+  out.results.resize(queries.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    futures.push_back(pool_->Submit(
+        [this, &queries, &out, i] { out.results[i] = RunOne(queries[i]); }));
+  }
+  for (auto& f : futures) f.get();
+  for (const BatchQueryResult& r : out.results) {
+    out.io.Merge(r.io);
+    if (!r.status.ok()) ++out.failed;
+  }
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace pcube

@@ -1,0 +1,100 @@
+// Concurrent query driver (the throughput path of the ROADMAP's
+// production-scale goal). A batch of parsed top-k / skyline queries fans out
+// over a ThreadPool; every query runs Algorithm 1 independently against ONE
+// shared, immutable PCube + RStarTree through the striped BufferPool. Each
+// worker builds its own BooleanProbe and engine (those stay single-threaded
+// per query); the only cross-thread state is the buffer pool and the IoStats
+// counters, both thread-safe. Results come back in input order together with
+// per-query and merged physical-I/O counters.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/pcube.h"
+#include "query/query_types.h"
+#include "query/ranking.h"
+#include "query/skyline_engine.h"
+#include "query/topk_engine.h"
+#include "rtree/rstar_tree.h"
+
+namespace pcube {
+
+/// One parsed query of a batch.
+struct BatchQuery {
+  enum class Kind { kSkyline, kTopK };
+
+  Kind kind = Kind::kSkyline;
+  PredicateSet preds;
+
+  /// kSkyline: preference dims / k-skyband / dynamic-skyline origin.
+  SkylineQueryOptions skyline;
+
+  /// kTopK: ranking function (shared_ptr so a batch can reuse one function
+  /// across queries; read concurrently, so it must stay immutable) and k.
+  std::shared_ptr<const RankingFunction> ranking;
+  size_t k = 10;
+
+  static BatchQuery Skyline(PredicateSet preds,
+                            SkylineQueryOptions options = {}) {
+    BatchQuery q;
+    q.kind = Kind::kSkyline;
+    q.preds = std::move(preds);
+    q.skyline = std::move(options);
+    return q;
+  }
+
+  static BatchQuery TopK(PredicateSet preds,
+                         std::shared_ptr<const RankingFunction> f, size_t k) {
+    BatchQuery q;
+    q.kind = Kind::kTopK;
+    q.preds = std::move(preds);
+    q.ranking = std::move(f);
+    q.k = k;
+    return q;
+  }
+};
+
+/// Outcome of one query of a batch (exactly one of skyline/topk is set on
+/// success, matching the query's kind).
+struct BatchQueryResult {
+  Status status;
+  std::optional<SkylineOutput> skyline;
+  std::optional<TopKOutput> topk;
+  /// Physical page I/O performed by this query (per-thread attribution; a
+  /// page one query faults in and another then hits is charged to the
+  /// faulting query, exactly like the sequential accounting).
+  IoStats io;
+  double seconds = 0;  ///< wall time of this query on its worker
+};
+
+/// A completed batch: per-query results in input order plus merged counters.
+struct BatchOutput {
+  std::vector<BatchQueryResult> results;
+  IoStats io;              ///< sum of every query's physical I/O
+  uint64_t failed = 0;     ///< queries whose status is not OK
+  double seconds = 0;      ///< wall time of the whole batch
+};
+
+/// Fans batches of queries out over a thread pool. The tree, cube and pool
+/// must outlive the executor and must not be mutated while a batch runs.
+class BatchExecutor {
+ public:
+  BatchExecutor(const RStarTree* tree, const PCube* cube, ThreadPool* pool)
+      : tree_(tree), cube_(cube), pool_(pool) {}
+
+  /// Runs every query to completion; individual failures are reported in the
+  /// per-query status, never by aborting the batch.
+  BatchOutput Execute(const std::vector<BatchQuery>& queries);
+
+ private:
+  BatchQueryResult RunOne(const BatchQuery& query) const;
+
+  const RStarTree* tree_;
+  const PCube* cube_;
+  ThreadPool* pool_;
+};
+
+}  // namespace pcube

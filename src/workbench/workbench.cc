@@ -15,8 +15,15 @@ Result<std::unique_ptr<Workbench>> Workbench::Build(Dataset data,
     if (!fpm.ok()) return fpm.status();
     wb->pm_ = std::move(*fpm);
   }
+  LatencyPageManager* latency = nullptr;
+  if (options.read_latency_us > 0) {
+    // Wrap at zero latency so the build itself stays fast; enabled below.
+    auto wrapped = std::make_unique<LatencyPageManager>(std::move(wb->pm_));
+    latency = wrapped.get();
+    wb->pm_ = std::move(wrapped);
+  }
   wb->pool_ = std::make_unique<BufferPool>(wb->pm_.get(), options.pool_pages,
-                                           &wb->stats_);
+                                           &wb->stats_, options.pool_stripes);
   if (!options.file_path.empty()) {
     // Reserve the catalog root before anything else so Open() can find it.
     auto handle = wb->pool_->New(IoCategory::kBtree, &wb->catalog_root_);
@@ -57,6 +64,7 @@ Result<std::unique_ptr<Workbench>> Workbench::Build(Dataset data,
     wb->cube_ = std::make_unique<PCube>(std::move(*cube));
   }
   PCUBE_RETURN_NOT_OK(wb->ColdStart());
+  if (latency != nullptr) latency->set_read_latency_us(options.read_latency_us);
   return wb;
 }
 
@@ -186,6 +194,14 @@ Result<TopKOutput> Workbench::SignatureTopK(const PredicateSet& preds,
   if (!probe.ok()) return probe.status();
   TopKEngine engine(tree_.get(), probe->get(), nullptr, &f, k);
   return engine.Run();
+}
+
+BatchOutput Workbench::RunBatch(const std::vector<BatchQuery>& queries,
+                                size_t num_workers) {
+  PCUBE_CHECK(cube_ != nullptr);
+  ThreadPool pool(num_workers);
+  BatchExecutor executor(tree_.get(), cube_.get(), &pool);
+  return executor.Execute(queries);
 }
 
 }  // namespace pcube

@@ -16,6 +16,7 @@
 #include "query/skyline_engine.h"
 #include "query/topk_engine.h"
 #include "storage/table_store.h"
+#include "workbench/batch_executor.h"
 
 namespace pcube {
 
@@ -23,6 +24,10 @@ namespace pcube {
 struct WorkbenchOptions {
   /// Buffer-pool capacity in pages (default 64Ki pages = 256 MiB of frames).
   size_t pool_pages = size_t{1} << 16;
+  /// Lock stripes for the buffer pool; 0 = automatic (see BufferPool).
+  /// Concurrency benchmarks set this explicitly so small eviction-pressure
+  /// pools still get parallel stripes.
+  size_t pool_stripes = 0;
   RTreeOptions rtree;
   PCubeOptions pcube;
   /// Build the R-tree by repeated R* insertion (construction benchmarks)
@@ -34,6 +39,11 @@ struct WorkbenchOptions {
   bool build_indices = true;
   bool build_cube = true;
   bool build_table = true;
+  /// When > 0, wrap the page manager in a LatencyPageManager sleeping this
+  /// long per physical read. The latency is enabled only AFTER construction,
+  /// so building stays fast; queries then pay real blocked time per page
+  /// miss (throughput benchmarks overlap these stalls across workers).
+  double read_latency_us = 0;
   /// When non-empty, back everything by a file instead of RAM; the instance
   /// can then be persisted with Save() and reopened with Workbench::Open().
   std::string file_path;
@@ -90,6 +100,12 @@ class Workbench {
   /// Convenience: signature-based top-k.
   Result<TopKOutput> SignatureTopK(const PredicateSet& preds,
                                    const RankingFunction& f, size_t k);
+
+  /// Convenience: answers `queries` concurrently on `num_workers` threads
+  /// over this instance's shared tree + cube (see batch_executor.h). The
+  /// instance must not be mutated while the batch runs.
+  BatchOutput RunBatch(const std::vector<BatchQuery>& queries,
+                       size_t num_workers);
 
  private:
   Workbench() : pool_(nullptr) {}

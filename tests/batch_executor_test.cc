@@ -1,0 +1,167 @@
+// BatchExecutor tests: a concurrent batch must return exactly the results
+// sequential execution returns (same skylines, same top-k, query by query),
+// report per-query I/O that sums to the merged counters, and surface
+// per-query failures without poisoning the batch. Run under TSan by
+// scripts/ci.sh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workbench/workbench.h"
+
+namespace pcube {
+namespace {
+
+std::unique_ptr<Workbench> BuildBench(uint64_t rows) {
+  SyntheticConfig config;
+  config.num_tuples = rows;
+  config.num_bool = 3;
+  config.num_pref = 2;
+  config.bool_cardinality = 8;
+  config.seed = 7;
+  auto wb = Workbench::Build(GenerateSynthetic(config), {});
+  PCUBE_CHECK(wb.ok()) << wb.status().ToString();
+  return std::move(*wb);
+}
+
+std::vector<BatchQuery> MixedWorkload() {
+  std::vector<BatchQuery> queries;
+  auto linear = std::make_shared<LinearRanking>(std::vector<double>{1.0, 2.0});
+  auto l2 = std::make_shared<WeightedL2Ranking>(
+      std::vector<double>{0.5, 0.5}, std::vector<double>{1.0, 1.0});
+  for (uint32_t v = 0; v < 8; ++v) {
+    queries.push_back(BatchQuery::Skyline(PredicateSet{{0, v}}));
+    queries.push_back(BatchQuery::TopK(PredicateSet{{1, v}}, linear, 5));
+    queries.push_back(BatchQuery::TopK(PredicateSet{{2, v}}, l2, 3));
+  }
+  // Two-predicate queries and a predicate-free skyline for variety.
+  queries.push_back(BatchQuery::Skyline(PredicateSet{{0, 1}, {1, 2}}));
+  queries.push_back(BatchQuery::Skyline(PredicateSet{}));
+  SkylineQueryOptions band;
+  band.skyband_k = 2;
+  queries.push_back(BatchQuery::Skyline(PredicateSet{{2, 3}}, band));
+  return queries;
+}
+
+std::vector<TupleId> SortedIds(const std::vector<SearchEntry>& entries) {
+  std::vector<TupleId> ids;
+  ids.reserve(entries.size());
+  for (const SearchEntry& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(BatchExecutorTest, BatchMatchesSequentialExecution) {
+  auto wb = BuildBench(4000);
+  std::vector<BatchQuery> queries = MixedWorkload();
+
+  // Sequential reference answers, one engine at a time.
+  std::vector<std::vector<TupleId>> expected_ids;
+  std::vector<std::vector<double>> expected_scores;
+  for (const BatchQuery& q : queries) {
+    if (q.kind == BatchQuery::Kind::kSkyline) {
+      auto probe = wb->cube()->MakeProbe(q.preds);
+      ASSERT_TRUE(probe.ok());
+      SkylineEngine engine(wb->tree(), probe->get(), nullptr, q.skyline);
+      auto out = engine.Run();
+      ASSERT_TRUE(out.ok());
+      expected_ids.push_back(SortedIds(out->skyline));
+      expected_scores.push_back({});
+    } else {
+      auto probe = wb->cube()->MakeProbe(q.preds);
+      ASSERT_TRUE(probe.ok());
+      TopKEngine engine(wb->tree(), probe->get(), nullptr, q.ranking.get(),
+                        q.k);
+      auto out = engine.Run();
+      ASSERT_TRUE(out.ok());
+      // Top-k is ordered; compare ids and exact scores positionally.
+      std::vector<TupleId> ids;
+      std::vector<double> scores;
+      for (const SearchEntry& e : out->results) {
+        ids.push_back(e.id);
+        scores.push_back(e.key);
+      }
+      expected_ids.push_back(std::move(ids));
+      expected_scores.push_back(std::move(scores));
+    }
+  }
+
+  BatchOutput batch = wb->RunBatch(queries, /*num_workers=*/4);
+  ASSERT_EQ(batch.results.size(), queries.size());
+  EXPECT_EQ(batch.failed, 0u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const BatchQueryResult& r = batch.results[i];
+    ASSERT_TRUE(r.status.ok()) << "query " << i << ": " << r.status.ToString();
+    if (queries[i].kind == BatchQuery::Kind::kSkyline) {
+      ASSERT_TRUE(r.skyline.has_value());
+      EXPECT_FALSE(r.topk.has_value());
+      EXPECT_EQ(SortedIds(r.skyline->skyline), expected_ids[i])
+          << "skyline mismatch at query " << i;
+    } else {
+      ASSERT_TRUE(r.topk.has_value());
+      std::vector<TupleId> ids;
+      std::vector<double> scores;
+      for (const SearchEntry& e : r.topk->results) {
+        ids.push_back(e.id);
+        scores.push_back(e.key);
+      }
+      EXPECT_EQ(ids, expected_ids[i]) << "top-k mismatch at query " << i;
+      EXPECT_EQ(scores, expected_scores[i]);
+    }
+  }
+}
+
+TEST(BatchExecutorTest, RepeatedBatchesAreDeterministic) {
+  auto wb = BuildBench(2000);
+  std::vector<BatchQuery> queries = MixedWorkload();
+  BatchOutput a = wb->RunBatch(queries, 4);
+  BatchOutput b = wb->RunBatch(queries, 2);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    ASSERT_TRUE(a.results[i].status.ok());
+    ASSERT_TRUE(b.results[i].status.ok());
+    if (a.results[i].skyline.has_value()) {
+      EXPECT_EQ(SortedIds(a.results[i].skyline->skyline),
+                SortedIds(b.results[i].skyline->skyline));
+    } else {
+      EXPECT_EQ(SortedIds(a.results[i].topk->results),
+                SortedIds(b.results[i].topk->results));
+    }
+  }
+}
+
+TEST(BatchExecutorTest, PerQueryIoSumsToMergedCounters) {
+  auto wb = BuildBench(3000);
+  ASSERT_TRUE(wb->ColdStart().ok());
+  std::vector<BatchQuery> queries = MixedWorkload();
+  BatchOutput batch = wb->RunBatch(queries, 4);
+
+  IoStats merged;
+  for (const BatchQueryResult& r : batch.results) merged.Merge(r.io);
+  EXPECT_EQ(merged.TotalReads(), batch.io.TotalReads());
+  // The batch's merged I/O is exactly what the shared pool observed since
+  // the cold start: every physical read belongs to exactly one query.
+  EXPECT_EQ(batch.io.TotalReads(), wb->IoSince().TotalReads());
+  EXPECT_GT(batch.io.TotalReads(), 0u);
+}
+
+TEST(BatchExecutorTest, PerQueryFailuresDoNotPoisonTheBatch) {
+  auto wb = BuildBench(1000);
+  std::vector<BatchQuery> queries;
+  queries.push_back(BatchQuery::Skyline(PredicateSet{{0, 1}}));
+  // Top-k with a null ranking function must fail cleanly.
+  queries.push_back(BatchQuery::TopK(PredicateSet{{0, 1}}, nullptr, 5));
+  queries.push_back(BatchQuery::Skyline(PredicateSet{{1, 2}}));
+
+  BatchOutput batch = wb->RunBatch(queries, 2);
+  ASSERT_EQ(batch.results.size(), 3u);
+  EXPECT_EQ(batch.failed, 1u);
+  EXPECT_TRUE(batch.results[0].status.ok());
+  EXPECT_FALSE(batch.results[1].status.ok());
+  EXPECT_TRUE(batch.results[2].status.ok());
+  EXPECT_TRUE(batch.results[0].skyline.has_value());
+  EXPECT_TRUE(batch.results[2].skyline.has_value());
+}
+
+}  // namespace
+}  // namespace pcube
