@@ -280,7 +280,7 @@ void BM_Planner(benchmark::State& state, const char* mode) {
       auto out = planner.Skyline(preds);
       PCUBE_CHECK(out.ok());
       last.seconds = t.ElapsedSeconds();
-      last.io = out->executed_io;
+      last.io = out->io;
       last.result_size = out->tids.size();
       state.counters["chose_boolean"] =
           out->estimate.choice == PlanChoice::kBooleanFirst ? 1 : 0;

@@ -12,8 +12,11 @@
 // than the working set so the workload keeps faulting, as a loaded server
 // serving many distinct queries would.
 //
-// Output: a human-readable table on stdout and BENCH_throughput.json in the
-// working directory.
+// Output: a human-readable table on stdout plus three artifacts in the
+// working directory — BENCH_throughput.json (per-run qps and latency
+// quantiles), BENCH_throughput_metrics.prom (Prometheus-style dump of every
+// engine and buffer-pool metric) and BENCH_throughput_querylog.jsonl (one
+// trace record per query of the final measured batch).
 //
 // Environment knobs:
 //   PCUBE_THROUGHPUT_ROWS        dataset size            (default 20000)
@@ -21,14 +24,17 @@
 //   PCUBE_THROUGHPUT_LATENCY_US  per-read sleep, micros  (default 1000)
 //   PCUBE_THROUGHPUT_POOL_PAGES  buffer-pool capacity    (default 64)
 //   PCUBE_THROUGHPUT_STRIPES     buffer-pool stripes     (default 16)
+//   PCUBE_THROUGHPUT_SMOKE       when set, sweep only {1, 2} workers (CI)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/timer.h"
+#include "common/trace.h"
 #include "data/generators.h"
 #include "workbench/workbench.h"
 
@@ -125,17 +131,34 @@ int main() {
     double qps;
     uint64_t reads;
     uint64_t failed;
+    LatencySummary latency;
   };
   std::vector<Row> rows;
-  for (size_t workers : {1, 2, 4, 8}) {
-    BatchOutput out = (*wb)->RunBatch(queries, workers);
+  std::vector<size_t> sweep = {1, 2, 4, 8};
+  if (std::getenv("PCUBE_THROUGHPUT_SMOKE") != nullptr) sweep = {1, 2};
+  // The last sweep point also writes the JSONL query log (one record per
+  // query; earlier runs would just overwrite it).
+  std::unique_ptr<QueryLog> query_log;
+  {
+    auto log = QueryLog::OpenFile("BENCH_throughput_querylog.jsonl");
+    PCUBE_CHECK(log.ok()) << log.status().ToString();
+    query_log = std::move(*log);
+  }
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const size_t workers = sweep[i];
+    const bool last = i + 1 == sweep.size();
+    BatchOutput out =
+        (*wb)->RunBatch(queries, workers, last ? query_log.get() : nullptr);
     PCUBE_CHECK_EQ(out.failed, 0u);
     rows.push_back({workers, out.seconds,
                     static_cast<double>(queries.size()) / out.seconds,
-                    out.io.TotalReads(), out.failed});
-    std::printf("  %zu worker(s): %6.2f qps  (%.3f s, %llu page reads)\n",
-                workers, rows.back().qps, out.seconds,
-                static_cast<unsigned long long>(rows.back().reads));
+                    out.io.TotalReads(), out.failed, out.latency});
+    std::printf(
+        "  %zu worker(s): %6.2f qps  (%.3f s, %llu page reads, "
+        "p50 %.1f ms, p95 %.1f ms, p99 %.1f ms)\n",
+        workers, rows.back().qps, out.seconds,
+        static_cast<unsigned long long>(rows.back().reads),
+        out.latency.p50 * 1e3, out.latency.p95 * 1e3, out.latency.p99 * 1e3);
   }
 
   const double base_qps = rows.front().qps;
@@ -148,15 +171,29 @@ int main() {
     const Row& r = rows[i];
     json << "    {\"workers\": " << r.workers << ", \"qps\": " << r.qps
          << ", \"seconds\": " << r.seconds << ", \"page_reads\": " << r.reads
+         << ", \"latency_p50\": " << r.latency.p50
+         << ", \"latency_p95\": " << r.latency.p95
+         << ", \"latency_p99\": " << r.latency.p99
+         << ", \"latency_mean\": " << r.latency.mean
          << ", \"speedup\": " << r.qps / base_qps << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   json.close();
 
+  // Process-wide metrics dump: engine counters and latency histogram from
+  // every batch above plus this instance's buffer-pool/storage gauges.
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  (*wb)->ExportMetrics(&registry);
+  std::ofstream prom("BENCH_throughput_metrics.prom");
+  prom << registry.RenderText();
+  prom.close();
+
   for (const Row& r : rows) {
     std::printf("speedup @%zu workers: %.2fx\n", r.workers, r.qps / base_qps);
   }
-  std::printf("wrote BENCH_throughput.json\n");
+  std::printf(
+      "wrote BENCH_throughput.json, BENCH_throughput_metrics.prom, "
+      "BENCH_throughput_querylog.jsonl\n");
   return 0;
 }

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# CI driver: builds and tests the tree twice —
+# CI driver: builds and tests the tree three ways —
 #   1. plain RelWithDebInfo, full ctest suite;
 #   2. ThreadSanitizer (-DPCUBE_SANITIZE=thread), concurrency-focused tests
-#      (thread pool, striped buffer pool, batch executor, plus the classic
-#      buffer pool and workbench suites that share the touched code).
+#      (thread pool, striped buffer pool, batch executor, metrics registry,
+#      plus the classic buffer pool and workbench suites that share the
+#      touched code);
+#   3. bench_throughput smoke run (tiny dataset, {1,2} workers) validating
+#      the observability artifacts: BENCH_throughput.json must carry the
+#      latency quantiles, and the metrics dump + query log must exist. The
+#      three artifacts are collected under build/artifacts/.
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,9 +25,40 @@ echo "=== tsan build ==="
 cmake -B build-tsan -S . -DPCUBE_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test buffer_pool_concurrency_test batch_executor_test \
-  buffer_pool_test workbench_test
+  metrics_test buffer_pool_test workbench_test
 echo "=== tsan ctest ==="
 ctest --test-dir build-tsan --output-on-failure -R \
-  '^(thread_pool_test|buffer_pool_concurrency_test|batch_executor_test|buffer_pool_test|workbench_test)$'
+  '^(thread_pool_test|buffer_pool_concurrency_test|batch_executor_test|metrics_test|buffer_pool_test|workbench_test)$'
+
+echo "=== throughput smoke ==="
+SMOKE_DIR=build/smoke
+mkdir -p "$SMOKE_DIR"
+(cd "$SMOKE_DIR" &&
+ PCUBE_THROUGHPUT_SMOKE=1 \
+ PCUBE_THROUGHPUT_ROWS=2000 \
+ PCUBE_THROUGHPUT_QUERIES=24 \
+ PCUBE_THROUGHPUT_LATENCY_US=100 \
+ ../bench/bench_throughput)
+for field in latency_p50 latency_p95 latency_p99; do
+  if ! grep -q "\"$field\"" "$SMOKE_DIR/BENCH_throughput.json"; then
+    echo "ci.sh: BENCH_throughput.json is missing $field" >&2
+    exit 1
+  fi
+done
+for artifact in BENCH_throughput_metrics.prom BENCH_throughput_querylog.jsonl; do
+  if [ ! -s "$SMOKE_DIR/$artifact" ]; then
+    echo "ci.sh: $artifact missing or empty" >&2
+    exit 1
+  fi
+done
+if ! grep -q '^pcube_bufferpool_hits_total' "$SMOKE_DIR/BENCH_throughput_metrics.prom"; then
+  echo "ci.sh: metrics dump lacks buffer-pool counters" >&2
+  exit 1
+fi
+mkdir -p build/artifacts
+cp "$SMOKE_DIR"/BENCH_throughput.json \
+   "$SMOKE_DIR"/BENCH_throughput_metrics.prom \
+   "$SMOKE_DIR"/BENCH_throughput_querylog.jsonl build/artifacts/
+echo "ci.sh: artifacts in build/artifacts/"
 
 echo "ci.sh: all green"

@@ -1,0 +1,114 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pcube {
+
+int Histogram::BucketFor(double v) {
+  if (!(v > kMinUpper)) return 0;  // also catches NaN and negatives
+  int i = static_cast<int>(std::ceil(std::log2(v / kMinUpper)));
+  if (i < 0) i = 0;
+  if (i >= kNumBuckets) i = kNumBuckets - 1;
+  return i;
+}
+
+double Histogram::BucketUpper(int i) { return kMinUpper * std::ldexp(1.0, i); }
+
+double Histogram::Quantile(double q) const {
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  double target = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t in_bucket = BucketCount(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      double lower = i == 0 ? 0 : BucketUpper(i - 1);
+      double upper = BucketUpper(i);
+      double frac = (target - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket);
+      return lower + frac * (upper - lower);
+    }
+    seen += in_bucket;
+  }
+  return BucketUpper(kNumBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Splices `label` into a metric name, before any existing `{...}` suffix:
+/// ("h", quantile="0.5") -> h{quantile="0.5"};
+/// ("h{op=\"x\"}", ...)  -> h{op="x",quantile="0.5"}.
+std::string WithLabel(const std::string& name, const std::string& label) {
+  if (name.find('{') == std::string::npos) return name + "{" + label + "}";
+  std::string out = name;
+  out.insert(out.size() - 1, "," + label);
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << " " << c->Value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << " " << FormatDouble(g->Value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << name << "_count " << h->Count() << "\n";
+    out << name << "_sum " << FormatDouble(h->Sum()) << "\n";
+    for (double q : {0.5, 0.95, 0.99}) {
+      out << WithLabel(name, "quantile=\"" + FormatDouble(q) + "\"") << " "
+          << FormatDouble(h->Quantile(q)) << "\n";
+    }
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace pcube

@@ -1,0 +1,128 @@
+// Process-wide metrics: named counters, gauges and log-bucketed latency
+// histograms behind one thread-safe registry, rendered as a Prometheus-style
+// text dump. The paper's evaluation is entirely counter-driven (heap peaks,
+// pruned entries, probe time, page I/O — Figs. 8-16); this registry makes
+// the same counters observable in a running server instead of only inside
+// one-off benchmark mains.
+//
+// Thread-safety: metric updates (Increment/Set/Observe) are relaxed atomics
+// and safe from any number of threads; registration (Get*) takes a mutex
+// once and returns a pointer that stays valid for the registry's lifetime.
+// Reading while writers are active yields a momentary view, exact once the
+// writers have quiesced — the same contract as IoStats.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace pcube {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Point-in-time value (set, not accumulated).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Log-bucketed histogram for positive values (typically seconds). Bucket i
+/// spans (kMinUpper * 2^(i-1), kMinUpper * 2^i]; bucket 0 catches everything
+/// <= kMinUpper (1 microsecond when observing seconds), the last bucket
+/// catches overflow. Quantiles interpolate linearly inside the bucket, so
+/// they are estimates with at most one power of two of relative error —
+/// plenty for p50/p95/p99 latency reporting.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+  static constexpr double kMinUpper = 1e-6;
+
+  void Observe(double v) {
+    buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const { return Count() == 0 ? 0 : Sum() / Count(); }
+
+  /// Estimated value at quantile `q` in [0, 1]; 0 when empty.
+  double Quantile(double q) const;
+
+  /// Index of the bucket `v` lands in (exposed for tests).
+  static int BucketFor(double v);
+  /// Inclusive upper edge of bucket `i` (lower edge of `i+1`).
+  static double BucketUpper(int i);
+
+  uint64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Thread-safe name -> metric registry. Names follow Prometheus conventions
+/// and may carry labels inline: `pcube_bufferpool_hits{stripe="3"}`.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry queries and pools report into.
+  static MetricsRegistry& Default();
+
+  /// Find-or-create; the returned pointer stays valid for the registry's
+  /// lifetime, so hot paths look a metric up once and cache the pointer.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Prometheus-style text dump: `name value` per counter/gauge, and
+  /// `name_count` / `name_sum` / `name{quantile="..."}` per histogram, in
+  /// sorted name order.
+  std::string RenderText() const;
+
+  /// Zeroes every registered metric (benchmark reruns, tests). Pointers
+  /// handed out earlier stay valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace pcube

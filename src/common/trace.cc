@@ -1,0 +1,78 @@
+#include "common/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace pcube {
+
+namespace {
+thread_local Trace* tls_trace = nullptr;
+}  // namespace
+
+uint64_t Trace::NextId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Trace::Record(std::string_view stage, double seconds) {
+  for (Stage& s : stages_) {
+    if (s.name == stage) {
+      ++s.count;
+      s.seconds += seconds;
+      return;
+    }
+  }
+  stages_.push_back(Stage{std::string(stage), 1, seconds});
+}
+
+double Trace::StageSeconds(std::string_view stage) const {
+  for (const Stage& s : stages_) {
+    if (s.name == stage) return s.seconds;
+  }
+  return 0;
+}
+
+std::string Trace::SpansJson() const {
+  std::string out = "{";
+  char buf[128];
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    const Stage& s = stages_[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%llu,\"seconds\":%.9g}",
+                  i == 0 ? "" : ",", s.name.c_str(),
+                  static_cast<unsigned long long>(s.count), s.seconds);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+Trace::ScopedBind::ScopedBind(Trace* trace) : saved_(tls_trace) {
+  tls_trace = trace;
+}
+
+Trace::ScopedBind::~ScopedBind() { tls_trace = saved_; }
+
+Trace* Trace::Current() { return tls_trace; }
+
+Result<std::unique_ptr<QueryLog>> QueryLog::OpenFile(const std::string& path) {
+  auto stream = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!stream->is_open()) {
+    return Status::IoError("cannot open query log '" + path + "'");
+  }
+  return std::unique_ptr<QueryLog>(new QueryLog(std::move(stream)));
+}
+
+void QueryLog::Append(const std::string& json_line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (*out_) << json_line << "\n";
+  out_->flush();
+  ++records_;
+}
+
+uint64_t QueryLog::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+}  // namespace pcube

@@ -1,0 +1,127 @@
+// Per-query tracing: a Trace collects per-stage timing aggregates
+// (signature probe, heap expansion, boolean verification, page I/O wait...)
+// while one query executes, and a QueryLog appends one structured JSONL
+// record per finished query. Together with the MetricsRegistry this is the
+// observability substrate of the query path: metrics answer "how is the
+// system doing", traces answer "where did THIS query spend its time".
+//
+// Span model: stages are independent aggregates keyed by name, each with a
+// call count and total seconds. Spans may nest (a signature probe that
+// faults a page accumulates both `signature_probe` and `io_wait`), so stage
+// times overlap rather than partitioning the query's wall time.
+//
+// Thread-safety: a Trace belongs to one query and is recorded into by the
+// single thread running it (engines are per-query single-threaded by
+// contract). Layers that have no Trace* at hand — the BufferPool charging
+// I/O wait — reach the current query's trace through the thread-local
+// binding installed by Trace::ScopedBind. QueryLog::Append is fully
+// thread-safe (the BatchExecutor's workers share one log).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace pcube {
+
+/// Timing aggregates of one query execution, keyed by stage name.
+class Trace {
+ public:
+  struct Stage {
+    std::string name;
+    uint64_t count = 0;
+    double seconds = 0;
+  };
+
+  Trace() : id_(NextId()) {}
+
+  /// Process-unique id, stamped into the query log record.
+  uint64_t id() const { return id_; }
+
+  /// Adds one observation of `stage` (creates the stage on first use).
+  void Record(std::string_view stage, double seconds);
+
+  const std::vector<Stage>& stages() const { return stages_; }
+
+  /// Total seconds recorded for `stage` (0 when never recorded).
+  double StageSeconds(std::string_view stage) const;
+
+  /// JSON object mapping stage name to {"count": n, "seconds": s}.
+  std::string SpansJson() const;
+
+  /// Binds a trace to the calling thread so lower layers (BufferPool) can
+  /// attribute work to the running query; restores the previous binding on
+  /// destruction. Binding null disables attribution for the scope.
+  class ScopedBind {
+   public:
+    explicit ScopedBind(Trace* trace);
+    ~ScopedBind();
+    ScopedBind(const ScopedBind&) = delete;
+    ScopedBind& operator=(const ScopedBind&) = delete;
+
+   private:
+    Trace* saved_;
+  };
+
+  /// The trace bound to the calling thread, or nullptr.
+  static Trace* Current();
+
+ private:
+  static uint64_t NextId();
+
+  uint64_t id_;
+  // Queries touch a handful of distinct stages; linear scan beats a map.
+  std::vector<Stage> stages_;
+};
+
+/// RAII span: records elapsed wall time into `trace` under `stage` on
+/// destruction. Null trace makes it a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, const char* stage) : trace_(trace), stage_(stage) {}
+  ~ScopedSpan() {
+    if (trace_ != nullptr) trace_->Record(stage_, timer_.ElapsedSeconds());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Trace* trace_;
+  const char* stage_;
+  Timer timer_;
+};
+
+/// Thread-safe JSONL sink: one line per query.
+class QueryLog {
+ public:
+  /// Non-owning: lines go to `*out`, which must outlive the log.
+  explicit QueryLog(std::ostream* out) : out_(out) {}
+
+  /// Owning: creates/truncates `path`.
+  static Result<std::unique_ptr<QueryLog>> OpenFile(const std::string& path);
+
+  /// Appends one record (a complete JSON object WITHOUT trailing newline;
+  /// the log adds it) and flushes.
+  void Append(const std::string& json_line);
+
+  uint64_t records() const;
+
+ private:
+  explicit QueryLog(std::unique_ptr<std::ofstream> owned)
+      : out_(owned.get()), owned_(std::move(owned)) {}
+
+  mutable std::mutex mu_;
+  std::ostream* out_;
+  std::unique_ptr<std::ofstream> owned_;
+  uint64_t records_ = 0;
+};
+
+}  // namespace pcube

@@ -12,6 +12,21 @@
 
 namespace pcube {
 
+/// Configuration for one skyline query.
+struct SkylineQueryOptions {
+  /// Preference dimensions the skyline is computed on (indices into the
+  /// tree's dimensions); empty = all.
+  std::vector<int> pref_dims;
+  /// Dynamic skyline (paper §VII, after [9]): when non-empty, dominance is
+  /// evaluated on the transformed coordinates |x_d - origin_d| — "closer to
+  /// my reference point in every respect". Must have one entry per tree
+  /// dimension.
+  std::vector<float> origin;
+  /// k-skyband: report the objects dominated by fewer than k others
+  /// (k = 1 is the ordinary skyline).
+  size_t skyband_k = 1;
+};
+
 /// One candidate-heap entry: an R-tree node or a data object.
 struct SearchEntry {
   /// Heap priority: skyline queries use the lower-corner coordinate sum

@@ -1,0 +1,36 @@
+#include "query/request.h"
+
+#include <cstdio>
+
+namespace pcube {
+
+std::string QueryLogRecord(const QueryRequest& request,
+                           const QueryResponse& response) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"trace_id\":%llu,\"kind\":\"%s\",\"preds\":\"%s\",\"k\":%llu,"
+      "\"plan\":\"%s\",\"seconds\":%.9g,\"results\":%llu,"
+      "\"io_reads\":%llu,\"counters\":{\"heap_peak\":%llu,"
+      "\"nodes_expanded\":%llu,\"pruned_boolean\":%llu,"
+      "\"pruned_preference\":%llu,\"verified\":%llu,\"sig_seconds\":%.9g},"
+      "\"spans\":",
+      static_cast<unsigned long long>(response.trace_id()),
+      request.kind == QueryRequest::Kind::kSkyline ? "skyline" : "topk",
+      request.preds.ToString().c_str(),
+      static_cast<unsigned long long>(
+          request.kind == QueryRequest::Kind::kTopK ? request.k : 0),
+      response.estimate.choice == PlanChoice::kSignature ? "signature"
+                                                         : "boolean_first",
+      response.seconds, static_cast<unsigned long long>(response.tids.size()),
+      static_cast<unsigned long long>(response.io.TotalReads()),
+      static_cast<unsigned long long>(response.counters.heap_peak),
+      static_cast<unsigned long long>(response.counters.nodes_expanded),
+      static_cast<unsigned long long>(response.counters.pruned_boolean),
+      static_cast<unsigned long long>(response.counters.pruned_preference),
+      static_cast<unsigned long long>(response.counters.verified),
+      response.counters.sig_seconds);
+  return std::string(buf) + response.trace.SpansJson() + "}";
+}
+
+}  // namespace pcube

@@ -83,7 +83,9 @@ Result<bool> SkylineEngine::Prune(const SearchEntry& e) {
     Timer t;
     auto pass = e.is_data ? probe_->TestData(e.path, e.id)
                            : probe_->Test(e.path);
-    out_.counters.sig_seconds += t.ElapsedSeconds();
+    double dt = t.ElapsedSeconds();
+    out_.counters.sig_seconds += dt;
+    if (trace_ != nullptr) trace_->Record("signature_probe", dt);
     if (!pass.ok()) return pass.status();
     if (!*pass) {
       out_.b_list.push_back(e);
@@ -128,6 +130,7 @@ Result<SkylineOutput> SkylineEngine::RunFrom(
 
     if (e.is_data) {
       if (verifier_ != nullptr) {
+        ScopedSpan span(trace_, "boolean_verify");
         auto ok = verifier_->Verify(e.id);
         if (!ok.ok()) return ok.status();
         ++out_.counters.verified;
@@ -142,6 +145,7 @@ Result<SkylineOutput> SkylineEngine::RunFrom(
       continue;
     }
 
+    ScopedSpan expand_span(trace_, "heap_expand");
     auto node_handle = tree_->ReadNode(e.id);
     if (!node_handle.ok()) return node_handle.status();
     ++out_.counters.nodes_expanded;

@@ -8,6 +8,7 @@
 
 #include <optional>
 
+#include "common/trace.h"
 #include "core/probe.h"
 #include "query/query_types.h"
 #include "query/verifier.h"
@@ -15,22 +16,9 @@
 
 namespace pcube {
 
-/// Configuration for one skyline query.
-struct SkylineQueryOptions {
-  /// Preference dimensions the skyline is computed on (indices into the
-  /// tree's dimensions); empty = all.
-  std::vector<int> pref_dims;
-  /// Dynamic skyline (paper §VII, after [9]): when non-empty, dominance is
-  /// evaluated on the transformed coordinates |x_d - origin_d| — "closer to
-  /// my reference point in every respect". Must have one entry per tree
-  /// dimension.
-  std::vector<float> origin;
-  /// k-skyband: report the objects dominated by fewer than k others
-  /// (k = 1 is the ordinary skyline).
-  size_t skyband_k = 1;
-};
-
 /// Executes skyline queries against one R-tree + boolean probe.
+/// (SkylineQueryOptions lives in query_types.h with the other shared query
+/// framework types.)
 class SkylineEngine {
  public:
   /// `probe` supplies boolean pruning (TrueProbe for the Domination
@@ -48,6 +36,10 @@ class SkylineEngine {
   /// seed replaces the root, everything else is unchanged.
   Result<SkylineOutput> RunFrom(const std::vector<SearchEntry>& seed);
 
+  /// Optional per-stage timing sink (signature_probe, heap_expand,
+  /// boolean_verify). Must outlive the run; null disables tracing.
+  void set_trace(Trace* trace) { trace_ = trace; }
+
  private:
   double EntryKey(const RectF& rect) const;
   /// Optimistic transformed coordinate of `rect` on dimension d: the least
@@ -64,6 +56,7 @@ class SkylineEngine {
   const RStarTree* tree_;
   BooleanProbe* probe_;
   const TupleVerifier* verifier_;
+  Trace* trace_ = nullptr;
   SkylineQueryOptions options_;
   std::vector<int> dims_;
   SkylineOutput out_;

@@ -6,6 +6,7 @@
 // scores, the first k accepted data objects are exactly the top-k.
 #pragma once
 
+#include "common/trace.h"
 #include "core/probe.h"
 #include "query/query_types.h"
 #include "query/ranking.h"
@@ -29,12 +30,17 @@ class TopKEngine {
   /// Runs with a reconstructed candidate heap (Lemma 2 seeds).
   Result<TopKOutput> RunFrom(const std::vector<SearchEntry>& seed);
 
+  /// Optional per-stage timing sink (signature_probe, heap_expand,
+  /// boolean_verify). Must outlive the run; null disables tracing.
+  void set_trace(Trace* trace) { trace_ = trace; }
+
  private:
   Result<bool> Prune(const SearchEntry& e);
 
   const RStarTree* tree_;
   BooleanProbe* probe_;
   const TupleVerifier* verifier_;
+  Trace* trace_ = nullptr;
   const RankingFunction* f_;
   size_t k_;
   TopKOutput out_;

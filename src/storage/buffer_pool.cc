@@ -1,5 +1,9 @@
 #include "storage/buffer_pool.h"
 
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "common/trace.h"
+
 namespace pcube {
 
 namespace {
@@ -84,6 +88,7 @@ Status BufferPool::EvictOne(Stripe* stripe) {
     }
     stripe->lru.erase(std::next(it).base());
     stripe->frames.erase(fit);
+    stripe->evictions.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
   return Status::OK();  // everything pinned: grow
@@ -104,6 +109,7 @@ Result<PageHandle> BufferPool::Fetch(PageId pid, IoCategory cat, bool load,
       continue;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
+    stripe.hits.fetch_add(1, std::memory_order_relaxed);
     stripe.lru.erase(frame.lru_pos);
     stripe.lru.push_front(pid);
     frame.lru_pos = stripe.lru.begin();
@@ -114,7 +120,10 @@ Result<PageHandle> BufferPool::Fetch(PageId pid, IoCategory cat, bool load,
     ++frame.pins;
     return PageHandle(this, pid, &frame.page);
   }
-  if (load) misses_.fetch_add(1, std::memory_order_relaxed);
+  if (load) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    stripe.misses.fetch_add(1, std::memory_order_relaxed);
+  }
   if (stripe.frames.size() >= stripe.capacity) {
     PCUBE_RETURN_NOT_OK(EvictOne(&stripe));
   }
@@ -133,7 +142,14 @@ Result<PageHandle> BufferPool::Fetch(PageId pid, IoCategory cat, bool load,
     // is excluded by the eviction rule.
     frame.loading = true;
     lock.unlock();
+    Timer read_timer;
     Status st = pm_->Read(pid, &frame.page);
+    double wait = read_timer.ElapsedSeconds();
+    stripe.load_wait_us.fetch_add(static_cast<uint64_t>(wait * 1e6),
+                                  std::memory_order_relaxed);
+    if (Trace* trace = Trace::Current(); trace != nullptr) {
+      trace->Record("io_wait", wait);
+    }
     lock.lock();
     frame.loading = false;
     if (!st.ok()) {
@@ -194,6 +210,80 @@ Status BufferPool::FreePage(PageId pid) {
     }
   }
   return pm_->Free(pid);
+}
+
+uint64_t BufferPool::evictions() const {
+  uint64_t n = 0;
+  for (const auto& stripe : stripes_) {
+    n += stripe->evictions.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+double BufferPool::load_wait_seconds() const {
+  uint64_t us = 0;
+  for (const auto& stripe : stripes_) {
+    us += stripe->load_wait_us.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(us) * 1e-6;
+}
+
+std::vector<BufferPool::StripeStats> BufferPool::PerStripeStats() const {
+  std::vector<StripeStats> out;
+  out.reserve(stripes_.size());
+  for (const auto& stripe : stripes_) {
+    StripeStats s;
+    s.hits = stripe->hits.load(std::memory_order_relaxed);
+    s.misses = stripe->misses.load(std::memory_order_relaxed);
+    s.evictions = stripe->evictions.load(std::memory_order_relaxed);
+    s.load_wait_seconds =
+        static_cast<double>(
+            stripe->load_wait_us.load(std::memory_order_relaxed)) *
+        1e-6;
+    {
+      std::lock_guard<std::mutex> lock(stripe->mu);
+      s.frames = stripe->frames.size();
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+void BufferPool::ExportTo(MetricsRegistry* registry,
+                          const std::string& prefix) const {
+  std::vector<StripeStats> stats = PerStripeStats();
+  StripeStats total;
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const StripeStats& s = stats[i];
+    std::string label = "{stripe=\"" + std::to_string(i) + "\"}";
+    registry->GetGauge(prefix + "_hits" + label)
+        ->Set(static_cast<double>(s.hits));
+    registry->GetGauge(prefix + "_misses" + label)
+        ->Set(static_cast<double>(s.misses));
+    registry->GetGauge(prefix + "_evictions" + label)
+        ->Set(static_cast<double>(s.evictions));
+    registry->GetGauge(prefix + "_load_wait_seconds" + label)
+        ->Set(s.load_wait_seconds);
+    registry->GetGauge(prefix + "_frames" + label)
+        ->Set(static_cast<double>(s.frames));
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.load_wait_seconds += s.load_wait_seconds;
+    total.frames += s.frames;
+  }
+  registry->GetGauge(prefix + "_hits_total")
+      ->Set(static_cast<double>(total.hits));
+  registry->GetGauge(prefix + "_misses_total")
+      ->Set(static_cast<double>(total.misses));
+  registry->GetGauge(prefix + "_evictions_total")
+      ->Set(static_cast<double>(total.evictions));
+  registry->GetGauge(prefix + "_load_wait_seconds_total")
+      ->Set(total.load_wait_seconds);
+  registry->GetGauge(prefix + "_frames_total")
+      ->Set(static_cast<double>(total.frames));
+  registry->GetGauge(prefix + "_stripes")
+      ->Set(static_cast<double>(stats.size()));
 }
 
 Status BufferPool::Clear() {

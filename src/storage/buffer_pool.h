@@ -27,6 +27,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -39,6 +40,7 @@
 namespace pcube {
 
 class BufferPool;
+class MetricsRegistry;
 
 /// Pinning, move-only reference to a cached page frame.
 class PageHandle {
@@ -120,9 +122,29 @@ class BufferPool {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Frames dropped to make room (write-backs of dirty victims included).
+  uint64_t evictions() const;
+  /// Total wall time threads spent blocked in physical page reads. With a
+  /// LatencyPageManager this is the simulated disk time the workload paid;
+  /// it also lands in the current query's trace as `io_wait` spans.
+  double load_wait_seconds() const;
   size_t num_stripes() const { return stripes_.size(); }
   PageManager* page_manager() const { return pm_; }
   IoStats* stats() const { return stats_; }
+
+  /// Point-in-time counters of one lock stripe.
+  struct StripeStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    double load_wait_seconds = 0;
+    size_t frames = 0;  ///< resident frames right now
+  };
+  std::vector<StripeStats> PerStripeStats() const;
+
+  /// Publishes pool gauges into `registry` under `prefix`
+  /// (`<prefix>_hits{stripe="0"}`, ... plus `<prefix>_*_total` sums).
+  void ExportTo(MetricsRegistry* registry, const std::string& prefix) const;
 
  private:
   friend class PageHandle;
@@ -147,6 +169,12 @@ class BufferPool {
     std::unordered_map<PageId, Frame> frames;
     std::list<PageId> lru;  // front = most recent
     size_t capacity = 1;
+    // Per-stripe observability counters (atomics so PerStripeStats and the
+    // metrics export read them without taking every stripe lock).
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> load_wait_us{0};
   };
 
   Stripe& StripeFor(PageId pid) {

@@ -1,14 +1,52 @@
 #include "workbench/batch_executor.h"
 
+#include <algorithm>
+
+#include "common/metrics.h"
 #include "common/timer.h"
 
 namespace pcube {
 
+namespace {
+
+/// Per-query bookkeeping every finished query reports into the process-wide
+/// registry: volume, latency and the engine counters behind Figs. 8-16.
+void ReportQueryMetrics(const BatchQuery& query, const QueryResponse& resp,
+                        bool ok) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry
+      .GetCounter(query.kind == BatchQuery::Kind::kSkyline
+                      ? "pcube_queries_total{kind=\"skyline\"}"
+                      : "pcube_queries_total{kind=\"topk\"}")
+      ->Increment();
+  if (!ok) {
+    registry.GetCounter("pcube_query_failures_total")->Increment();
+    return;
+  }
+  registry.GetHistogram("pcube_query_seconds")->Observe(resp.seconds);
+  registry.GetCounter("pcube_engine_nodes_expanded_total")
+      ->Increment(resp.counters.nodes_expanded);
+  registry.GetCounter("pcube_engine_pruned_boolean_total")
+      ->Increment(resp.counters.pruned_boolean);
+  registry.GetCounter("pcube_engine_pruned_preference_total")
+      ->Increment(resp.counters.pruned_preference);
+  registry.GetCounter("pcube_engine_verified_total")
+      ->Increment(resp.counters.verified);
+  registry.GetGauge("pcube_engine_heap_peak")
+      ->Set(static_cast<double>(resp.counters.heap_peak));
+}
+
+}  // namespace
+
 BatchQueryResult BatchExecutor::RunOne(const BatchQuery& query) const {
   BatchQueryResult result;
+  // Batches always execute the signature plan over the shared cube.
+  result.response.estimate.choice = PlanChoice::kSignature;
   // Per-thread I/O attribution: every physical read this worker performs
-  // while the query runs lands in result.io.
+  // while the query runs lands in result.io. The trace binding routes the
+  // BufferPool's io_wait spans to this query's trace the same way.
   BufferPool::ScopedThreadStats scope(&result.io);
+  Trace::ScopedBind bind(&result.response.trace);
   Timer timer;
   auto probe = cube_->MakeProbe(query.preds);
   if (!probe.ok()) {
@@ -18,8 +56,14 @@ BatchQueryResult BatchExecutor::RunOne(const BatchQuery& query) const {
   switch (query.kind) {
     case BatchQuery::Kind::kSkyline: {
       SkylineEngine engine(tree_, probe->get(), nullptr, query.skyline);
+      engine.set_trace(&result.response.trace);
       auto out = engine.Run();
       if (out.ok()) {
+        result.response.counters = out->counters;
+        for (const SearchEntry& e : out->skyline) {
+          result.response.tids.push_back(e.id);
+        }
+        std::sort(result.response.tids.begin(), result.response.tids.end());
         result.skyline = std::move(*out);
       } else {
         result.status = out.status();
@@ -33,8 +77,14 @@ BatchQueryResult BatchExecutor::RunOne(const BatchQuery& query) const {
       }
       TopKEngine engine(tree_, probe->get(), nullptr, query.ranking.get(),
                         query.k);
+      engine.set_trace(&result.response.trace);
       auto out = engine.Run();
       if (out.ok()) {
+        result.response.counters = out->counters;
+        for (const SearchEntry& e : out->results) {
+          result.response.tids.push_back(e.id);
+          result.response.scores.push_back(e.key);
+        }
         result.topk = std::move(*out);
       } else {
         result.status = out.status();
@@ -43,6 +93,8 @@ BatchQueryResult BatchExecutor::RunOne(const BatchQuery& query) const {
     }
   }
   result.seconds = timer.ElapsedSeconds();
+  result.response.seconds = result.seconds;
+  result.response.io = result.io;
   return result;
 }
 
@@ -53,14 +105,30 @@ BatchOutput BatchExecutor::Execute(const std::vector<BatchQuery>& queries) {
   std::vector<std::future<void>> futures;
   futures.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    futures.push_back(pool_->Submit(
-        [this, &queries, &out, i] { out.results[i] = RunOne(queries[i]); }));
+    futures.push_back(pool_->Submit([this, &queries, &out, i] {
+      out.results[i] = RunOne(queries[i]);
+      const BatchQueryResult& r = out.results[i];
+      ReportQueryMetrics(queries[i], r.response, r.status.ok());
+      if (query_log_ != nullptr && r.status.ok()) {
+        query_log_->Append(QueryLogRecord(queries[i], r.response));
+      }
+    }));
   }
   for (auto& f : futures) f.get();
+  Histogram latency;
   for (const BatchQueryResult& r : out.results) {
     out.io.Merge(r.io);
-    if (!r.status.ok()) ++out.failed;
+    if (!r.status.ok()) {
+      ++out.failed;
+    } else {
+      latency.Observe(r.seconds);
+    }
   }
+  out.latency.p50 = latency.Quantile(0.50);
+  out.latency.p95 = latency.Quantile(0.95);
+  out.latency.p99 = latency.Quantile(0.99);
+  out.latency.mean = latency.Mean();
+  out.latency.count = latency.Count();
   out.seconds = timer.ElapsedSeconds();
   return out;
 }

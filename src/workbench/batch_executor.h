@@ -1,11 +1,13 @@
 // Concurrent query driver (the throughput path of the ROADMAP's
-// production-scale goal). A batch of parsed top-k / skyline queries fans out
-// over a ThreadPool; every query runs Algorithm 1 independently against ONE
+// production-scale goal). A batch of QueryRequests fans out over a
+// ThreadPool; every query runs Algorithm 1 independently against ONE
 // shared, immutable PCube + RStarTree through the striped BufferPool. Each
 // worker builds its own BooleanProbe and engine (those stay single-threaded
-// per query); the only cross-thread state is the buffer pool and the IoStats
-// counters, both thread-safe. Results come back in input order together with
-// per-query and merged physical-I/O counters.
+// per query); the only cross-thread state is the buffer pool, the IoStats
+// counters and the optional QueryLog, all thread-safe. Results come back in
+// input order together with per-query QueryResponses (counters, I/O,
+// per-stage trace), merged physical-I/O counters and a latency summary
+// aggregated through a log-bucketed histogram.
 #pragma once
 
 #include <memory>
@@ -13,61 +15,48 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/pcube.h"
 #include "query/query_types.h"
 #include "query/ranking.h"
+#include "query/request.h"
 #include "query/skyline_engine.h"
 #include "query/topk_engine.h"
 #include "rtree/rstar_tree.h"
 
 namespace pcube {
 
-/// One parsed query of a batch.
-struct BatchQuery {
-  enum class Kind { kSkyline, kTopK };
-
-  Kind kind = Kind::kSkyline;
-  PredicateSet preds;
-
-  /// kSkyline: preference dims / k-skyband / dynamic-skyline origin.
-  SkylineQueryOptions skyline;
-
-  /// kTopK: ranking function (shared_ptr so a batch can reuse one function
-  /// across queries; read concurrently, so it must stay immutable) and k.
-  std::shared_ptr<const RankingFunction> ranking;
-  size_t k = 10;
-
-  static BatchQuery Skyline(PredicateSet preds,
-                            SkylineQueryOptions options = {}) {
-    BatchQuery q;
-    q.kind = Kind::kSkyline;
-    q.preds = std::move(preds);
-    q.skyline = std::move(options);
-    return q;
-  }
-
-  static BatchQuery TopK(PredicateSet preds,
-                         std::shared_ptr<const RankingFunction> f, size_t k) {
-    BatchQuery q;
-    q.kind = Kind::kTopK;
-    q.preds = std::move(preds);
-    q.ranking = std::move(f);
-    q.k = k;
-    return q;
-  }
-};
+/// One parsed query of a batch — the unified request type; batches always
+/// run the signature engines, so the plan hint is ignored here.
+using BatchQuery = QueryRequest;
 
 /// Outcome of one query of a batch (exactly one of skyline/topk is set on
 /// success, matching the query's kind).
 struct BatchQueryResult {
   Status status;
+  /// The unified summary: result tids/scores, engine counters, physical
+  /// I/O, per-stage trace and wall time.
+  QueryResponse response;
+  /// Full engine outputs (b_list/d_list, remaining frontier) for callers
+  /// that seed incremental queries from batch results.
   std::optional<SkylineOutput> skyline;
   std::optional<TopKOutput> topk;
   /// Physical page I/O performed by this query (per-thread attribution; a
   /// page one query faults in and another then hits is charged to the
-  /// faulting query, exactly like the sequential accounting).
+  /// faulting query, exactly like the sequential accounting). Mirrors
+  /// response.io.
   IoStats io;
   double seconds = 0;  ///< wall time of this query on its worker
+};
+
+/// Latency quantiles of one batch, estimated from a log-bucketed Histogram
+/// of per-query wall times (common/metrics.h).
+struct LatencySummary {
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double mean = 0;
+  uint64_t count = 0;
 };
 
 /// A completed batch: per-query results in input order plus merged counters.
@@ -76,14 +65,18 @@ struct BatchOutput {
   IoStats io;              ///< sum of every query's physical I/O
   uint64_t failed = 0;     ///< queries whose status is not OK
   double seconds = 0;      ///< wall time of the whole batch
+  LatencySummary latency;  ///< per-query wall-time quantiles
 };
 
 /// Fans batches of queries out over a thread pool. The tree, cube and pool
 /// must outlive the executor and must not be mutated while a batch runs.
 class BatchExecutor {
  public:
-  BatchExecutor(const RStarTree* tree, const PCube* cube, ThreadPool* pool)
-      : tree_(tree), cube_(cube), pool_(pool) {}
+  /// `query_log`, when non-null, receives one JSONL record per finished
+  /// query (thread-safe; must outlive the executor).
+  BatchExecutor(const RStarTree* tree, const PCube* cube, ThreadPool* pool,
+                QueryLog* query_log = nullptr)
+      : tree_(tree), cube_(cube), pool_(pool), query_log_(query_log) {}
 
   /// Runs every query to completion; individual failures are reported in the
   /// per-query status, never by aborting the batch.
@@ -95,6 +88,7 @@ class BatchExecutor {
   const RStarTree* tree_;
   const PCube* cube_;
   ThreadPool* pool_;
+  QueryLog* query_log_;
 };
 
 }  // namespace pcube

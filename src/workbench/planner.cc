@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
+
 namespace pcube {
 
 Result<PlanEstimate> QueryPlanner::Estimate(const PredicateSet& preds) const {
@@ -54,50 +56,101 @@ Result<PlanEstimate> QueryPlanner::Estimate(const PredicateSet& preds) const {
   return est;
 }
 
-Result<PlannedSkyline> QueryPlanner::Skyline(const PredicateSet& preds) {
-  auto est = Estimate(preds);
-  if (!est.ok()) return est.status();
-  PlannedSkyline out;
-  out.estimate = *est;
-  PCUBE_RETURN_NOT_OK(wb_->ColdStart());
-  if (est->choice == PlanChoice::kSignature) {
-    auto run = wb_->SignatureSkyline(preds);
-    if (!run.ok()) return run.status();
-    for (const SearchEntry& e : run->skyline) out.tids.push_back(e.id);
-  } else {
-    BooleanFirstExecutor boolean(&wb_->indices(), wb_->table());
-    auto run = boolean.Skyline(preds);
-    if (!run.ok()) return run.status();
-    out.tids = run->tids;
+Result<QueryResponse> QueryPlanner::Run(const QueryRequest& request) {
+  if (request.kind == QueryRequest::Kind::kTopK && request.ranking == nullptr) {
+    return Status::InvalidArgument("top-k query without ranking");
   }
-  std::sort(out.tids.begin(), out.tids.end());
-  out.executed_io = wb_->IoSince();
-  return out;
+  QueryResponse resp;
+  {
+    ScopedSpan span(&resp.trace, "plan_estimate");
+    auto est = Estimate(request.preds);
+    if (!est.ok()) return est.status();
+    resp.estimate = *est;
+  }
+  if (request.hint == PlanHint::kSignature) {
+    resp.estimate.choice = PlanChoice::kSignature;
+  } else if (request.hint == PlanHint::kBooleanFirst) {
+    resp.estimate.choice = PlanChoice::kBooleanFirst;
+  }
+  // The boolean-first baseline only implements the plain skyline; skybands
+  // and dynamic skylines are signature-engine queries regardless of cost.
+  if (request.kind == QueryRequest::Kind::kSkyline &&
+      (request.skyline.skyband_k > 1 || !request.skyline.origin.empty())) {
+    resp.estimate.choice = PlanChoice::kSignature;
+  }
+
+  PCUBE_RETURN_NOT_OK(wb_->ColdStart());
+  Timer timer;
+  // Bind the trace to this thread so the BufferPool attributes `io_wait`.
+  Trace::ScopedBind bind(&resp.trace);
+
+  if (resp.estimate.choice == PlanChoice::kSignature) {
+    auto probe = wb_->cube()->MakeProbe(request.preds);
+    if (!probe.ok()) return probe.status();
+    if (request.kind == QueryRequest::Kind::kSkyline) {
+      SkylineEngine engine(wb_->tree(), probe->get(), nullptr,
+                           request.skyline);
+      engine.set_trace(&resp.trace);
+      auto run = engine.Run();
+      if (!run.ok()) return run.status();
+      resp.counters = run->counters;
+      for (const SearchEntry& e : run->skyline) resp.tids.push_back(e.id);
+    } else {
+      TopKEngine engine(wb_->tree(), probe->get(), nullptr,
+                        request.ranking.get(), request.k);
+      engine.set_trace(&resp.trace);
+      auto run = engine.Run();
+      if (!run.ok()) return run.status();
+      resp.counters = run->counters;
+      for (const SearchEntry& e : run->results) {
+        resp.tids.push_back(e.id);
+        resp.scores.push_back(e.key);
+      }
+    }
+  } else {
+    ScopedSpan span(&resp.trace, "boolean_first");
+    BooleanFirstExecutor boolean(&wb_->indices(), wb_->table());
+    if (request.kind == QueryRequest::Kind::kSkyline) {
+      auto run = boolean.Skyline(request.preds, request.skyline.pref_dims);
+      if (!run.ok()) return run.status();
+      resp.counters = run->counters;
+      resp.tids = run->tids;
+    } else {
+      auto run = boolean.TopK(request.preds, *request.ranking, request.k);
+      if (!run.ok()) return run.status();
+      resp.counters = run->counters;
+      resp.tids = run->tids;
+      resp.scores = run->scores;
+    }
+  }
+  if (request.kind == QueryRequest::Kind::kSkyline) {
+    std::sort(resp.tids.begin(), resp.tids.end());
+  }
+  resp.seconds = timer.ElapsedSeconds();
+  resp.io = wb_->IoSince();
+
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry
+      .GetCounter(resp.estimate.choice == PlanChoice::kSignature
+                      ? "pcube_planner_plans_total{plan=\"signature\"}"
+                      : "pcube_planner_plans_total{plan=\"boolean_first\"}")
+      ->Increment();
+  registry.GetHistogram("pcube_query_seconds")->Observe(resp.seconds);
+  return resp;
+}
+
+Result<PlannedSkyline> QueryPlanner::Skyline(const PredicateSet& preds) {
+  return Run(QueryRequest::Skyline(preds));
 }
 
 Result<PlannedTopK> QueryPlanner::TopK(const PredicateSet& preds,
                                        const RankingFunction& f, size_t k) {
-  auto est = Estimate(preds);
-  if (!est.ok()) return est.status();
-  PlannedTopK out;
-  out.estimate = *est;
-  PCUBE_RETURN_NOT_OK(wb_->ColdStart());
-  if (est->choice == PlanChoice::kSignature) {
-    auto run = wb_->SignatureTopK(preds, f, k);
-    if (!run.ok()) return run.status();
-    for (const SearchEntry& e : run->results) {
-      out.results.emplace_back(e.id, e.key);
-    }
-  } else {
-    BooleanFirstExecutor boolean(&wb_->indices(), wb_->table());
-    auto run = boolean.TopK(preds, f, k);
-    if (!run.ok()) return run.status();
-    for (size_t i = 0; i < run->tids.size(); ++i) {
-      out.results.emplace_back(run->tids[i], run->scores[i]);
-    }
-  }
-  out.executed_io = wb_->IoSince();
-  return out;
+  // Non-owning aliasing shared_ptr: the caller guarantees `f` outlives the
+  // call, and Run() does not retain the request.
+  return Run(QueryRequest::TopK(
+      preds, std::shared_ptr<const RankingFunction>(
+                 std::shared_ptr<const RankingFunction>(), &f),
+      k));
 }
 
 }  // namespace pcube

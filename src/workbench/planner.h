@@ -4,38 +4,20 @@
 // tuples is cheaper than any space traversal. A production system should
 // therefore pick the method per query. This planner estimates page costs
 // from the boolean indices' exact match counts and a simple R-tree traversal
-// model, runs the cheaper plan, and reports both the estimates and what was
-// executed.
+// model, runs the cheaper plan (or the one forced by the request's
+// PlanHint), and reports the estimates, the executed plan's EngineCounters
+// and I/O, and a per-stage Trace in one QueryResponse.
 #pragma once
 
+#include "query/request.h"
 #include "workbench/workbench.h"
 
 namespace pcube {
 
-/// Which physical plan the planner chose.
-enum class PlanChoice { kSignature, kBooleanFirst };
-
-/// Cost estimates (in 4 KB page reads) and the decision.
-struct PlanEstimate {
-  uint64_t matching_tuples = 0;
-  uint64_t boolean_pages = 0;    ///< selection fetches or table scan
-  uint64_t signature_pages = 0;  ///< modelled R-tree blocks + signatures
-  PlanChoice choice = PlanChoice::kSignature;
-};
-
-/// Result of a planned skyline query.
-struct PlannedSkyline {
-  std::vector<TupleId> tids;  ///< ascending
-  PlanEstimate estimate;
-  IoStats executed_io;
-};
-
-/// Result of a planned top-k query.
-struct PlannedTopK {
-  std::vector<std::pair<TupleId, double>> results;  ///< ascending score
-  PlanEstimate estimate;
-  IoStats executed_io;
-};
+/// Legacy aliases from before the unified query API: a planned query result
+/// IS a QueryResponse (tids/scores, estimate, counters, io, trace).
+using PlannedSkyline = QueryResponse;
+using PlannedTopK = QueryResponse;
 
 /// Chooses and executes plans against one workbench.
 class QueryPlanner {
@@ -47,10 +29,16 @@ class QueryPlanner {
   /// (index-only match counting).
   Result<PlanEstimate> Estimate(const PredicateSet& preds) const;
 
-  /// Runs the cheaper skyline plan (cold cache).
+  /// The unified entry point: estimates, picks a plan (honouring
+  /// request.hint), cold-starts the cache and executes. The response's
+  /// estimate.choice is the plan that actually ran.
+  Result<QueryResponse> Run(const QueryRequest& request);
+
+  /// Runs the cheaper skyline plan (cold cache). Shorthand for
+  /// Run(QueryRequest::Skyline(preds)).
   Result<PlannedSkyline> Skyline(const PredicateSet& preds);
 
-  /// Runs the cheaper top-k plan (cold cache).
+  /// Runs the cheaper top-k plan (cold cache). `f` must outlive the call.
   Result<PlannedTopK> TopK(const PredicateSet& preds, const RankingFunction& f,
                            size_t k);
 

@@ -116,12 +116,27 @@ Status Workbench::Save() {
 
 Result<std::unique_ptr<Workbench>> Workbench::Open(const std::string& path,
                                                    size_t pool_pages) {
+  WorkbenchOptions options;
+  options.pool_pages = pool_pages;
+  return Open(path, options);
+}
+
+Result<std::unique_ptr<Workbench>> Workbench::Open(
+    const std::string& path, const WorkbenchOptions& options) {
   std::unique_ptr<Workbench> wb(new Workbench());
   auto fpm = FilePageManager::Open(path, /*truncate=*/false);
   if (!fpm.ok()) return fpm.status();
   wb->pm_ = std::move(*fpm);
-  wb->pool_ = std::make_unique<BufferPool>(wb->pm_.get(), pool_pages,
-                                           &wb->stats_);
+  LatencyPageManager* latency = nullptr;
+  if (options.read_latency_us > 0) {
+    // Wrap at zero latency so re-attaching and the table re-scan below stay
+    // fast; enabled just before returning, like Build().
+    auto wrapped = std::make_unique<LatencyPageManager>(std::move(wb->pm_));
+    latency = wrapped.get();
+    wb->pm_ = std::move(wrapped);
+  }
+  wb->pool_ = std::make_unique<BufferPool>(wb->pm_.get(), options.pool_pages,
+                                           &wb->stats_, options.pool_stripes);
   wb->catalog_root_ = 0;
   auto catalog = LoadCatalog(wb->pool_.get(), wb->catalog_root_);
   if (!catalog.ok()) return catalog.status();
@@ -166,6 +181,7 @@ Result<std::unique_ptr<Workbench>> Workbench::Open(const std::string& path,
   });
   if (!scan.ok()) return scan;
   PCUBE_RETURN_NOT_OK(wb->ColdStart());
+  if (latency != nullptr) latency->set_read_latency_us(options.read_latency_us);
   return wb;
 }
 
@@ -197,11 +213,35 @@ Result<TopKOutput> Workbench::SignatureTopK(const PredicateSet& preds,
 }
 
 BatchOutput Workbench::RunBatch(const std::vector<BatchQuery>& queries,
-                                size_t num_workers) {
+                                size_t num_workers, QueryLog* query_log) {
   PCUBE_CHECK(cube_ != nullptr);
   ThreadPool pool(num_workers);
-  BatchExecutor executor(tree_.get(), cube_.get(), &pool);
+  BatchExecutor executor(tree_.get(), cube_.get(), &pool, query_log);
   return executor.Execute(queries);
+}
+
+void Workbench::ExportMetrics(MetricsRegistry* registry) const {
+  pool_->ExportTo(registry, "pcube_bufferpool");
+  registry->GetGauge("pcube_pages_total")
+      ->Set(static_cast<double>(pm_->NumPages()));
+  if (table_ != nullptr) {
+    registry->GetGauge("pcube_table_pages")
+        ->Set(static_cast<double>(table_->num_pages()));
+  }
+  if (tree_ != nullptr) {
+    registry->GetGauge("pcube_rtree_pages")
+        ->Set(static_cast<double>(tree_->num_pages()));
+  }
+  if (cube_ != nullptr) {
+    registry->GetGauge("pcube_cube_pages")
+        ->Set(static_cast<double>(cube_->MaterializedPages()));
+    registry->GetGauge("pcube_cube_cells")
+        ->Set(static_cast<double>(cube_->num_cells()));
+  }
+  registry->GetGauge("pcube_io_reads_total")
+      ->Set(static_cast<double>(stats_.TotalReads()));
+  registry->GetGauge("pcube_io_writes_total")
+      ->Set(static_cast<double>(stats_.TotalWrites()));
 }
 
 }  // namespace pcube

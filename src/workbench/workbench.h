@@ -10,6 +10,7 @@
 #include "baselines/boolean_first.h"
 #include "baselines/domination_first.h"
 #include "baselines/index_merge.h"
+#include "common/metrics.h"
 #include "core/pcube.h"
 #include "data/generators.h"
 #include "query/incremental.h"
@@ -62,7 +63,16 @@ class Workbench {
   Status Save();
 
   /// Reopens a previously Save()d file: re-attaches every structure and
-  /// reconstructs the in-memory Dataset from the heap file.
+  /// reconstructs the in-memory Dataset from the heap file. Honours the
+  /// runtime knobs of `options` — pool_pages, pool_stripes and
+  /// read_latency_us; the build-time knobs (rtree, pcube, build_*) and
+  /// file_path are ignored because the structures already exist in `path`.
+  static Result<std::unique_ptr<Workbench>> Open(const std::string& path,
+                                                 const WorkbenchOptions& options);
+
+  /// DEPRECATED forwarder: Open(path, options) with only pool_pages set.
+  /// Reopened instances get default striping and zero read latency; use the
+  /// WorkbenchOptions overload to control those.
   static Result<std::unique_ptr<Workbench>> Open(const std::string& path,
                                                  size_t pool_pages = size_t{1}
                                                                      << 16);
@@ -103,9 +113,15 @@ class Workbench {
 
   /// Convenience: answers `queries` concurrently on `num_workers` threads
   /// over this instance's shared tree + cube (see batch_executor.h). The
-  /// instance must not be mutated while the batch runs.
+  /// instance must not be mutated while the batch runs. `query_log`, when
+  /// non-null, receives one JSONL record per query.
   BatchOutput RunBatch(const std::vector<BatchQuery>& queries,
-                       size_t num_workers);
+                       size_t num_workers, QueryLog* query_log = nullptr);
+
+  /// Publishes this instance's storage gauges — buffer pool per-stripe
+  /// hit/miss/eviction/load-wait plus structure page counts — into
+  /// `registry` (pass &MetricsRegistry::Default() for the process dump).
+  void ExportMetrics(MetricsRegistry* registry) const;
 
  private:
   Workbench() : pool_(nullptr) {}

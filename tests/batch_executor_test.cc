@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <sstream>
 
 #include "workbench/workbench.h"
 
@@ -143,6 +145,62 @@ TEST(BatchExecutorTest, PerQueryIoSumsToMergedCounters) {
   // the cold start: every physical read belongs to exactly one query.
   EXPECT_EQ(batch.io.TotalReads(), wb->IoSince().TotalReads());
   EXPECT_GT(batch.io.TotalReads(), 0u);
+}
+
+TEST(BatchExecutorTest, ResponsesCarryTracesAndLatencySummary) {
+  auto wb = BuildBench(3000);
+  std::vector<BatchQuery> queries = MixedWorkload();
+  BatchOutput batch = wb->RunBatch(queries, 4);
+  ASSERT_EQ(batch.failed, 0u);
+
+  std::set<uint64_t> trace_ids;
+  for (size_t i = 0; i < batch.results.size(); ++i) {
+    const QueryResponse& resp = batch.results[i].response;
+    // The unified response mirrors the legacy per-result fields.
+    EXPECT_EQ(resp.seconds, batch.results[i].seconds);
+    EXPECT_EQ(resp.io.TotalReads(), batch.results[i].io.TotalReads());
+    EXPECT_EQ(resp.estimate.choice, PlanChoice::kSignature);
+    EXPECT_FALSE(resp.tids.empty()) << "query " << i;
+    if (queries[i].kind == BatchQuery::Kind::kTopK) {
+      EXPECT_EQ(resp.scores.size(), resp.tids.size());
+    }
+    // Every query ran the branch-and-bound, so every trace holds at least
+    // the heap-expansion stage with nonzero time.
+    EXPECT_GT(resp.trace.StageSeconds("heap_expand"), 0.0) << "query " << i;
+    trace_ids.insert(resp.trace_id());
+  }
+  // Trace ids are process-unique — one distinct id per query.
+  EXPECT_EQ(trace_ids.size(), batch.results.size());
+
+  EXPECT_EQ(batch.latency.count, queries.size());
+  EXPECT_GT(batch.latency.p50, 0.0);
+  EXPECT_LE(batch.latency.p50, batch.latency.p95);
+  EXPECT_LE(batch.latency.p95, batch.latency.p99);
+  EXPECT_GT(batch.latency.mean, 0.0);
+}
+
+TEST(BatchExecutorTest, QueryLogGetsOneRecordPerQuery) {
+  auto wb = BuildBench(2000);
+  std::vector<BatchQuery> queries = MixedWorkload();
+  std::ostringstream sink;
+  QueryLog log(&sink);
+  BatchOutput batch = wb->RunBatch(queries, 4, &log);
+  ASSERT_EQ(batch.failed, 0u);
+  EXPECT_EQ(log.records(), queries.size());
+
+  std::istringstream in(sink.str());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    // Each record is one complete JSON object with the span map inside.
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"trace_id\":"), std::string::npos);
+    EXPECT_NE(line.find("\"spans\":"), std::string::npos);
+    EXPECT_NE(line.find("\"heap_expand\""), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, queries.size());
 }
 
 TEST(BatchExecutorTest, PerQueryFailuresDoNotPoisonTheBatch) {

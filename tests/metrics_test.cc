@@ -1,0 +1,224 @@
+// MetricsRegistry + Trace tests: histogram bucketing and quantile
+// estimates, concurrent counter updates (exercised under TSan by the CI
+// sanitizer job), the text rendering, trace span aggregation and the JSONL
+// query log.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace pcube {
+namespace {
+
+TEST(HistogramTest, BucketEdges) {
+  // Bucket 0 catches everything <= 1 microsecond, including junk.
+  EXPECT_EQ(Histogram::BucketFor(0.0), 0);
+  EXPECT_EQ(Histogram::BucketFor(-1.0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1e-9), 0);
+  EXPECT_EQ(Histogram::BucketFor(Histogram::kMinUpper), 0);
+  // Buckets are (upper/2, upper]: each upper edge belongs to its bucket.
+  for (int i = 1; i < Histogram::kNumBuckets - 1; ++i) {
+    double upper = Histogram::BucketUpper(i);
+    EXPECT_EQ(Histogram::BucketFor(upper), i) << "upper edge of " << i;
+    EXPECT_EQ(Histogram::BucketFor(upper * 0.75), i) << "interior of " << i;
+    EXPECT_EQ(Histogram::BucketFor(upper / 2), i - 1) << "lower edge of " << i;
+  }
+  // Overflow lands in the last bucket instead of out of bounds.
+  EXPECT_EQ(Histogram::BucketFor(1e30), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, CountSumMean) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  h.Observe(0.010);
+  h.Observe(0.020);
+  h.Observe(0.030);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_NEAR(h.Sum(), 0.060, 1e-12);
+  EXPECT_NEAR(h.Mean(), 0.020, 1e-12);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0.0);
+}
+
+TEST(HistogramTest, QuantilesWithinOneBucket) {
+  // 100 observations at 1 ms and one straggler at ~1 s: p50 must land in
+  // the 1 ms bucket and p99+ in the straggler's bucket. The log buckets
+  // guarantee at most one power of two of relative error.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Observe(0.001);
+  h.Observe(0.9);
+  double p50 = h.Quantile(0.50);
+  EXPECT_GT(p50, 0.0005);
+  EXPECT_LE(p50, 0.002);
+  double p99 = h.Quantile(0.999);
+  EXPECT_GT(p99, 0.4);
+  EXPECT_LE(p99, 1.1);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.99));
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("pcube_test_total");
+  Counter* c2 = registry.GetCounter("pcube_test_total");
+  EXPECT_EQ(c1, c2);
+  c1->Increment(3);
+  EXPECT_EQ(c2->Value(), 3u);
+  // Counters, gauges and histograms live in separate namespaces.
+  Gauge* g = registry.GetGauge("pcube_test_total");
+  g->Set(1.5);
+  EXPECT_EQ(c1->Value(), 3u);
+  EXPECT_DOUBLE_EQ(g->Value(), 1.5);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* hits = registry.GetCounter("pcube_hits_total");
+  Histogram* lat = registry.GetHistogram("pcube_lat_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, hits, lat, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hits->Increment();
+        lat->Observe(0.001 * (t + 1));
+        // Concurrent registration of the same name must be safe too.
+        registry.GetCounter("pcube_races_total")->Increment();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(hits->Value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(lat->Count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(registry.GetCounter("pcube_races_total")->Value(),
+            uint64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsRegistryTest, RenderTextAndResetAll) {
+  MetricsRegistry registry;
+  registry.GetCounter("pcube_queries_total{kind=\"skyline\"}")->Increment(7);
+  registry.GetGauge("pcube_heap_peak")->Set(42);
+  Histogram* h = registry.GetHistogram("pcube_query_seconds");
+  h->Observe(0.004);
+  h->Observe(0.004);
+  std::string text = registry.RenderText();
+  EXPECT_NE(text.find("pcube_queries_total{kind=\"skyline\"} 7"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pcube_heap_peak 42"), std::string::npos) << text;
+  EXPECT_NE(text.find("pcube_query_seconds_count 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pcube_query_seconds_sum"), std::string::npos) << text;
+  EXPECT_NE(text.find("pcube_query_seconds{quantile=\"0.99\"}"),
+            std::string::npos)
+      << text;
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("pcube_queries_total{kind=\"skyline\"}")
+                ->Value(),
+            0u);
+  EXPECT_EQ(h->Count(), 0u);
+}
+
+TEST(TraceTest, RecordsAggregatesPerStage) {
+  Trace trace;
+  EXPECT_GT(trace.id(), 0u);
+  trace.Record("signature_probe", 0.25);
+  trace.Record("signature_probe", 0.25);
+  trace.Record("io_wait", 1.0);
+  ASSERT_EQ(trace.stages().size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.StageSeconds("signature_probe"), 0.5);
+  EXPECT_DOUBLE_EQ(trace.StageSeconds("io_wait"), 1.0);
+  EXPECT_DOUBLE_EQ(trace.StageSeconds("never_recorded"), 0.0);
+  EXPECT_EQ(trace.stages()[0].count, 2u);
+  std::string json = trace.SpansJson();
+  EXPECT_NE(json.find("\"signature_probe\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+
+  Trace other;
+  EXPECT_NE(other.id(), trace.id());
+}
+
+TEST(TraceTest, ScopedBindNestsAndRestores) {
+  EXPECT_EQ(Trace::Current(), nullptr);
+  Trace outer;
+  {
+    Trace::ScopedBind bind_outer(&outer);
+    EXPECT_EQ(Trace::Current(), &outer);
+    {
+      Trace inner;
+      Trace::ScopedBind bind_inner(&inner);
+      EXPECT_EQ(Trace::Current(), &inner);
+    }
+    EXPECT_EQ(Trace::Current(), &outer);
+    {
+      // Binding null disables attribution without losing the outer binding.
+      Trace::ScopedBind bind_null(nullptr);
+      EXPECT_EQ(Trace::Current(), nullptr);
+    }
+    EXPECT_EQ(Trace::Current(), &outer);
+  }
+  EXPECT_EQ(Trace::Current(), nullptr);
+  // The binding is per-thread: another thread sees its own (empty) slot.
+  {
+    Trace::ScopedBind bind(&outer);
+    std::thread([] { EXPECT_EQ(Trace::Current(), nullptr); }).join();
+  }
+}
+
+TEST(TraceTest, ScopedSpanRecordsElapsedTime) {
+  Trace trace;
+  {
+    ScopedSpan span(&trace, "heap_expand");
+  }
+  ASSERT_EQ(trace.stages().size(), 1u);
+  EXPECT_EQ(trace.stages()[0].name, "heap_expand");
+  EXPECT_EQ(trace.stages()[0].count, 1u);
+  EXPECT_GE(trace.stages()[0].seconds, 0.0);
+  {
+    ScopedSpan null_span(nullptr, "ignored");  // must be a safe no-op
+  }
+}
+
+TEST(QueryLogTest, AppendsOneLinePerRecord) {
+  std::ostringstream sink;
+  QueryLog log(&sink);
+  log.Append("{\"trace_id\":1}");
+  log.Append("{\"trace_id\":2}");
+  EXPECT_EQ(log.records(), 2u);
+  EXPECT_EQ(sink.str(), "{\"trace_id\":1}\n{\"trace_id\":2}\n");
+}
+
+TEST(QueryLogTest, ConcurrentAppendsStayLineAtomic) {
+  std::ostringstream sink;
+  QueryLog log(&sink);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) log.Append("{\"k\":\"v\"}");
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(log.records(), uint64_t{kThreads} * kPerThread);
+  // Every line is intact — no interleaved partial writes.
+  std::istringstream in(sink.str());
+  std::string line;
+  uint64_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line, "{\"k\":\"v\"}");
+    ++lines;
+  }
+  EXPECT_EQ(lines, uint64_t{kThreads} * kPerThread);
+}
+
+}  // namespace
+}  // namespace pcube

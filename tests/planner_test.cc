@@ -69,7 +69,7 @@ TEST(PlannerTest, ChoosesBooleanForNeedleQueries) {
   auto out = planner.Skyline({{0, 123}});
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out->tids, NaiveSkyline((*wb)->data(), {{0, 123}}));
-  EXPECT_LT(out->executed_io.TotalReads(), 60u);
+  EXPECT_LT(out->io.TotalReads(), 60u);
 }
 
 TEST(PlannerTest, ExecutedCostNeverCatastrophic) {
@@ -93,7 +93,7 @@ TEST(PlannerTest, ExecutedCostNeverCatastrophic) {
     auto out = planner.Skyline(preds);
     ASSERT_TRUE(out.ok());
     uint64_t best = std::min(sig_pages, bool_pages);
-    EXPECT_LE(out->executed_io.TotalReads(), 3 * best + 10)
+    EXPECT_LE(out->io.TotalReads(), 3 * best + 10)
         << "C=" << c << " sig=" << sig_pages << " bool=" << bool_pages;
   }
 }
@@ -106,10 +106,72 @@ TEST(PlannerTest, TopKPlansCorrectly) {
   auto out = planner.TopK(preds, f, 12);
   ASSERT_TRUE(out.ok());
   auto naive = NaiveTopK(wb->data(), preds, f, 12);
-  ASSERT_EQ(out->results.size(), naive.size());
+  ASSERT_EQ(out->tids.size(), naive.size());
+  ASSERT_EQ(out->scores.size(), naive.size());
   for (size_t i = 0; i < naive.size(); ++i) {
-    EXPECT_NEAR(out->results[i].second, naive[i].second, 1e-9);
+    EXPECT_NEAR(out->scores[i], naive[i].second, 1e-9);
   }
+}
+
+TEST(PlannerTest, CrossoverFlipsAndBothPlansAgree) {
+  // High-cardinality dimension → a needle predicate: Estimate() must flip
+  // to boolean-first, and forcing either plan through the hint must return
+  // the exact same (sorted) tid set.
+  auto wb = MakeWorkbench(5000, 330);
+  QueryPlanner planner(wb.get());
+  PredicateSet preds{{0, 42}};
+  auto est = planner.Estimate(preds);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->choice, PlanChoice::kBooleanFirst);
+
+  QueryRequest sig_req = QueryRequest::Skyline(preds);
+  sig_req.hint = PlanHint::kSignature;
+  auto sig = planner.Run(sig_req);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(sig->estimate.choice, PlanChoice::kSignature);
+
+  QueryRequest bool_req = QueryRequest::Skyline(preds);
+  bool_req.hint = PlanHint::kBooleanFirst;
+  auto boolean = planner.Run(bool_req);
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_EQ(boolean->estimate.choice, PlanChoice::kBooleanFirst);
+
+  EXPECT_EQ(sig->tids, boolean->tids);
+  EXPECT_EQ(sig->tids, NaiveSkyline(wb->data(), preds));
+
+  // And a broad predicate on a low-cardinality instance flips back.
+  auto broad = MakeWorkbench(5, 331);
+  QueryPlanner broad_planner(broad.get());
+  auto broad_est = broad_planner.Estimate({{0, 2}});
+  ASSERT_TRUE(broad_est.ok());
+  EXPECT_EQ(broad_est->choice, PlanChoice::kSignature);
+}
+
+TEST(PlannerTest, SurfacesCountersAndTraceFromExecutedPlan) {
+  auto wb = MakeWorkbench(50, 340);
+  QueryPlanner planner(wb.get());
+  PredicateSet preds{{0, 7}};
+
+  QueryRequest sig_req = QueryRequest::Skyline(preds);
+  sig_req.hint = PlanHint::kSignature;
+  auto sig = planner.Run(sig_req);
+  ASSERT_TRUE(sig.ok());
+  // The signature engine's counters must come through the response.
+  EXPECT_GT(sig->counters.nodes_expanded, 0u);
+  EXPECT_GT(sig->counters.heap_peak, 0u);
+  EXPECT_GT(sig->trace.StageSeconds("plan_estimate"), 0.0);
+  EXPECT_GT(sig->trace.StageSeconds("signature_probe"), 0.0);
+  EXPECT_GT(sig->io.TotalReads(), 0u);
+  EXPECT_GT(sig->trace_id(), 0u);
+
+  QueryRequest bool_req = QueryRequest::Skyline(preds);
+  bool_req.hint = PlanHint::kBooleanFirst;
+  auto boolean = planner.Run(bool_req);
+  ASSERT_TRUE(boolean.ok());
+  // Boolean-first reports its in-memory working set (Fig. 10 accounting).
+  EXPECT_GT(boolean->counters.heap_peak, 0u);
+  EXPECT_EQ(boolean->counters.nodes_expanded, 0u);
+  EXPECT_GT(boolean->trace.StageSeconds("boolean_first"), 0.0);
 }
 
 }  // namespace

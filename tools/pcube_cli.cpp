@@ -25,6 +25,14 @@
 //       Signature-pruned top-k under a linear function (--weights) or a
 //       weighted squared distance to a target point (--target).
 //
+// Both query commands accept:
+//   --plan auto|signature|boolean   plan selection (default: signature; auto
+//                                   lets the cost model pick, see `explain`)
+//   --metrics                       append a Prometheus-style text dump of
+//                                   every engine and buffer-pool metric
+//   --query-log FILE                write one JSONL record (trace id, plan,
+//                                   counters, per-stage spans) to FILE
+//
 // Predicate values use the stored dictionary when the database came from a
 // CSV import ("color=red"); raw codes also work ("color=#3" or "2=#3").
 #include <cstdio>
@@ -201,6 +209,37 @@ void PrintTuple(const Workbench& wb, TupleId tid, double score,
   std::printf("\n");
 }
 
+PlanHint ParsePlanHint(const Args& args) {
+  std::string plan = args.Get("plan", "signature");
+  if (plan == "signature") return PlanHint::kSignature;
+  if (plan == "boolean") return PlanHint::kBooleanFirst;
+  if (plan == "auto") return PlanHint::kAuto;
+  std::fprintf(stderr, "unknown --plan '%s' (auto|signature|boolean)\n",
+               plan.c_str());
+  std::exit(2);
+}
+
+/// Shared epilogue of the query commands: the I/O line, the optional JSONL
+/// query-log record and the optional metrics dump.
+void FinishQuery(Workbench* wb, const QueryRequest& request,
+                 const QueryResponse& resp, const Args& args) {
+  std::printf("disk: %llu page reads (%llu r-tree, %llu signature)\n",
+              static_cast<unsigned long long>(resp.io.TotalReads()),
+              static_cast<unsigned long long>(
+                  resp.io.ReadCount(IoCategory::kRtreeBlock)),
+              static_cast<unsigned long long>(
+                  resp.io.ReadCount(IoCategory::kSignature)));
+  if (args.Has("query-log")) {
+    auto log = Unwrap(QueryLog::OpenFile(args.Get("query-log")));
+    log->Append(QueryLogRecord(request, resp));
+  }
+  if (args.Has("metrics")) {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    wb->ExportMetrics(&registry);
+    std::printf("\n%s", registry.RenderText().c_str());
+  }
+}
+
 // --------------------------------------------------------------- commands
 
 int CmdGenerate(const Args& args) {
@@ -302,23 +341,21 @@ int CmdSkyline(const Args& args) {
       options.origin.push_back(static_cast<float>(v));
     }
   }
-  auto probe = Unwrap(wb->cube()->MakeProbe(preds));
-  SkylineEngine engine(wb->tree(), probe.get(), nullptr, options);
-  auto out = Unwrap(engine.Run());
-  std::printf("%zu result(s) for %s\n", out.skyline.size(),
-              preds.empty() ? "(no predicate)" : preds.ToString().c_str());
+  QueryRequest request = QueryRequest::Skyline(preds, options);
+  request.hint = ParsePlanHint(args);
+  QueryPlanner planner(wb.get());
+  auto resp = Unwrap(planner.Run(request));
+  std::printf("%zu result(s) for %s [%s plan]\n", resp.tids.size(),
+              preds.empty() ? "(no predicate)" : preds.ToString().c_str(),
+              resp.estimate.choice == PlanChoice::kSignature
+                  ? "signature"
+                  : "boolean-first");
   size_t limit = static_cast<size_t>(args.GetInt("limit", 50));
-  for (size_t i = 0; i < out.skyline.size() && i < limit; ++i) {
-    PrintTuple(*wb, out.skyline[i].id, 0, false);
+  for (size_t i = 0; i < resp.tids.size() && i < limit; ++i) {
+    PrintTuple(*wb, resp.tids[i], 0, false);
   }
-  if (out.skyline.size() > limit) std::printf("  ... (--limit to see more)\n");
-  IoStats io = wb->IoSince();
-  std::printf("disk: %llu page reads (%llu r-tree, %llu signature)\n",
-              static_cast<unsigned long long>(io.TotalReads()),
-              static_cast<unsigned long long>(
-                  io.ReadCount(IoCategory::kRtreeBlock)),
-              static_cast<unsigned long long>(
-                  io.ReadCount(IoCategory::kSignature)));
+  if (resp.tids.size() > limit) std::printf("  ... (--limit to see more)\n");
+  FinishQuery(wb.get(), request, resp, args);
   return 0;
 }
 
@@ -348,14 +385,20 @@ int CmdTopK(const Args& args) {
     }
     f = std::make_unique<LinearRanking>(weights);
   }
-  auto probe = Unwrap(wb->cube()->MakeProbe(preds));
-  TopKEngine engine(wb->tree(), probe.get(), nullptr, f.get(), k);
-  auto out = Unwrap(engine.Run());
-  std::printf("top %zu for %s\n", out.results.size(),
+  QueryRequest request =
+      QueryRequest::TopK(preds, std::shared_ptr<const RankingFunction>(
+                                    std::shared_ptr<const RankingFunction>(),
+                                    f.get()),
+                         k);
+  request.hint = ParsePlanHint(args);
+  QueryPlanner planner(wb.get());
+  auto resp = Unwrap(planner.Run(request));
+  std::printf("top %zu for %s\n", resp.tids.size(),
               preds.empty() ? "(no predicate)" : preds.ToString().c_str());
-  for (const SearchEntry& e : out.results) {
-    PrintTuple(*wb, e.id, e.key, true);
+  for (size_t i = 0; i < resp.tids.size(); ++i) {
+    PrintTuple(*wb, resp.tids[i], resp.scores[i], true);
   }
+  FinishQuery(wb.get(), request, resp, args);
   return 0;
 }
 
