@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# CI driver: builds and tests the tree three ways —
+# CI driver: builds and tests the tree five ways —
 #   1. plain RelWithDebInfo, full ctest suite;
 #   2. ThreadSanitizer (-DPCUBE_SANITIZE=thread), concurrency-focused tests
 #      (thread pool, striped buffer pool, batch executor, metrics registry,
 #      plus the classic buffer pool and workbench suites that share the
 #      touched code);
-#   3. bench_throughput smoke run (tiny dataset, {1,2} workers) validating
+#   3. AddressSanitizer (-DPCUBE_SANITIZE=address), robustness-focused tests
+#      (fault injection, fuzz corpus, checksums, page manager, status);
+#   4. bench_throughput smoke run (tiny dataset, {1,2} workers) validating
 #      the observability artifacts: BENCH_throughput.json must carry the
 #      latency quantiles, and the metrics dump + query log must exist. The
 #      three artifacts are collected under build/artifacts/.
+#   5. corruption gate: build a file-backed database with the CLI, flip a
+#      byte in every signature page, and assert that `pcube verify` flags
+#      it, that a signature-plan query degrades to boolean-first, and that
+#      the degraded answer matches the pre-corruption reference.
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,6 +35,15 @@ cmake --build build-tsan -j "$JOBS" --target \
 echo "=== tsan ctest ==="
 ctest --test-dir build-tsan --output-on-failure -R \
   '^(thread_pool_test|buffer_pool_concurrency_test|batch_executor_test|metrics_test|buffer_pool_test|workbench_test)$'
+
+echo "=== asan build ==="
+cmake -B build-asan -S . -DPCUBE_SANITIZE=address
+cmake --build build-asan -j "$JOBS" --target \
+  fault_injection_test fuzz_corpus_test status_test page_manager_test \
+  buffer_pool_test
+echo "=== asan ctest ==="
+ctest --test-dir build-asan --output-on-failure -R \
+  '^(fault_injection_test|fuzz_corpus_test|status_test|page_manager_test|buffer_pool_test)$'
 
 echo "=== throughput smoke ==="
 SMOKE_DIR=build/smoke
@@ -60,5 +75,39 @@ cp "$SMOKE_DIR"/BENCH_throughput.json \
    "$SMOKE_DIR"/BENCH_throughput_metrics.prom \
    "$SMOKE_DIR"/BENCH_throughput_querylog.jsonl build/artifacts/
 echo "ci.sh: artifacts in build/artifacts/"
+
+echo "=== corruption gate ==="
+GATE_DIR=build/corruption-gate
+rm -rf "$GATE_DIR"
+mkdir -p "$GATE_DIR"
+PCUBE=build/tools/pcube
+"$PCUBE" generate --rows 3000 --bool 3 --pref 2 --card 8 --seed 5 \
+  --out "$GATE_DIR/data.csv" >/dev/null
+"$PCUBE" build --csv "$GATE_DIR/data.csv" --spec bbbpp --header \
+  --db "$GATE_DIR/gate.pcube" >/dev/null
+# Reference answer from the boolean-first plan (never touches signatures).
+"$PCUBE" skyline --db "$GATE_DIR/gate.pcube" --where "0=#3" --plan boolean \
+  --limit 100000 | grep '^  #' | sort > "$GATE_DIR/reference.txt"
+[ -s "$GATE_DIR/reference.txt" ] || {
+  echo "ci.sh: gate reference query returned nothing" >&2; exit 1; }
+"$PCUBE" verify --db "$GATE_DIR/gate.pcube" >/dev/null || {
+  echo "ci.sh: verify failed on a pristine database" >&2; exit 1; }
+"$PCUBE" corrupt --db "$GATE_DIR/gate.pcube" --kind signature >/dev/null
+if "$PCUBE" verify --db "$GATE_DIR/gate.pcube" >/dev/null 2>&1; then
+  echo "ci.sh: verify missed the corrupted signature pages" >&2
+  exit 1
+fi
+"$PCUBE" skyline --db "$GATE_DIR/gate.pcube" --where "0=#3" --plan signature \
+  --limit 100000 > "$GATE_DIR/degraded_run.txt"
+grep -q '^degraded:' "$GATE_DIR/degraded_run.txt" || {
+  echo "ci.sh: query on corrupt signatures did not report degradation" >&2
+  exit 1
+}
+grep '^  #' "$GATE_DIR/degraded_run.txt" | sort > "$GATE_DIR/degraded.txt"
+diff -u "$GATE_DIR/reference.txt" "$GATE_DIR/degraded.txt" || {
+  echo "ci.sh: degraded answer differs from the reference" >&2
+  exit 1
+}
+echo "ci.sh: corruption gate passed"
 
 echo "ci.sh: all green"

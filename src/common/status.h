@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kIoError,
   kNotSupported,
   kInternal,
+  kTimeout,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "Invalid argument"...).
@@ -66,6 +67,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -74,6 +78,8 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

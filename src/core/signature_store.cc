@@ -163,6 +163,21 @@ Result<std::vector<uint64_t>> SignatureStore::ListPartials(CellId cell) const {
   return sids;
 }
 
+Result<std::vector<PageId>> SignatureStore::DataPages() const {
+  std::set<PageId> pages;
+  PCUBE_RETURN_NOT_OK(
+      index_.RangeScan(0, ~uint64_t{0}, [&](uint64_t, uint64_t value) {
+        if (value != kTombstone) {
+          PageId pid;
+          uint32_t offset, len;
+          UnpackLocation(value, &pid, &offset, &len);
+          pages.insert(pid);
+        }
+        return true;
+      }));
+  return std::vector<PageId>(pages.begin(), pages.end());
+}
+
 Result<Signature> SignatureStore::LoadFull(CellId cell, uint32_t fanout,
                                            int levels) const {
   auto sids = ListPartials(cell);

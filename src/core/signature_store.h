@@ -97,6 +97,11 @@ class SignatureStore {
   uint64_t num_pages() const { return num_pages_; }
   const BPlusTree& index() const { return index_; }
 
+  /// Distinct page ids holding at least one live partial (full directory
+  /// scan). Integrity checking and fault-injection tooling use this to
+  /// enumerate — or deliberately damage — every signature data page.
+  Result<std::vector<PageId>> DataPages() const;
+
  private:
   explicit SignatureStore(BPlusTree index, BufferPool* pool)
       : index_(std::move(index)), pool_(pool) {}

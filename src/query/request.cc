@@ -6,11 +6,11 @@ namespace pcube {
 
 std::string QueryLogRecord(const QueryRequest& request,
                            const QueryResponse& response) {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "{\"trace_id\":%llu,\"kind\":\"%s\",\"preds\":\"%s\",\"k\":%llu,"
-      "\"plan\":\"%s\",\"seconds\":%.9g,\"results\":%llu,"
+      "\"plan\":\"%s\",\"degraded\":%s,\"seconds\":%.9g,\"results\":%llu,"
       "\"io_reads\":%llu,\"counters\":{\"heap_peak\":%llu,"
       "\"nodes_expanded\":%llu,\"pruned_boolean\":%llu,"
       "\"pruned_preference\":%llu,\"verified\":%llu,\"sig_seconds\":%.9g},"
@@ -22,6 +22,7 @@ std::string QueryLogRecord(const QueryRequest& request,
           request.kind == QueryRequest::Kind::kTopK ? request.k : 0),
       response.estimate.choice == PlanChoice::kSignature ? "signature"
                                                          : "boolean_first",
+      response.degraded ? "true" : "false",
       response.seconds, static_cast<unsigned long long>(response.tids.size()),
       static_cast<unsigned long long>(response.io.TotalReads()),
       static_cast<unsigned long long>(response.counters.heap_peak),

@@ -52,6 +52,11 @@ struct QueryRequest {
 
   PlanHint hint = PlanHint::kAuto;
 
+  /// Wall-clock budget for the execution, 0 = unlimited. When it expires
+  /// mid-expansion the query fails with Status::Timeout rather than
+  /// returning a silently incomplete answer.
+  uint64_t deadline_ms = 0;
+
   static QueryRequest Skyline(PredicateSet preds,
                               SkylineQueryOptions options = {}) {
     QueryRequest q;
@@ -91,6 +96,13 @@ struct QueryResponse {
   /// io_wait, ...) plus the process-unique trace id.
   Trace trace;
   double seconds = 0;  ///< wall time of the execution
+
+  /// True when the signature plan failed on corrupt/unreadable pages and
+  /// the planner recomputed the answer via the boolean-first plan (P-Cube
+  /// signatures are derived state, so the base relation remains
+  /// authoritative). `degraded_reason` carries the original failure.
+  bool degraded = false;
+  std::string degraded_reason;
 
   uint64_t trace_id() const { return trace.id(); }
 };

@@ -121,6 +121,9 @@ Result<SkylineOutput> SkylineEngine::RunFrom(
                                                heap.size());
 
   while (!heap.empty()) {
+    if (deadline_ && std::chrono::steady_clock::now() > *deadline_) {
+      return Status::Timeout("skyline query deadline exceeded");
+    }
     SearchEntry e = heap.top();
     heap.pop();
     // Re-check: the skyline may have grown since e entered the heap.

@@ -6,6 +6,7 @@
 // drill-down / roll-up queries (Lemma 2, incremental.h).
 #pragma once
 
+#include <chrono>
 #include <optional>
 
 #include "common/trace.h"
@@ -40,6 +41,14 @@ class SkylineEngine {
   /// boolean_verify). Must outlive the run; null disables tracing.
   void set_trace(Trace* trace) { trace_ = trace; }
 
+  /// Optional wall-clock deadline, checked once per heap pop: when it
+  /// passes, the run stops with Status::Timeout instead of partial results
+  /// (a partial skyline would be silently wrong — supersets are fine,
+  /// missing members are not).
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+  }
+
  private:
   double EntryKey(const RectF& rect) const;
   /// Optimistic transformed coordinate of `rect` on dimension d: the least
@@ -57,6 +66,7 @@ class SkylineEngine {
   BooleanProbe* probe_;
   const TupleVerifier* verifier_;
   Trace* trace_ = nullptr;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
   SkylineQueryOptions options_;
   std::vector<int> dims_;
   SkylineOutput out_;

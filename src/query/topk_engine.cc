@@ -81,6 +81,9 @@ Result<TopKOutput> TopKEngine::RunFrom(const std::vector<SearchEntry>& seed) {
 
   while (!heap.empty()) {
     if (out_.results.size() >= k_) break;
+    if (deadline_ && std::chrono::steady_clock::now() > *deadline_) {
+      return Status::Timeout("top-k query deadline exceeded");
+    }
     SearchEntry e = heap.top();
     heap.pop();
     auto pruned = Prune(e);

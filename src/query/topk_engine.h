@@ -6,6 +6,9 @@
 // scores, the first k accepted data objects are exactly the top-k.
 #pragma once
 
+#include <chrono>
+#include <optional>
+
 #include "common/trace.h"
 #include "core/probe.h"
 #include "query/query_types.h"
@@ -34,6 +37,13 @@ class TopKEngine {
   /// boolean_verify). Must outlive the run; null disables tracing.
   void set_trace(Trace* trace) { trace_ = trace; }
 
+  /// Optional wall-clock deadline, checked once per heap pop: when it
+  /// passes, the run stops with Status::Timeout (results found so far are
+  /// the best-scored prefix, but a partial top-k is not the top-k).
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+  }
+
  private:
   Result<bool> Prune(const SearchEntry& e);
 
@@ -41,6 +51,7 @@ class TopKEngine {
   BooleanProbe* probe_;
   const TupleVerifier* verifier_;
   Trace* trace_ = nullptr;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
   const RankingFunction* f_;
   size_t k_;
   TopKOutput out_;

@@ -650,11 +650,13 @@ Result<PageId> RStarTree::ResolvePath(const Path& path, IoCategory cat) const {
 
 Result<RStarTree> RStarTree::BulkLoad(BufferPool* pool, const Dataset& data,
                                       const RTreeOptions& options) {
-  auto tree_result = Create(pool, options);
-  if (!tree_result.ok()) return tree_result.status();
-  RStarTree tree = std::move(*tree_result);
   const uint64_t n = data.num_tuples();
-  if (n == 0) return tree;
+  // Only the empty tree takes Create()'s pre-allocated root; a non-empty
+  // load builds every node (the root included) itself, so pre-allocating
+  // would orphan a page and overcount num_pages().
+  if (n == 0) return Create(pool, options);
+  RStarTree tree(pool, options);
+  PCUBE_CHECK_GE(tree.m_, 2u) << "fanout must be at least 2";
   const int dims = options.dims;
   const uint32_t cap = std::max<uint32_t>(
       2, static_cast<uint32_t>(options.bulk_fill * tree.m_));
@@ -708,10 +710,7 @@ Result<RStarTree> RStarTree::BulkLoad(BufferPool* pool, const Dataset& data,
     out->clear();
     for (const auto& g : grps) {
       PageId pid;
-      if (is_leaf && grps.size() == 1 && level == 0 && tree.height_ == 0) {
-        // Reuse the root page created by Create() for a single-leaf tree.
-        pid = tree.root_;
-      } else {
+      {
         auto handle = pool->New(IoCategory::kRtreeBlock, &pid);
         if (!handle.ok()) return handle.status();
         ++tree.num_pages_;
@@ -916,6 +915,78 @@ Result<RStarTree> RStarTree::BuildExplicit(
   }
   tree.num_entries_ = entries.size();
   return tree;
+}
+
+Status RStarTree::CheckStructure(std::vector<std::string>* problems) const {
+  struct Pending {
+    PageId pid;
+    int expected_level;
+    bool has_parent_rect;
+    RectF parent_rect;
+  };
+  auto note = [problems](PageId pid, const std::string& what) {
+    problems->push_back("rtree page " + std::to_string(pid) + ": " + what);
+  };
+  std::vector<Pending> stack;
+  stack.push_back({root_, height_, false, RectF::Empty(options_.dims)});
+  uint64_t nodes_seen = 0;
+  uint64_t leaf_entries = 0;
+  while (!stack.empty()) {
+    Pending cur = stack.back();
+    stack.pop_back();
+    auto handle = pool_->Get(cur.pid, IoCategory::kRtreeBlock);
+    if (!handle.ok()) {
+      note(cur.pid, handle.status().ToString());
+      continue;
+    }
+    ++nodes_seen;
+    NodeView node(handle->get(), options_.dims);
+    if (node.level() != cur.expected_level) {
+      note(cur.pid, "level " + std::to_string(node.level()) + ", expected " +
+                        std::to_string(cur.expected_level));
+    }
+    if (node.is_leaf() != (cur.expected_level == 0)) {
+      note(cur.pid, "leaf flag disagrees with level");
+    }
+    uint32_t valid = 0;
+    for (uint32_t s = 0; s < node.max_entries(); ++s) {
+      if (!node.Valid(s)) continue;
+      ++valid;
+      RectF rect = node.GetRect(s);
+      if (cur.has_parent_rect) {
+        // Float equality is exact here: parent entries are computed as the
+        // max/min over these very child values.
+        for (int d = 0; d < options_.dims; ++d) {
+          if (rect.min[d] < cur.parent_rect.min[d] ||
+              rect.max[d] > cur.parent_rect.max[d]) {
+            note(cur.pid, "entry " + std::to_string(s) +
+                              " escapes its parent MBR");
+            break;
+          }
+        }
+      }
+      if (node.is_leaf()) {
+        ++leaf_entries;
+      } else {
+        stack.push_back({static_cast<PageId>(node.GetId(s)),
+                         cur.expected_level - 1, true, rect});
+      }
+    }
+    if (valid != node.count()) {
+      note(cur.pid, "header count " + std::to_string(node.count()) +
+                        " but " + std::to_string(valid) + " valid slots");
+    }
+  }
+  if (nodes_seen != num_pages_) {
+    problems->push_back("rtree: visited " + std::to_string(nodes_seen) +
+                        " nodes, catalog says " + std::to_string(num_pages_));
+  }
+  if (leaf_entries != num_entries_) {
+    problems->push_back("rtree: found " + std::to_string(leaf_entries) +
+                        " leaf entries, catalog says " +
+                        std::to_string(num_entries_));
+  }
+  return Status::OK();
 }
 
 }  // namespace pcube

@@ -120,6 +120,13 @@ class RStarTree {
   /// empty path. Reads are charged to `cat`.
   Result<PageId> ResolvePath(const Path& path, IoCategory cat) const;
 
+  /// Structural integrity walk (pcube verify): every node is readable, slot
+  /// counts match headers, levels descend to 0 at the leaves, child MBRs
+  /// are contained in their parent entry, and the totals agree with
+  /// num_entries()/num_pages(). Appends one message per problem to
+  /// `*problems`; returns non-OK only when a page cannot be read at all.
+  Status CheckStructure(std::vector<std::string>* problems) const;
+
   PageId root() const { return root_; }
   /// Root level; leaves are level 0, so height() + 1 node levels exist.
   int height() const { return height_; }

@@ -1,5 +1,8 @@
 #include "storage/buffer_pool.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/metrics.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -94,6 +97,32 @@ Status BufferPool::EvictOne(Stripe* stripe) {
   return Status::OK();  // everything pinned: grow
 }
 
+Status BufferPool::ReadWithRetry(PageId pid, Page* out) {
+  // IoError is the one retryable failure class: it means the device call
+  // itself failed (possibly transiently), whereas Corruption means the bytes
+  // came back wrong and re-reading the same bytes cannot help. Bounded
+  // exponential backoff: 100us, 200us, 400us between the up-to-4 attempts.
+  // Called from Fetch's unlocked, timed load section, so retry stalls are
+  // still attributed to io_wait in traces and load_wait_us.
+  static Counter* retries =
+      MetricsRegistry::Default().GetCounter("pcube_io_retries_total");
+  static Counter* giveups =
+      MetricsRegistry::Default().GetCounter("pcube_io_giveups_total");
+  constexpr int kMaxAttempts = 4;
+  Status st;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (attempt > 0) {
+      retries->Increment();
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(100u << (attempt - 1)));
+    }
+    st = pm_->Read(pid, out);
+    if (!st.IsIoError()) return st;
+  }
+  giveups->Increment();
+  return st;
+}
+
 Result<PageHandle> BufferPool::Fetch(PageId pid, IoCategory cat, bool load,
                                      bool dirty) {
   Stripe& stripe = StripeFor(pid);
@@ -143,7 +172,7 @@ Result<PageHandle> BufferPool::Fetch(PageId pid, IoCategory cat, bool load,
     frame.loading = true;
     lock.unlock();
     Timer read_timer;
-    Status st = pm_->Read(pid, &frame.page);
+    Status st = ReadWithRetry(pid, &frame.page);
     double wait = read_timer.ElapsedSeconds();
     stripe.load_wait_us.fetch_add(static_cast<uint64_t>(wait * 1e6),
                                   std::memory_order_relaxed);

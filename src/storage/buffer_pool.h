@@ -184,6 +184,11 @@ class BufferPool {
   /// Hit-or-load; the physical read runs outside the stripe lock so misses
   /// on different pages overlap. Returns a pinned handle.
   Result<PageHandle> Fetch(PageId pid, IoCategory cat, bool load, bool dirty);
+  /// PageManager::Read with bounded retry + exponential backoff on transient
+  /// IoError (the only retryable class — Corruption never heals by
+  /// re-reading). Attempts are counted in the pcube_io_retries_total /
+  /// pcube_io_giveups_total metrics.
+  Status ReadWithRetry(PageId pid, Page* out);
   /// Evicts the LRU unpinned frame of `stripe` (caller holds its mutex); a
   /// fully pinned stripe grows instead of failing.
   Status EvictOne(Stripe* stripe);

@@ -1,0 +1,228 @@
+#include "storage/fault_injection.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pcube {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic 64-bit hash of one (page, op-index, fault-kind) event.
+uint64_t EventHash(uint64_t seed, PageId pid, uint64_t page_op_index,
+                   uint64_t salt) {
+  return SplitMix64(seed ^ SplitMix64(pid + (salt << 56)) ^
+                    SplitMix64(page_op_index + 0x5151ull));
+}
+
+double ToUnit(uint64_t h) {
+  // Top 53 bits -> [0, 1).
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+constexpr int kOpRead = 0;
+constexpr int kOpWrite = 1;
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::Parse(const std::string& spec) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault plan item without '=': " + item);
+    }
+    std::string key = item.substr(0, eq);
+    std::string val = item.substr(eq + 1);
+    char* end = nullptr;
+    double num = std::strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0') {
+      return Status::InvalidArgument("fault plan value not a number: " + item);
+    }
+    if (key == "seed") {
+      plan.seed = static_cast<uint64_t>(num);
+    } else if (key == "read_error") {
+      plan.read_error_rate = num;
+    } else if (key == "burst") {
+      plan.read_error_burst = static_cast<uint32_t>(num);
+    } else if (key == "bit_flip") {
+      plan.bit_flip_rate = num;
+    } else if (key == "short_read") {
+      plan.short_read_rate = num;
+    } else if (key == "torn_write") {
+      plan.torn_write_rate = num;
+    } else {
+      return Status::InvalidArgument("unknown fault plan key: " + key);
+    }
+  }
+  if (plan.read_error_rate < 0 || plan.read_error_rate > 1 ||
+      plan.bit_flip_rate < 0 || plan.bit_flip_rate > 1 ||
+      plan.short_read_rate < 0 || plan.short_read_rate > 1 ||
+      plan.torn_write_rate < 0 || plan.torn_write_rate > 1) {
+    return Status::InvalidArgument("fault plan rates must be in [0, 1]");
+  }
+  if (plan.read_error_burst == 0) plan.read_error_burst = 1;
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "seed=%llu,read_error=%g,burst=%u,bit_flip=%g,short_read=%g,"
+                "torn_write=%g",
+                static_cast<unsigned long long>(seed), read_error_rate,
+                read_error_burst, bit_flip_rate, short_read_rate,
+                torn_write_rate);
+  return buf;
+}
+
+FaultInjectingPageManager::FaultInjectingPageManager(
+    std::unique_ptr<PageManager> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {}
+
+double FaultInjectingPageManager::EventRoll(PageId pid,
+                                            uint64_t page_op_index,
+                                            uint64_t salt) const {
+  return ToUnit(EventHash(plan_.seed, pid, page_op_index, salt));
+}
+
+bool FaultInjectingPageManager::ScriptFires(PageId pid, ScriptedFault::Op op,
+                                            uint64_t page_op_index,
+                                            ScriptedFault::Kind* kind) const {
+  for (const ScriptedFault& f : plan_.script) {
+    if (f.pid != pid || f.op != op) continue;
+    if (page_op_index < f.after) continue;
+    if (f.times != ~0ull && page_op_index >= f.after + f.times) continue;
+    *kind = f.kind;
+    return true;
+  }
+  return false;
+}
+
+Status FaultInjectingPageManager::Read(PageId pid, Page* out) {
+  if (!armed_.load(std::memory_order_relaxed) || !plan_.enabled()) {
+    return inner_->Read(pid, out);
+  }
+
+  bool inject_error = false;
+  bool inject_flip = false;
+  bool inject_short = false;
+  uint64_t page_op_index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    page_op_index = page_ops_[{pid, kOpRead}]++;
+
+    ScriptedFault::Kind scripted;
+    if (ScriptFires(pid, ScriptedFault::Op::kRead, page_op_index, &scripted)) {
+      switch (scripted) {
+        case ScriptedFault::Kind::kTransientError:
+          inject_error = true;
+          break;
+        case ScriptedFault::Kind::kBitFlip:
+          inject_flip = true;
+          break;
+        case ScriptedFault::Kind::kShortRead:
+          inject_short = true;
+          break;
+        case ScriptedFault::Kind::kTornWrite:
+          break;  // not a read fault; ignore
+      }
+    }
+
+    if (!inject_error) {
+      // A probabilistic trigger arms a burst of `read_error_burst`
+      // consecutive failures on this page, so retry behaviour is exercised.
+      auto it = pending_errors_.find(pid);
+      if (it != pending_errors_.end()) {
+        inject_error = true;
+        if (--it->second == 0) pending_errors_.erase(it);
+      } else if (plan_.read_error_rate > 0 &&
+                 EventRoll(pid, page_op_index, /*salt=*/1) <
+                     plan_.read_error_rate) {
+        inject_error = true;
+        if (plan_.read_error_burst > 1) {
+          pending_errors_[pid] = plan_.read_error_burst - 1;
+        }
+      }
+    }
+  }
+
+  if (inject_error) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::IoError("injected transient read error on page " +
+                           std::to_string(pid));
+  }
+
+  PCUBE_RETURN_NOT_OK(inner_->Read(pid, out));
+
+  uint64_t h = EventHash(plan_.seed, pid, page_op_index, /*salt=*/2);
+  if (!inject_flip && plan_.bit_flip_rate > 0 &&
+      EventRoll(pid, page_op_index, /*salt=*/3) < plan_.bit_flip_rate) {
+    inject_flip = true;
+  }
+  if (!inject_short && plan_.short_read_rate > 0 &&
+      EventRoll(pid, page_op_index, /*salt=*/4) < plan_.short_read_rate) {
+    inject_short = true;
+  }
+  if (inject_flip) {
+    size_t byte = static_cast<size_t>(h % kPageSize);
+    out->data()[byte] ^= static_cast<uint8_t>(1u << ((h >> 13) % 8));
+    bit_flips_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (inject_short) {
+    size_t keep = 1 + static_cast<size_t>((h >> 21) % (kPageSize - 1));
+    std::fill(out->data() + keep, out->data() + kPageSize, uint8_t{0});
+    short_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingPageManager::Write(PageId pid, const Page& page) {
+  if (!armed_.load(std::memory_order_relaxed) || !plan_.enabled()) {
+    return inner_->Write(pid, page);
+  }
+
+  bool tear = false;
+  uint64_t page_op_index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    page_op_index = page_ops_[{pid, kOpWrite}]++;
+    ScriptedFault::Kind scripted;
+    if (ScriptFires(pid, ScriptedFault::Op::kWrite, page_op_index,
+                    &scripted) &&
+        scripted == ScriptedFault::Kind::kTornWrite) {
+      tear = true;
+    }
+  }
+  if (!tear && plan_.torn_write_rate > 0 &&
+      EventRoll(pid, page_op_index, /*salt=*/5) < plan_.torn_write_rate) {
+    tear = true;
+  }
+  if (!tear) return inner_->Write(pid, page);
+
+  // Torn write: persist a prefix of the new content over the old bytes, the
+  // way a crash mid-pwrite would. The caller sees success; the damage shows
+  // up on a later read (as a checksum mismatch when that layer is stacked).
+  uint64_t h = EventHash(plan_.seed, pid, page_op_index, /*salt=*/6);
+  size_t prefix = static_cast<size_t>(h % kPageSize);
+  Page torn;
+  if (!inner_->Read(pid, &torn).ok()) torn.Zero();
+  std::copy(page.data(), page.data() + prefix, torn.data());
+  torn_writes_.fetch_add(1, std::memory_order_relaxed);
+  return inner_->Write(pid, torn);
+}
+
+}  // namespace pcube

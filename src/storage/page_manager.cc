@@ -80,8 +80,16 @@ Status FilePageManager::Read(PageId pid, Page* out) {
   if (pid >= num_pages_) return Status::OutOfRange("page id out of range");
   ssize_t n = ::pread(fd_, out->data(), kPageSize,
                       static_cast<off_t>(pid * kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
+  if (n < 0) {
     return Status::IoError("pread: " + std::string(std::strerror(errno)));
+  }
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    // A positive-but-short pread means the file ends mid-page: the store was
+    // truncated, not that the device failed. Corruption, not IoError — the
+    // BufferPool retries transient IoErrors but a truncated file never heals.
+    return Status::Corruption("short pread: page " + std::to_string(pid) +
+                              " got " + std::to_string(n) + "/" +
+                              std::to_string(kPageSize) + " bytes");
   }
   return Status::OK();
 }
@@ -90,8 +98,13 @@ Status FilePageManager::Write(PageId pid, const Page& page) {
   if (pid > num_pages_) return Status::OutOfRange("page id out of range");
   ssize_t n = ::pwrite(fd_, page.data(), kPageSize,
                        static_cast<off_t>(pid * kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
+  if (n < 0) {
     return Status::IoError("pwrite: " + std::string(std::strerror(errno)));
+  }
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError("short pwrite: page " + std::to_string(pid) +
+                           " wrote " + std::to_string(n) + "/" +
+                           std::to_string(kPageSize) + " bytes");
   }
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #include "workbench/batch_executor.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/metrics.h"
 #include "common/timer.h"
@@ -12,15 +13,18 @@ namespace {
 /// Per-query bookkeeping every finished query reports into the process-wide
 /// registry: volume, latency and the engine counters behind Figs. 8-16.
 void ReportQueryMetrics(const BatchQuery& query, const QueryResponse& resp,
-                        bool ok) {
+                        const Status& status) {
   MetricsRegistry& registry = MetricsRegistry::Default();
   registry
       .GetCounter(query.kind == BatchQuery::Kind::kSkyline
                       ? "pcube_queries_total{kind=\"skyline\"}"
                       : "pcube_queries_total{kind=\"topk\"}")
       ->Increment();
-  if (!ok) {
+  if (!status.ok()) {
     registry.GetCounter("pcube_query_failures_total")->Increment();
+    if (status.IsTimeout()) {
+      registry.GetCounter("pcube_query_timeouts_total")->Increment();
+    }
     return;
   }
   registry.GetHistogram("pcube_query_seconds")->Observe(resp.seconds);
@@ -48,6 +52,11 @@ BatchQueryResult BatchExecutor::RunOne(const BatchQuery& query) const {
   BufferPool::ScopedThreadStats scope(&result.io);
   Trace::ScopedBind bind(&result.response.trace);
   Timer timer;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (query.deadline_ms > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(query.deadline_ms);
+  }
   auto probe = cube_->MakeProbe(query.preds);
   if (!probe.ok()) {
     result.status = probe.status();
@@ -57,6 +66,7 @@ BatchQueryResult BatchExecutor::RunOne(const BatchQuery& query) const {
     case BatchQuery::Kind::kSkyline: {
       SkylineEngine engine(tree_, probe->get(), nullptr, query.skyline);
       engine.set_trace(&result.response.trace);
+      if (deadline) engine.set_deadline(*deadline);
       auto out = engine.Run();
       if (out.ok()) {
         result.response.counters = out->counters;
@@ -78,6 +88,7 @@ BatchQueryResult BatchExecutor::RunOne(const BatchQuery& query) const {
       TopKEngine engine(tree_, probe->get(), nullptr, query.ranking.get(),
                         query.k);
       engine.set_trace(&result.response.trace);
+      if (deadline) engine.set_deadline(*deadline);
       auto out = engine.Run();
       if (out.ok()) {
         result.response.counters = out->counters;
@@ -108,7 +119,7 @@ BatchOutput BatchExecutor::Execute(const std::vector<BatchQuery>& queries) {
     futures.push_back(pool_->Submit([this, &queries, &out, i] {
       out.results[i] = RunOne(queries[i]);
       const BatchQueryResult& r = out.results[i];
-      ReportQueryMetrics(queries[i], r.response, r.status.ok());
+      ReportQueryMetrics(queries[i], r.response, r.status);
       if (query_log_ != nullptr && r.status.ok()) {
         query_log_->Append(QueryLogRecord(queries[i], r.response));
       }
@@ -119,7 +130,8 @@ BatchOutput BatchExecutor::Execute(const std::vector<BatchQuery>& queries) {
   for (const BatchQueryResult& r : out.results) {
     out.io.Merge(r.io);
     if (!r.status.ok()) {
-      ++out.failed;
+      ++out.failed;  // includes timeouts, itemised separately below
+      if (r.status.IsTimeout()) ++out.timed_out;
     } else {
       latency.Observe(r.seconds);
     }

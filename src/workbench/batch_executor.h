@@ -64,6 +64,7 @@ struct BatchOutput {
   std::vector<BatchQueryResult> results;
   IoStats io;              ///< sum of every query's physical I/O
   uint64_t failed = 0;     ///< queries whose status is not OK
+  uint64_t timed_out = 0;  ///< subset of `failed` with Status::Timeout
   double seconds = 0;      ///< wall time of the whole batch
   LatencySummary latency;  ///< per-query wall-time quantiles
 };

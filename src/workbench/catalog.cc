@@ -52,6 +52,7 @@ class Reader {
     return s;
   }
   bool AtEnd() const { return pos_ == buf_.size(); }
+  size_t remaining() const { return buf_.size() - pos_; }
 
  private:
   const std::vector<uint8_t>& buf_;
@@ -152,6 +153,10 @@ Result<CatalogData> LoadCatalog(BufferPool* pool, PageId root) {
     uint32_t len = bit_util::LoadLE<uint32_t>(page->data());
     if (len > kChunk) return Status::Corruption("catalog chunk length");
     PageId next = bit_util::LoadLE<uint64_t>(page->data() + 4);
+    if (next != kInvalidPageId &&
+        next >= pool->page_manager()->NumPages()) {
+      return Status::Corruption("catalog next pointer out of range");
+    }
     bytes.insert(bytes.end(), page->data() + 12, page->data() + 12 + len);
     pid = next;
   }
@@ -178,19 +183,35 @@ Result<CatalogData> LoadCatalog(BufferPool* pool, PageId root) {
     var = *_r;                         \
   } while (0)
 
+  // A corrupt or fuzzed catalog can claim absurd element counts. Every
+  // count is checked against the bytes actually left in the buffer (using
+  // the minimum encoded size of one element) BEFORE any resize, so damage
+  // yields Status::Corruption instead of a multi-gigabyte allocation.
+#define PCUBE_CHECK_COUNT(n, min_elem_bytes)                      \
+  do {                                                            \
+    if ((n) > r.remaining() / (min_elem_bytes)) {                 \
+      return Status::Corruption("catalog count " + std::to_string(n) + \
+                                " exceeds remaining bytes");      \
+    }                                                             \
+  } while (0)
+
   uint32_t tmp32;
   uint64_t tmp64;
   PCUBE_READ(tmp32, r.U32());
+  PCUBE_CHECK_COUNT(tmp32, 4);
   c.num_bool = static_cast<int>(tmp32);
   PCUBE_READ(tmp32, r.U32());
+  PCUBE_CHECK_COUNT(tmp32, 4);
   c.num_pref = static_cast<int>(tmp32);
   c.bool_cardinality.resize(c.num_bool);
   for (int d = 0; d < c.num_bool; ++d) PCUBE_READ(c.bool_cardinality[d], r.U32());
   PCUBE_READ(c.num_tuples, r.U64());
   PCUBE_READ(tmp64, r.U64());
+  PCUBE_CHECK_COUNT(tmp64, 8);
   c.table_pages.resize(tmp64);
   for (auto& pid2 : c.table_pages) PCUBE_READ(pid2, r.U64());
   PCUBE_READ(tmp64, r.U64());
+  PCUBE_CHECK_COUNT(tmp64, 32);
   c.indices.resize(tmp64);
   for (auto& idx : c.indices) {
     PCUBE_READ(idx.root, r.U64());
@@ -211,6 +232,7 @@ Result<CatalogData> LoadCatalog(BufferPool* pool, PageId root) {
     PCUBE_READ(c.sig_index_entries, r.U64());
     PCUBE_READ(c.sig_index_pages, r.U64());
     PCUBE_READ(tmp64, r.U64());
+    PCUBE_CHECK_COUNT(tmp64, 12);
     for (uint64_t i = 0; i < tmp64; ++i) {
       uint64_t cell;
       uint32_t dense;
@@ -229,9 +251,11 @@ Result<CatalogData> LoadCatalog(BufferPool* pool, PageId root) {
   PCUBE_READ(tmp32, r.U32());
   if (tmp32 != 0) {
     PCUBE_READ(tmp64, r.U64());
+    PCUBE_CHECK_COUNT(tmp64, 8);
     c.dictionaries.resize(tmp64);
     for (auto& dict : c.dictionaries) {
       PCUBE_READ(tmp64, r.U64());
+      PCUBE_CHECK_COUNT(tmp64, 4);
       dict.resize(tmp64);
       for (auto& s : dict) {
         PCUBE_READ(tmp32, r.U32());
@@ -239,6 +263,7 @@ Result<CatalogData> LoadCatalog(BufferPool* pool, PageId root) {
       }
     }
   }
+#undef PCUBE_CHECK_COUNT
 #undef PCUBE_READ
   return c;
 }

@@ -56,6 +56,61 @@ Result<PlanEstimate> QueryPlanner::Estimate(const PredicateSet& preds) const {
   return est;
 }
 
+Status QueryPlanner::ExecuteSignature(
+    const QueryRequest& request,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    QueryResponse* resp) {
+  auto probe = wb_->cube()->MakeProbe(request.preds);
+  if (!probe.ok()) return probe.status();
+  if (request.kind == QueryRequest::Kind::kSkyline) {
+    SkylineEngine engine(wb_->tree(), probe->get(), nullptr, request.skyline);
+    engine.set_trace(&resp->trace);
+    if (deadline) engine.set_deadline(*deadline);
+    auto run = engine.Run();
+    if (!run.ok()) return run.status();
+    resp->counters = run->counters;
+    for (const SearchEntry& e : run->skyline) resp->tids.push_back(e.id);
+  } else {
+    TopKEngine engine(wb_->tree(), probe->get(), nullptr,
+                      request.ranking.get(), request.k);
+    engine.set_trace(&resp->trace);
+    if (deadline) engine.set_deadline(*deadline);
+    auto run = engine.Run();
+    if (!run.ok()) return run.status();
+    resp->counters = run->counters;
+    for (const SearchEntry& e : run->results) {
+      resp->tids.push_back(e.id);
+      resp->scores.push_back(e.key);
+    }
+  }
+  return Status::OK();
+}
+
+Status QueryPlanner::ExecuteBoolean(const QueryRequest& request,
+                                    QueryResponse* resp) {
+  ScopedSpan span(&resp->trace, "boolean_first");
+  BooleanFirstExecutor boolean(&wb_->indices(), wb_->table());
+  if (request.kind == QueryRequest::Kind::kSkyline) {
+    auto run = boolean.Skyline(request.preds, request.skyline.pref_dims);
+    if (!run.ok()) return run.status();
+    resp->counters = run->counters;
+    resp->tids = run->tids;
+  } else {
+    auto run = boolean.TopK(request.preds, *request.ranking, request.k);
+    if (!run.ok()) return run.status();
+    resp->counters = run->counters;
+    resp->tids = run->tids;
+    resp->scores = run->scores;
+  }
+  return Status::OK();
+}
+
+bool QueryPlanner::CanDegrade(const QueryRequest& request) {
+  if (request.kind == QueryRequest::Kind::kTopK) return true;
+  // The boolean baseline implements only the plain skyline.
+  return request.skyline.skyband_k == 1 && request.skyline.origin.empty();
+}
+
 Result<QueryResponse> QueryPlanner::Run(const QueryRequest& request) {
   if (request.kind == QueryRequest::Kind::kTopK && request.ranking == nullptr) {
     return Status::InvalidArgument("top-k query without ranking");
@@ -78,50 +133,43 @@ Result<QueryResponse> QueryPlanner::Run(const QueryRequest& request) {
       (request.skyline.skyband_k > 1 || !request.skyline.origin.empty())) {
     resp.estimate.choice = PlanChoice::kSignature;
   }
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (request.deadline_ms > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(request.deadline_ms);
+  }
 
   PCUBE_RETURN_NOT_OK(wb_->ColdStart());
   Timer timer;
   // Bind the trace to this thread so the BufferPool attributes `io_wait`.
   Trace::ScopedBind bind(&resp.trace);
 
+  MetricsRegistry& registry = MetricsRegistry::Default();
   if (resp.estimate.choice == PlanChoice::kSignature) {
-    auto probe = wb_->cube()->MakeProbe(request.preds);
-    if (!probe.ok()) return probe.status();
-    if (request.kind == QueryRequest::Kind::kSkyline) {
-      SkylineEngine engine(wb_->tree(), probe->get(), nullptr,
-                           request.skyline);
-      engine.set_trace(&resp.trace);
-      auto run = engine.Run();
-      if (!run.ok()) return run.status();
-      resp.counters = run->counters;
-      for (const SearchEntry& e : run->skyline) resp.tids.push_back(e.id);
-    } else {
-      TopKEngine engine(wb_->tree(), probe->get(), nullptr,
-                        request.ranking.get(), request.k);
-      engine.set_trace(&resp.trace);
-      auto run = engine.Run();
-      if (!run.ok()) return run.status();
-      resp.counters = run->counters;
-      for (const SearchEntry& e : run->results) {
-        resp.tids.push_back(e.id);
-        resp.scores.push_back(e.key);
+    Status st = ExecuteSignature(request, deadline, &resp);
+    if (!st.ok()) {
+      // Signatures and the R-tree are derived, redundant state: when their
+      // pages are corrupt or unreadable, the base relation can still answer
+      // the query through the boolean-first plan. Timeouts and other
+      // failures are not storage damage and propagate unchanged.
+      if (!(st.IsCorruption() || st.IsIoError()) || !CanDegrade(request)) {
+        if (st.IsTimeout()) {
+          registry.GetCounter("pcube_query_timeouts_total")->Increment();
+        }
+        return st;
       }
+      resp.tids.clear();
+      resp.scores.clear();
+      resp.counters = EngineCounters();
+      resp.degraded = true;
+      resp.degraded_reason = st.ToString();
+      resp.estimate.choice = PlanChoice::kBooleanFirst;
+      registry.GetCounter("pcube_queries_degraded_total")->Increment();
+      Status fallback = ExecuteBoolean(request, &resp);
+      if (!fallback.ok()) return fallback;
     }
   } else {
-    ScopedSpan span(&resp.trace, "boolean_first");
-    BooleanFirstExecutor boolean(&wb_->indices(), wb_->table());
-    if (request.kind == QueryRequest::Kind::kSkyline) {
-      auto run = boolean.Skyline(request.preds, request.skyline.pref_dims);
-      if (!run.ok()) return run.status();
-      resp.counters = run->counters;
-      resp.tids = run->tids;
-    } else {
-      auto run = boolean.TopK(request.preds, *request.ranking, request.k);
-      if (!run.ok()) return run.status();
-      resp.counters = run->counters;
-      resp.tids = run->tids;
-      resp.scores = run->scores;
-    }
+    PCUBE_RETURN_NOT_OK(ExecuteBoolean(request, &resp));
   }
   if (request.kind == QueryRequest::Kind::kSkyline) {
     std::sort(resp.tids.begin(), resp.tids.end());
@@ -129,7 +177,6 @@ Result<QueryResponse> QueryPlanner::Run(const QueryRequest& request) {
   resp.seconds = timer.ElapsedSeconds();
   resp.io = wb_->IoSince();
 
-  MetricsRegistry& registry = MetricsRegistry::Default();
   registry
       .GetCounter(resp.estimate.choice == PlanChoice::kSignature
                       ? "pcube_planner_plans_total{plan=\"signature\"}"

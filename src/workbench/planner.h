@@ -9,6 +9,9 @@
 // and I/O, and a per-stage Trace in one QueryResponse.
 #pragma once
 
+#include <chrono>
+#include <optional>
+
 #include "query/request.h"
 #include "workbench/workbench.h"
 
@@ -43,6 +46,17 @@ class QueryPlanner {
                            size_t k);
 
  private:
+  /// Runs the branch-and-bound signature plan into `resp`.
+  Status ExecuteSignature(const QueryRequest& request,
+                          const std::optional<std::chrono::steady_clock::
+                                                  time_point>& deadline,
+                          QueryResponse* resp);
+  /// Runs the boolean-first baseline plan into `resp`.
+  Status ExecuteBoolean(const QueryRequest& request, QueryResponse* resp);
+  /// True when the boolean plan can answer this request (it implements
+  /// plain skylines and top-k, but not skybands or dynamic skylines).
+  static bool CanDegrade(const QueryRequest& request);
+
   Workbench* wb_;
 };
 

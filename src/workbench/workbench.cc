@@ -1,5 +1,7 @@
 #include "workbench/workbench.h"
 
+#include <cstdio>
+
 #include "workbench/catalog.h"
 
 namespace pcube {
@@ -14,6 +16,26 @@ Result<std::unique_ptr<Workbench>> Workbench::Build(Dataset data,
     auto fpm = FilePageManager::Open(options.file_path, /*truncate=*/true);
     if (!fpm.ok()) return fpm.status();
     wb->pm_ = std::move(*fpm);
+    // A stale sidecar from a previous database at this path must not
+    // survive the truncation.
+    std::remove((options.file_path + ".chk").c_str());
+  }
+  // Decorator stack, bottom-up: base -> fault injection -> checksums ->
+  // latency. Faults sit below the checksum layer so injected corruption is
+  // detected exactly like real corruption would be.
+  if (options.fault_plan.enabled()) {
+    auto wrapped = std::make_unique<FaultInjectingPageManager>(
+        std::move(wb->pm_), options.fault_plan);
+    wb->faults_ = wrapped.get();
+    wb->faults_->set_armed(false);  // armed below, after construction
+    wb->pm_ = std::move(wrapped);
+  }
+  if (options.verify_checksums) {
+    auto wrapped = std::make_unique<ChecksumPageManager>(
+        std::move(wb->pm_),
+        options.file_path.empty() ? std::string() : options.file_path + ".chk");
+    wb->checksums_ = wrapped.get();
+    wb->pm_ = std::move(wrapped);
   }
   LatencyPageManager* latency = nullptr;
   if (options.read_latency_us > 0) {
@@ -65,6 +87,7 @@ Result<std::unique_ptr<Workbench>> Workbench::Build(Dataset data,
   }
   PCUBE_RETURN_NOT_OK(wb->ColdStart());
   if (latency != nullptr) latency->set_read_latency_us(options.read_latency_us);
+  if (wb->faults_ != nullptr) wb->faults_->set_armed(true);
   return wb;
 }
 
@@ -111,7 +134,9 @@ Status Workbench::Save() {
   }
   c.dictionaries = dictionaries_;
   PCUBE_RETURN_NOT_OK(SaveCatalog(pool_.get(), catalog_root_, c));
-  return pool_->FlushAll();
+  PCUBE_RETURN_NOT_OK(pool_->FlushAll());
+  if (checksums_ != nullptr) PCUBE_RETURN_NOT_OK(checksums_->SyncSidecar());
+  return Status::OK();
 }
 
 Result<std::unique_ptr<Workbench>> Workbench::Open(const std::string& path,
@@ -127,6 +152,19 @@ Result<std::unique_ptr<Workbench>> Workbench::Open(
   auto fpm = FilePageManager::Open(path, /*truncate=*/false);
   if (!fpm.ok()) return fpm.status();
   wb->pm_ = std::move(*fpm);
+  if (options.fault_plan.enabled()) {
+    auto wrapped = std::make_unique<FaultInjectingPageManager>(
+        std::move(wb->pm_), options.fault_plan);
+    wb->faults_ = wrapped.get();
+    wb->faults_->set_armed(false);  // armed below, after re-attaching
+    wb->pm_ = std::move(wrapped);
+  }
+  if (options.verify_checksums) {
+    auto wrapped = std::make_unique<ChecksumPageManager>(std::move(wb->pm_),
+                                                         path + ".chk");
+    wb->checksums_ = wrapped.get();
+    wb->pm_ = std::move(wrapped);
+  }
   LatencyPageManager* latency = nullptr;
   if (options.read_latency_us > 0) {
     // Wrap at zero latency so re-attaching and the table re-scan below stay
@@ -182,6 +220,7 @@ Result<std::unique_ptr<Workbench>> Workbench::Open(
   if (!scan.ok()) return scan;
   PCUBE_RETURN_NOT_OK(wb->ColdStart());
   if (latency != nullptr) latency->set_read_latency_us(options.read_latency_us);
+  if (wb->faults_ != nullptr) wb->faults_->set_armed(true);
   return wb;
 }
 
@@ -218,6 +257,80 @@ BatchOutput Workbench::RunBatch(const std::vector<BatchQuery>& queries,
   ThreadPool pool(num_workers);
   BatchExecutor executor(tree_.get(), cube_.get(), &pool, query_log);
   return executor.Execute(queries);
+}
+
+Result<Workbench::IntegrityReport> Workbench::VerifyIntegrity() {
+  IntegrityReport report;
+
+  // 1. Page sweep: every allocated page must read back — through the
+  // checksum layer when enabled, so bit rot surfaces as Corruption here.
+  const uint64_t num_pages = pm_->NumPages();
+  for (PageId pid = 0; pid < num_pages; ++pid) {
+    auto handle = pool_->Get(pid, IoCategory::kHeapFile);
+    ++report.pages_checked;
+    if (!handle.ok()) {
+      report.errors.emplace_back(pid, handle.status().ToString());
+    }
+  }
+
+  // 2. Boolean indices: a full range scan must succeed, visit keys in
+  // ascending order and agree with the recorded entry count.
+  for (const BooleanIndex& index : indices_) {
+    uint64_t seen = 0;
+    uint64_t prev_key = 0;
+    bool ordered = true;
+    Status scan = index.tree().RangeScan(
+        0, ~uint64_t{0}, [&](uint64_t key, uint64_t) {
+          if (seen > 0 && key <= prev_key) ordered = false;
+          prev_key = key;
+          ++seen;
+          return true;
+        });
+    std::string label = "bool index " + std::to_string(index.dim());
+    if (!scan.ok()) {
+      report.errors.emplace_back(kInvalidPageId,
+                                 label + ": " + scan.ToString());
+      continue;
+    }
+    if (!ordered) {
+      report.errors.emplace_back(kInvalidPageId,
+                                 label + ": keys out of order");
+    }
+    if (seen != index.tree().num_entries()) {
+      report.errors.emplace_back(
+          kInvalidPageId, label + ": scanned " + std::to_string(seen) +
+                              " entries, recorded " +
+                              std::to_string(index.tree().num_entries()));
+    }
+  }
+
+  // 3. R-tree structural invariants.
+  if (tree_ != nullptr) {
+    std::vector<std::string> problems;
+    Status walk = tree_->CheckStructure(&problems);
+    if (!walk.ok()) {
+      report.errors.emplace_back(kInvalidPageId, walk.ToString());
+    }
+    for (std::string& p : problems) {
+      report.errors.emplace_back(kInvalidPageId, std::move(p));
+    }
+  }
+
+  // 4. Signature store: every stored cell's signature must reassemble.
+  if (cube_ != nullptr) {
+    const SignatureStore& store = cube_->store();
+    for (const auto& [cell, dense] : store.dense_cells()) {
+      auto sig = store.LoadFull(cell, cube_->fanout(), cube_->levels());
+      if (!sig.ok()) {
+        report.errors.emplace_back(
+            kInvalidPageId, "signature cell " + std::to_string(dense) + ": " +
+                                sig.status().ToString());
+      }
+    }
+  }
+
+  PCUBE_RETURN_NOT_OK(ColdStart());
+  return report;
 }
 
 void Workbench::ExportMetrics(MetricsRegistry* registry) const {

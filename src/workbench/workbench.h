@@ -16,6 +16,8 @@
 #include "query/incremental.h"
 #include "query/skyline_engine.h"
 #include "query/topk_engine.h"
+#include "storage/checksum.h"
+#include "storage/fault_injection.h"
 #include "storage/table_store.h"
 #include "workbench/batch_executor.h"
 
@@ -48,6 +50,14 @@ struct WorkbenchOptions {
   /// When non-empty, back everything by a file instead of RAM; the instance
   /// can then be persisted with Save() and reopened with Workbench::Open().
   std::string file_path;
+  /// Verify a CRC-32 per page on every physical read (storage/checksum.h).
+  /// File-backed instances persist the checksums to `<file_path>.chk` on
+  /// Save(); files from before this layer open fine (adopt-on-read).
+  bool verify_checksums = true;
+  /// Storage fault injection (storage/fault_injection.h). Injection is
+  /// disarmed while Build/Open construct the structures and armed just
+  /// before returning, so faults hit queries, not construction.
+  FaultPlan fault_plan;
 };
 
 /// One fully built experimental instance. Movable-only aggregate.
@@ -94,6 +104,10 @@ class Workbench {
   RStarTree* tree() { return tree_.get(); }
   PCube* cube() { return cube_.get(); }
   PageManager* page_manager() { return pm_.get(); }
+  /// The fault-injection layer, or null when options.fault_plan is empty.
+  FaultInjectingPageManager* faults() { return faults_; }
+  /// The checksum layer, or null when options.verify_checksums is false.
+  ChecksumPageManager* checksums() { return checksums_; }
 
   /// Optional value dictionaries for the boolean dimensions (set by CSV
   /// importers); persisted with Save() and restored by Open().
@@ -123,6 +137,23 @@ class Workbench {
   /// `registry` (pass &MetricsRegistry::Default() for the process dump).
   void ExportMetrics(MetricsRegistry* registry) const;
 
+  /// What VerifyIntegrity found. ok() means every page read back with a
+  /// valid checksum and every structure held its invariants.
+  struct IntegrityReport {
+    uint64_t pages_checked = 0;
+    /// One (page id or kInvalidPageId, description) per problem.
+    std::vector<std::pair<PageId, std::string>> errors;
+    bool ok() const { return errors.empty(); }
+  };
+
+  /// Full integrity walk (the engine behind `pcube verify`): reads every
+  /// allocated page through the checksum layer, range-scans each boolean
+  /// B+-tree checking key order and entry counts, walks the R-tree
+  /// structure (RStarTree::CheckStructure) and reassembles every stored
+  /// cell signature. Read-only; ends with a ColdStart so the verification
+  /// traffic does not pollute later measurements.
+  Result<IntegrityReport> VerifyIntegrity();
+
  private:
   Workbench() : pool_(nullptr) {}
 
@@ -130,6 +161,8 @@ class Workbench {
   IoStats stats_;
   IoStats snapshot_;
   std::unique_ptr<PageManager> pm_;
+  FaultInjectingPageManager* faults_ = nullptr;   // owned via pm_ chain
+  ChecksumPageManager* checksums_ = nullptr;      // owned via pm_ chain
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<TableStore> table_;
   std::vector<BooleanIndex> indices_;

@@ -1,0 +1,114 @@
+// Status / Result contract: every constructor maps to its code, every code
+// has a printable name, and the predicates partition the codes — the typed
+// failure taxonomy the fault-tolerance layer (checksums, retry, degradation,
+// deadlines) relies on to route errors.
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pcube {
+namespace {
+
+TEST(StatusTest, OkDefaults) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_FALSE(s.IsCorruption());
+  EXPECT_FALSE(s.IsTimeout());
+}
+
+TEST(StatusTest, ConstructorCodeRoundTrips) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const std::vector<Case> cases = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument},
+      {Status::NotFound("m"), StatusCode::kNotFound},
+      {Status::AlreadyExists("m"), StatusCode::kAlreadyExists},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange},
+      {Status::Corruption("m"), StatusCode::kCorruption},
+      {Status::IoError("m"), StatusCode::kIoError},
+      {Status::NotSupported("m"), StatusCode::kNotSupported},
+      {Status::Internal("m"), StatusCode::kInternal},
+      {Status::Timeout("m"), StatusCode::kTimeout},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    // ToString carries the code name and the message.
+    EXPECT_NE(c.status.ToString().find(StatusCodeToString(c.code)),
+              std::string::npos);
+    EXPECT_NE(c.status.ToString().find("m"), std::string::npos);
+    // Reconstructing from (code, message) preserves the code.
+    Status rebuilt(c.status.code(), c.status.message());
+    EXPECT_EQ(rebuilt.code(), c.code);
+  }
+}
+
+TEST(StatusTest, PredicatesMatchExactlyOneCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+
+  // Cross-checks: each predicate rejects the other failure codes.
+  const std::vector<Status> all = {
+      Status::InvalidArgument("x"), Status::NotFound("x"),
+      Status::AlreadyExists("x"),   Status::OutOfRange("x"),
+      Status::Corruption("x"),      Status::IoError("x"),
+      Status::NotSupported("x"),    Status::Internal("x"),
+      Status::Timeout("x"),
+  };
+  int corruption = 0, io = 0, timeout = 0, not_found = 0, invalid = 0;
+  for (const Status& s : all) {
+    corruption += s.IsCorruption();
+    io += s.IsIoError();
+    timeout += s.IsTimeout();
+    not_found += s.IsNotFound();
+    invalid += s.IsInvalidArgument();
+  }
+  EXPECT_EQ(corruption, 1);
+  EXPECT_EQ(io, 1);
+  EXPECT_EQ(timeout, 1);
+  EXPECT_EQ(not_found, 1);
+  EXPECT_EQ(invalid, 1);
+}
+
+TEST(StatusTest, EveryCodeHasADistinctName) {
+  std::vector<StatusCode> codes = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,    StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,  StatusCode::kCorruption,
+      StatusCode::kIoError,     StatusCode::kNotSupported,
+      StatusCode::kInternal,    StatusCode::kTimeout,
+  };
+  std::vector<std::string_view> names;
+  for (StatusCode code : codes) {
+    std::string_view name = StatusCodeToString(code);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "Unknown");
+    for (std::string_view seen : names) EXPECT_NE(seen, name);
+    names.push_back(name);
+  }
+}
+
+TEST(StatusTest, ResultPropagatesStatus) {
+  Result<int> ok_result(7);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 7);
+  EXPECT_TRUE(ok_result.status().ok());
+
+  Result<int> err_result(Status::Timeout("deadline"));
+  ASSERT_FALSE(err_result.ok());
+  EXPECT_TRUE(err_result.status().IsTimeout());
+  EXPECT_EQ(err_result.status().message(), "deadline");
+}
+
+}  // namespace
+}  // namespace pcube

@@ -25,13 +25,30 @@
 //       Signature-pruned top-k under a linear function (--weights) or a
 //       weighted squared distance to a target point (--target).
 //
+//   pcube verify --db data.pcube
+//       Full integrity walk: re-read every page through the checksum layer,
+//       check B+-tree key order, R-tree structure and signature assembly.
+//       Exit 1 (listing the problems) if anything fails.
+//
+//   pcube corrupt --db data.pcube [--kind signature|rtree|table|catalog]
+//                 [--page N] [--offset K]
+//       Deliberately flip one byte per targeted page in the raw file
+//       (testing tool; `verify` and checksummed reads must catch it).
+//
 // Both query commands accept:
 //   --plan auto|signature|boolean   plan selection (default: signature; auto
 //                                   lets the cost model pick, see `explain`)
+//   --deadline-ms N                 per-query deadline; exceeding it fails
+//                                   the query with a Timeout status
 //   --metrics                       append a Prometheus-style text dump of
 //                                   every engine and buffer-pool metric
 //   --query-log FILE                write one JSONL record (trace id, plan,
 //                                   counters, per-stage spans) to FILE
+//
+// Every command that opens a database accepts:
+//   --fault-plan SPEC               inject storage faults while queries run,
+//                                   e.g. "seed=7,read_error=0.01,bit_flip=
+//                                   0.001" (see storage/fault_injection.h)
 //
 // Predicate values use the stored dictionary when the database came from a
 // CSV import ("color=red"); raw codes also work ("color=#3" or "2=#3").
@@ -127,7 +144,11 @@ T Unwrap(Result<T> r) {
 // --------------------------------------------------------------- database
 
 std::unique_ptr<Workbench> OpenDb(const Args& args) {
-  return Unwrap(Workbench::Open(args.Require("db")));
+  WorkbenchOptions options;
+  if (args.Has("fault-plan")) {
+    options.fault_plan = Unwrap(FaultPlan::Parse(args.Get("fault-plan")));
+  }
+  return Unwrap(Workbench::Open(args.Require("db"), options));
 }
 
 /// Resolves "name=value" predicates against the stored dictionaries; names
@@ -343,8 +364,13 @@ int CmdSkyline(const Args& args) {
   }
   QueryRequest request = QueryRequest::Skyline(preds, options);
   request.hint = ParsePlanHint(args);
+  request.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
   QueryPlanner planner(wb.get());
   auto resp = Unwrap(planner.Run(request));
+  if (resp.degraded) {
+    std::printf("degraded: %s; answered via boolean-first fallback\n",
+                resp.degraded_reason.c_str());
+  }
   std::printf("%zu result(s) for %s [%s plan]\n", resp.tids.size(),
               preds.empty() ? "(no predicate)" : preds.ToString().c_str(),
               resp.estimate.choice == PlanChoice::kSignature
@@ -391,8 +417,13 @@ int CmdTopK(const Args& args) {
                                     f.get()),
                          k);
   request.hint = ParsePlanHint(args);
+  request.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
   QueryPlanner planner(wb.get());
   auto resp = Unwrap(planner.Run(request));
+  if (resp.degraded) {
+    std::printf("degraded: %s; answered via boolean-first fallback\n",
+                resp.degraded_reason.c_str());
+  }
   std::printf("top %zu for %s\n", resp.tids.size(),
               preds.empty() ? "(no predicate)" : preds.ToString().c_str());
   for (size_t i = 0; i < resp.tids.size(); ++i) {
@@ -422,10 +453,100 @@ int CmdExplain(const Args& args) {
   return 0;
 }
 
+int CmdVerify(const Args& args) {
+  auto wb = OpenDb(args);
+  auto report = Unwrap(wb->VerifyIntegrity());
+  std::printf("verified %llu pages\n",
+              static_cast<unsigned long long>(report.pages_checked));
+  for (const auto& [pid, msg] : report.errors) {
+    if (pid == kInvalidPageId) {
+      std::fprintf(stderr, "  %s\n", msg.c_str());
+    } else {
+      std::fprintf(stderr, "  page %llu: %s\n",
+                   static_cast<unsigned long long>(pid), msg.c_str());
+    }
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "%zu problem(s) found\n", report.errors.size());
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}
+
+int CmdCorrupt(const Args& args) {
+  std::string path = args.Require("db");
+  std::vector<PageId> targets;
+  if (args.Has("page")) {
+    targets.push_back(static_cast<PageId>(args.GetInt("page", 0)));
+  } else {
+    // Open the database to locate the pages of the requested structure,
+    // then close it before touching the raw file.
+    std::string kind = args.Get("kind", "signature");
+    auto wb = Unwrap(Workbench::Open(path));
+    if (kind == "signature") {
+      // Every data page of the signature store, so any probe hits damage.
+      targets = Unwrap(wb->cube()->store().DataPages());
+    } else if (kind == "rtree") {
+      targets.push_back(wb->tree()->root());
+    } else if (kind == "table") {
+      const auto& pages = wb->table()->page_ids();
+      if (pages.empty()) {
+        std::fprintf(stderr, "table has no pages\n");
+        return 1;
+      }
+      targets.push_back(pages.front());
+    } else if (kind == "catalog") {
+      targets.push_back(PageId{0});
+    } else {
+      std::fprintf(stderr,
+                   "unknown --kind '%s' (signature|rtree|table|catalog)\n",
+                   kind.c_str());
+      return 2;
+    }
+  }
+  if (targets.empty()) {
+    std::fprintf(stderr, "no pages to corrupt\n");
+    return 1;
+  }
+  size_t offset = static_cast<size_t>(args.GetInt("offset", 64)) % kPageSize;
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  for (PageId pid : targets) {
+    long pos = static_cast<long>(pid * kPageSize + offset);
+    unsigned char byte = 0;
+    if (std::fseek(f, pos, SEEK_SET) != 0 || std::fread(&byte, 1, 1, f) != 1) {
+      std::fprintf(stderr, "cannot read page %llu\n",
+                   static_cast<unsigned long long>(pid));
+      std::fclose(f);
+      return 1;
+    }
+    byte ^= 0xFF;
+    if (std::fseek(f, pos, SEEK_SET) != 0 ||
+        std::fwrite(&byte, 1, 1, f) != 1) {
+      std::fprintf(stderr, "cannot write page %llu\n",
+                   static_cast<unsigned long long>(pid));
+      std::fclose(f);
+      return 1;
+    }
+  }
+  std::fclose(f);
+  std::printf("flipped byte %zu in %zu page(s):",
+              offset, targets.size());
+  for (PageId pid : targets) {
+    std::printf(" %llu", static_cast<unsigned long long>(pid));
+  }
+  std::printf("\n");
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: pcube <generate|build|info|explain|skyline|topk>"
-               " [--options]\n"
+               "usage: pcube <generate|build|info|explain|skyline|topk"
+               "|verify|corrupt> [--options]\n"
                "see the header of tools/pcube_cli.cpp for details\n");
   return 2;
 }
@@ -442,5 +563,7 @@ int main(int argc, char** argv) {
   if (cmd == "explain") return CmdExplain(args);
   if (cmd == "skyline") return CmdSkyline(args);
   if (cmd == "topk") return CmdTopK(args);
+  if (cmd == "verify") return CmdVerify(args);
+  if (cmd == "corrupt") return CmdCorrupt(args);
   return Usage();
 }
