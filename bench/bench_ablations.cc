@@ -264,12 +264,18 @@ void BM_Planner(benchmark::State& state, const char* mode) {
   // at both ends of the crossover.
   uint32_t c = static_cast<uint32_t>(state.range(0));
   uint64_t n = TupleSweep()[0] * 2;
+  // The ablation measures plan selection + execution per iteration; the L1
+  // result cache would answer every repeat instantly, so it stays off.
+  WorkbenchOptions options;
+  options.result_cache_mb = 0;
   Workbench* wb = CachedWorkbench2(
-      "ablation_planner_" + std::to_string(c), [n, c] {
+      "ablation_planner_" + std::to_string(c),
+      [n, c] {
         SyntheticConfig config = PaperConfig(n);
         config.bool_cardinality = c;
         return GenerateSynthetic(config);
-      });
+      },
+      options);
   PredicateSet preds = OnePredicate(c);
   std::string m(mode);
   MeasuredRun last;
@@ -277,7 +283,7 @@ void BM_Planner(benchmark::State& state, const char* mode) {
     if (m == "planner") {
       QueryPlanner planner(wb);
       Timer t;
-      auto out = planner.Skyline(preds);
+      auto out = planner.Run(QueryRequest::Skyline(preds));
       PCUBE_CHECK(out.ok());
       last.seconds = t.ElapsedSeconds();
       last.io = out->io;

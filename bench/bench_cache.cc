@@ -1,0 +1,246 @@
+// Two-level query cache benchmark: the same mixed batch workload as
+// bench_throughput, but with repeated queries — the regime the cache is
+// for. Three phases over one Workbench:
+//
+//   cold — first pass, empty caches: every query decodes signatures and
+//          runs branch-and-bound; fills both levels.
+//   warm — second pass of the SAME batch: exact repeats served from the L1
+//          result cache (the drill-down/truncation paths fire for the
+//          contained variants the workload mixes in).
+//   hot  — N more passes, steady state: measures the cache-resident QPS.
+//
+// The run fails (exit 1) when the warm pass does not beat the cold pass by
+// the acceptance factor or the L1 hit-rate stays at zero, so scripts/ci.sh
+// can use it as a smoke gate directly.
+//
+// Output: a table on stdout plus BENCH_cache.json, BENCH_cache_metrics.prom
+// (cache counters and hit-rate gauges included) and
+// BENCH_cache_querylog.jsonl (per-query `cache:` field) in the working
+// directory.
+//
+// Environment knobs:
+//   PCUBE_CACHE_ROWS        dataset size            (default 20000)
+//   PCUBE_CACHE_QUERIES     queries per batch       (default 120)
+//   PCUBE_CACHE_LATENCY_US  per-read sleep, micros  (default 200)
+//   PCUBE_CACHE_WORKERS     batch workers           (default 4)
+//   PCUBE_CACHE_HOT_PASSES  passes in the hot phase (default 3)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "data/generators.h"
+#include "workbench/workbench.h"
+
+using namespace pcube;
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  uint64_t v = std::strtoull(env, nullptr, 10);
+  return v == 0 ? fallback : v;
+}
+
+/// Mixed workload with deliberate reuse structure: repeated skylines and
+/// top-k families (same predicates + ranking, varying k — truncation hits)
+/// plus drill-down variants (supersets of earlier predicates — containment
+/// hits). Built once; every phase runs the identical batch.
+std::vector<BatchQuery> BuildWorkload(size_t n, const SyntheticConfig& config) {
+  Random rng(2024);
+  // A pool of query *families* — (predicates, ranking, k) fixed per family
+  // so the same query recurs, within a pass and across passes. Every
+  // fourth occurrence drills into the family's superset predicates, which
+  // exercises the containment path. Families ~ n/3 distinct queries per
+  // pass: the cold pass still executes every family once while repeats
+  // within and across passes hit the cache.
+  struct Family {
+    PredicateSet base;
+    PredicateSet drilled;
+    std::shared_ptr<LinearRanking> ranking;
+    size_t k;
+  };
+  std::vector<Family> families;
+  size_t num_families = n / 3 < 4 ? 4 : n / 3;
+  for (size_t i = 0; i < num_families; ++i) {
+    Family fam;
+    int dim = static_cast<int>(rng.Uniform(config.num_bool));
+    fam.base = {{dim, static_cast<uint32_t>(
+                          rng.Uniform(config.bool_cardinality))}};
+    fam.drilled = fam.base;
+    fam.drilled.Add({(dim + 1) % config.num_bool,
+                     static_cast<uint32_t>(
+                         rng.Uniform(config.bool_cardinality))});
+    std::vector<double> weights(config.num_pref);
+    for (double& w : weights) w = 0.25 + rng.NextDouble();
+    fam.ranking = std::make_shared<LinearRanking>(weights);
+    fam.k = 5 + rng.Uniform(3) * 5;
+    families.push_back(std::move(fam));
+  }
+  std::vector<BatchQuery> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Family& fam = families[rng.Uniform(families.size())];
+    PredicateSet preds = rng.Uniform(4) == 0 ? fam.drilled : fam.base;
+    if (i % 3 == 0) {
+      queries.push_back(BatchQuery::Skyline(std::move(preds)));
+    } else {
+      queries.push_back(BatchQuery::TopK(std::move(preds), fam.ranking, fam.k));
+    }
+  }
+  return queries;
+}
+
+double CounterValue(const char* name) {
+  return static_cast<double>(
+      MetricsRegistry::Default().GetCounter(name)->Value());
+}
+
+}  // namespace
+
+int main() {
+  SyntheticConfig config;
+  config.num_tuples = EnvU64("PCUBE_CACHE_ROWS", 20000);
+  config.num_bool = 3;
+  config.num_pref = 3;
+  config.bool_cardinality = 100;
+  config.seed = 42;
+
+  const size_t num_queries = EnvU64("PCUBE_CACHE_QUERIES", 120);
+  const size_t workers = EnvU64("PCUBE_CACHE_WORKERS", 4);
+  const size_t hot_passes = EnvU64("PCUBE_CACHE_HOT_PASSES", 3);
+  const double latency_us =
+      static_cast<double>(EnvU64("PCUBE_CACHE_LATENCY_US", 200));
+
+  WorkbenchOptions options;
+  // Small pool + real per-read latency: misses pay for their pages the way
+  // the paper's disk-bound experiments do, so the cold/warm gap reflects
+  // the I/O (and decode work) the caches remove, not just CPU.
+  options.pool_pages = 64;
+  options.pool_stripes = 16;
+  options.read_latency_us = latency_us;
+  // Skyline entries carry their pruned-node lists for Lemma 2 drill-down
+  // (~0.5 MB each at this scale), so the L1 must be sized for the working
+  // set — the default 16 MB would churn and mask the steady state.
+  options.result_cache_mb = 64;
+  std::printf(
+      "building workbench: %llu rows, %zu queries/batch, %zu workers, "
+      "%.0f us/read\n",
+      static_cast<unsigned long long>(config.num_tuples), num_queries,
+      workers, latency_us);
+  auto wb = Workbench::Build(GenerateSynthetic(config), options);
+  PCUBE_CHECK(wb.ok()) << wb.status().ToString();
+
+  std::vector<BatchQuery> queries = BuildWorkload(num_queries, config);
+
+  std::unique_ptr<QueryLog> query_log;
+  {
+    auto log = QueryLog::OpenFile("BENCH_cache_querylog.jsonl");
+    PCUBE_CHECK(log.ok()) << log.status().ToString();
+    query_log = std::move(*log);
+  }
+
+  struct Phase {
+    std::string name;
+    double seconds = 0;
+    double qps = 0;
+    uint64_t reads = 0;
+    double hits = 0;         // L1 hits + containment during the phase
+    double lookups = 0;      // L1 hits + containment + misses
+    LatencySummary latency;
+  };
+  auto run_phase = [&](const std::string& name, size_t passes,
+                       QueryLog* log) {
+    Phase p;
+    p.name = name;
+    double before_hits = CounterValue("pcube_result_cache_hits_total") +
+                         CounterValue("pcube_result_cache_containment_total");
+    double before_misses = CounterValue("pcube_result_cache_misses_total");
+    for (size_t i = 0; i < passes; ++i) {
+      BatchOutput out = (*wb)->RunBatch(queries, workers, log);
+      PCUBE_CHECK_EQ(out.failed, 0u);
+      p.seconds += out.seconds;
+      p.reads += out.io.TotalReads();
+      p.latency = out.latency;
+    }
+    p.qps = static_cast<double>(passes * queries.size()) / p.seconds;
+    p.hits = CounterValue("pcube_result_cache_hits_total") +
+             CounterValue("pcube_result_cache_containment_total") -
+             before_hits;
+    p.lookups = p.hits +
+                CounterValue("pcube_result_cache_misses_total") - before_misses;
+    std::printf(
+        "  %-4s  %7.1f qps  (%.3f s, %6llu page reads, L1 %3.0f%% of %.0f "
+        "lookups, p95 %.1f ms)\n",
+        p.name.c_str(), p.qps, p.seconds,
+        static_cast<unsigned long long>(p.reads),
+        p.lookups > 0 ? 100.0 * p.hits / p.lookups : 0.0, p.lookups,
+        p.latency.p95 * 1e3);
+    return p;
+  };
+
+  std::vector<Phase> phases;
+  phases.push_back(run_phase("cold", 1, nullptr));
+  phases.push_back(run_phase("warm", 1, nullptr));
+  // The last hot pass writes the query log so its `cache:` fields show the
+  // steady state.
+  if (hot_passes > 1) (void)run_phase("hot*", hot_passes - 1, nullptr);
+  phases.push_back(run_phase("hot", 1, query_log.get()));
+
+  const Phase& cold = phases[0];
+  const Phase& warm = phases[1];
+  const Phase& hot = phases.back();
+  const double warm_speedup = warm.qps / cold.qps;
+
+  std::ofstream json("BENCH_cache.json");
+  json << "{\n  \"workload\": {\"rows\": " << config.num_tuples
+       << ", \"queries\": " << num_queries << ", \"workers\": " << workers
+       << ", \"read_latency_us\": " << latency_us << "},\n  \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const Phase& p = phases[i];
+    json << "    {\"phase\": \"" << p.name << "\", \"qps\": " << p.qps
+         << ", \"seconds\": " << p.seconds << ", \"page_reads\": " << p.reads
+         << ", \"l1_hits\": " << p.hits << ", \"l1_lookups\": " << p.lookups
+         << ", \"l1_hit_rate\": "
+         << (p.lookups > 0 ? p.hits / p.lookups : 0.0)
+         << ", \"latency_p95\": " << p.latency.p95 << "}"
+         << (i + 1 < phases.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"warm_over_cold\": " << warm_speedup
+       << ",\n  \"hot_over_cold\": " << hot.qps / cold.qps << "\n}\n";
+  json.close();
+
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  (*wb)->ExportMetrics(&registry);
+  std::ofstream prom("BENCH_cache_metrics.prom");
+  prom << registry.RenderText();
+  prom.close();
+
+  std::printf("warm-over-cold: %.2fx   hot-over-cold: %.2fx\n", warm_speedup,
+              hot.qps / cold.qps);
+  std::printf(
+      "wrote BENCH_cache.json, BENCH_cache_metrics.prom, "
+      "BENCH_cache_querylog.jsonl\n");
+
+  // Smoke gate (scripts/ci.sh): the cache must actually pay for itself.
+  const double kMinWarmSpeedup = 2.0;
+  if (warm.hits <= 0) {
+    std::fprintf(stderr, "FAIL: warm pass recorded no L1 hits\n");
+    return 1;
+  }
+  if (warm_speedup < kMinWarmSpeedup) {
+    std::fprintf(stderr, "FAIL: warm-over-cold %.2fx < %.2fx\n", warm_speedup,
+                 kMinWarmSpeedup);
+    return 1;
+  }
+  if (hot.qps < cold.qps) {
+    std::fprintf(stderr, "FAIL: hot qps below cold qps\n");
+    return 1;
+  }
+  return 0;
+}

@@ -14,7 +14,10 @@
 #   5. corruption gate: build a file-backed database with the CLI, flip a
 #      byte in every signature page, and assert that `pcube verify` flags
 #      it, that a signature-plan query degrades to boolean-first, and that
-#      the degraded answer matches the pre-corruption reference.
+#      the degraded answer matches the pre-corruption reference;
+#   6. cache smoke: bench_cache on a small repeated workload — fails unless
+#      the warm pass records L1 hits and beats the cold pass, and the
+#      metrics dump carries the cache counters and hit-rate gauges.
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,19 +34,20 @@ echo "=== tsan build ==="
 cmake -B build-tsan -S . -DPCUBE_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test buffer_pool_concurrency_test batch_executor_test \
-  metrics_test buffer_pool_test workbench_test
+  metrics_test buffer_pool_test workbench_test cache_test \
+  cache_concurrency_test
 echo "=== tsan ctest ==="
 ctest --test-dir build-tsan --output-on-failure -R \
-  '^(thread_pool_test|buffer_pool_concurrency_test|batch_executor_test|metrics_test|buffer_pool_test|workbench_test)$'
+  '^(thread_pool_test|buffer_pool_concurrency_test|batch_executor_test|metrics_test|buffer_pool_test|workbench_test|cache_test|cache_concurrency_test)$'
 
 echo "=== asan build ==="
 cmake -B build-asan -S . -DPCUBE_SANITIZE=address
 cmake --build build-asan -j "$JOBS" --target \
   fault_injection_test fuzz_corpus_test status_test page_manager_test \
-  buffer_pool_test
+  buffer_pool_test request_test cache_test
 echo "=== asan ctest ==="
 ctest --test-dir build-asan --output-on-failure -R \
-  '^(fault_injection_test|fuzz_corpus_test|status_test|page_manager_test|buffer_pool_test)$'
+  '^(fault_injection_test|fuzz_corpus_test|status_test|page_manager_test|buffer_pool_test|request_test|cache_test)$'
 
 echo "=== throughput smoke ==="
 SMOKE_DIR=build/smoke
@@ -109,5 +113,38 @@ diff -u "$GATE_DIR/reference.txt" "$GATE_DIR/degraded.txt" || {
   exit 1
 }
 echo "ci.sh: corruption gate passed"
+
+echo "=== cache smoke ==="
+CACHE_DIR=build/cache-smoke
+mkdir -p "$CACHE_DIR"
+# bench_cache itself exits non-zero when the warm pass records no L1 hits,
+# misses the 2x warm-over-cold bar, or the hot pass falls below cold.
+(cd "$CACHE_DIR" &&
+ PCUBE_CACHE_ROWS=2000 \
+ PCUBE_CACHE_QUERIES=24 \
+ PCUBE_CACHE_LATENCY_US=100 \
+ PCUBE_CACHE_WORKERS=2 \
+ PCUBE_CACHE_HOT_PASSES=2 \
+ ../bench/bench_cache)
+for field in warm_over_cold l1_hit_rate; do
+  if ! grep -q "\"$field\"" "$CACHE_DIR/BENCH_cache.json"; then
+    echo "ci.sh: BENCH_cache.json is missing $field" >&2
+    exit 1
+  fi
+done
+for counter in pcube_result_cache_hits_total pcube_fragment_cache_hits_total \
+               pcube_result_cache_hit_rate; do
+  if ! grep -q "^$counter" "$CACHE_DIR/BENCH_cache_metrics.prom"; then
+    echo "ci.sh: metrics dump lacks $counter" >&2
+    exit 1
+  fi
+done
+if ! grep -q '"cache":' "$CACHE_DIR/BENCH_cache_querylog.jsonl"; then
+  echo "ci.sh: query log records lack the cache: field" >&2
+  exit 1
+fi
+cp "$CACHE_DIR"/BENCH_cache.json "$CACHE_DIR"/BENCH_cache_metrics.prom \
+   "$CACHE_DIR"/BENCH_cache_querylog.jsonl build/artifacts/
+echo "ci.sh: cache smoke passed"
 
 echo "ci.sh: all green"

@@ -1,0 +1,23 @@
+#include "cache/cached_execution.h"
+
+#include "query/incremental.h"
+
+namespace pcube {
+
+Result<SkylineOutput> RunSkylineDrillDown(
+    const RStarTree* tree, const PCube* cube, const QueryRequest& request,
+    const SkylineOutput& prev, Trace* trace,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  auto probe = cube->MakeProbe(request.preds);
+  if (!probe.ok()) return probe.status();
+  SkylineEngine engine(tree, probe->get(), nullptr, request.skyline);
+  engine.set_trace(trace);
+  if (deadline) engine.set_deadline(*deadline);
+  auto run = engine.RunFrom(DrillDownSeed(prev));
+  if (!run.ok()) return run.status();
+  // Carry the ancestor's b_list forward so this output can seed further
+  // drill-downs itself (chained sessions, incremental.h).
+  return MergeAfterDrillDown(std::move(*run), prev);
+}
+
+}  // namespace pcube

@@ -1,0 +1,31 @@
+// Containment execution: turning a cached ancestor answer into the current
+// query's answer. Top-k containment is a pure filter (done inside
+// ResultCache::Find); skyline containment must re-run Algorithm 1, but
+// seeded by the ancestor's engine output via Lemma 2 (incremental.h)
+// instead of restarting from the R-tree root — this is the paper's
+// drill-down made automatic: the cache recognises that P' extends P and
+// reuses P's result ∪ d_list as the candidate heap.
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+#include "cache/result_cache.h"
+#include "common/trace.h"
+#include "core/pcube.h"
+#include "query/skyline_engine.h"
+#include "rtree/rstar_tree.h"
+
+namespace pcube {
+
+/// Runs the skyline for `request` (whose predicates must be a superset of
+/// the ones `prev` was computed with) as a drill-down seeded from `prev`.
+/// Returns the merged output (MergeAfterDrillDown), which is itself valid
+/// to re-cache for `request`. On failure the caller should fall back to a
+/// fresh execution and record a miss.
+Result<SkylineOutput> RunSkylineDrillDown(
+    const RStarTree* tree, const PCube* cube, const QueryRequest& request,
+    const SkylineOutput& prev, Trace* trace,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline);
+
+}  // namespace pcube

@@ -1,0 +1,77 @@
+#include "cache/fragment_cache.h"
+
+namespace pcube {
+
+namespace {
+size_t FragmentCharge(const std::vector<std::pair<Path, BitVector>>& nodes) {
+  size_t c = 96;  // entry + control-block overhead
+  for (const auto& [path, bits] : nodes) {
+    c += 48 + path.capacity() * sizeof(Path::value_type) +
+         bits.words().capacity() * sizeof(uint64_t);
+  }
+  return c;
+}
+}  // namespace
+
+FragmentCache::FragmentCache(size_t capacity_bytes, const DataEpoch* epoch)
+    : epoch_(epoch), shards_(new Shard[kShards]) {
+  for (size_t i = 0; i < kShards; ++i) {
+    shards_[i].slru.set_capacity(capacity_bytes / kShards);
+  }
+  auto& reg = MetricsRegistry::Default();
+  hits_ = reg.GetCounter("pcube_fragment_cache_hits_total");
+  misses_ = reg.GetCounter("pcube_fragment_cache_misses_total");
+  stale_ = reg.GetCounter("pcube_fragment_cache_stale_total");
+  evictions_ = reg.GetCounter("pcube_fragment_cache_evictions_total");
+}
+
+std::shared_ptr<const CachedFragment> FragmentCache::Lookup(CellId cell,
+                                                            uint64_t sid) {
+  Key key{cell, sid};
+  Shard& shard = ShardOf(key);
+  std::shared_ptr<const CachedFragment> value;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.slru.Lookup(key, &value)) {
+      misses_->Increment();
+      return nullptr;
+    }
+    if (value->epoch != epoch_->OfCell(cell)) {
+      // Lazy invalidation: the cell changed since this decode was cached.
+      size_t before = shard.slru.bytes();
+      shard.slru.Erase(key);
+      bytes_.fetch_sub(before - shard.slru.bytes(),
+                       std::memory_order_relaxed);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+      stale_->Increment();
+      return nullptr;
+    }
+  }
+  hits_->Increment();
+  return value;
+}
+
+void FragmentCache::Insert(CellId cell, uint64_t sid, bool present,
+                           std::vector<std::pair<Path, BitVector>> nodes,
+                           uint64_t epoch) {
+  auto entry = std::make_shared<CachedFragment>();
+  entry->present = present;
+  entry->nodes = std::move(nodes);
+  entry->epoch = epoch;
+  entry->charge = FragmentCharge(entry->nodes);
+  size_t charge = entry->charge;
+
+  Key key{cell, sid};
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  size_t bytes_before = shard.slru.bytes();
+  size_t entries_before = shard.slru.entries();
+  size_t evicted = shard.slru.Insert(key, std::move(entry), charge);
+  if (evicted > 0) evictions_->Increment(evicted);
+  bytes_.fetch_add(shard.slru.bytes() - bytes_before,
+                   std::memory_order_relaxed);
+  entries_.fetch_add(shard.slru.entries() - entries_before,
+                     std::memory_order_relaxed);
+}
+
+}  // namespace pcube

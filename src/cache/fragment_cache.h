@@ -1,0 +1,100 @@
+// L2 of the query cache: decoded signature bit-tree nodes, keyed by
+// (cell, partial-signature SID) and shared across queries. The BufferPool
+// below already caches raw signature *pages*; this layer caches the result
+// of running the bitmap codec over them, so concurrent batch workers
+// probing the same hot cells decode each partial once instead of once per
+// query ("decode-once, probe-many"). Entries are immutable snapshots
+// handed out by shared_ptr — readers never block each other beyond one
+// shard mutex, and invalidation is epoch-based and lazy (see epoch.h).
+//
+// Negative entries (the store has no partial for this SID) are cached too:
+// the cursor's probing rule touches many non-existent SIDs per query, and
+// each would otherwise cost a store lookup.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "bitmap/bitvector.h"
+#include "cache/epoch.h"
+#include "cache/slru.h"
+#include "common/metrics.h"
+#include "rtree/path.h"
+
+namespace pcube {
+
+/// One cached decode: the nodes this partial contributed to the fragment,
+/// in the order the codec produced them. `present == false` caches a
+/// NotFound (the nodes vector is then empty).
+struct CachedFragment {
+  bool present = false;
+  std::vector<std::pair<Path, BitVector>> nodes;
+  uint64_t epoch = 0;  ///< DataEpoch::OfCell at fill time
+  size_t charge = 0;   ///< approximate bytes, for the SLRU budget
+};
+
+/// Sharded SLRU cache of decoded partial signatures.
+/// Thread-safe; all methods may be called concurrently.
+class FragmentCache {
+ public:
+  /// `capacity_bytes` is the total budget across shards; `epoch` must
+  /// outlive the cache.
+  FragmentCache(size_t capacity_bytes, const DataEpoch* epoch);
+
+  /// Returns the cached decode of (cell, sid) if present AND still at the
+  /// cell's current epoch; stale entries are erased (counted as stale, not
+  /// miss) and nullptr returned.
+  std::shared_ptr<const CachedFragment> Lookup(CellId cell, uint64_t sid);
+
+  /// Caches a decode stamped with `epoch` (read BEFORE the store load, so
+  /// a concurrent update can only make the entry look stale, never fresh).
+  void Insert(CellId cell, uint64_t sid, bool present,
+              std::vector<std::pair<Path, BitVector>> nodes, uint64_t epoch);
+
+  size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  size_t entries() const { return entries_.load(std::memory_order_relaxed); }
+
+  /// The epoch registry entries are validated against (fill paths read the
+  /// stamp through this BEFORE loading from the store).
+  const DataEpoch* epoch() const { return epoch_; }
+
+ private:
+  struct Key {
+    CellId cell;
+    uint64_t sid;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t x = (k.cell ^ (k.sid * 0x9e3779b97f4a7c15ULL)) + k.sid;
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 33;
+      return static_cast<size_t>(x);
+    }
+  };
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    std::mutex mu;
+    SlruShard<Key, std::shared_ptr<const CachedFragment>, KeyHash> slru;
+  };
+  Shard& ShardOf(const Key& k) {
+    return shards_[KeyHash{}(k) >> 57 & (kShards - 1)];
+  }
+
+  const DataEpoch* epoch_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<size_t> bytes_{0};
+  std::atomic<size_t> entries_{0};
+
+  Counter* hits_;
+  Counter* misses_;
+  Counter* stale_;
+  Counter* evictions_;
+};
+
+}  // namespace pcube

@@ -93,7 +93,8 @@ Result<std::unique_ptr<BooleanProbe>> PCube::MakeProbe(
     CellId cell = registry_.Lookup(preds);
     if (cell != CellRegistry::kUnknownCell) {
       std::vector<SignatureCursor> cursors;
-      cursors.emplace_back(store_.get(), cell, fanout_, levels_);
+      cursors.emplace_back(store_.get(), cell, fanout_, levels_,
+                           fragment_cache_);
       return std::unique_ptr<BooleanProbe>(
           new SignatureProbe(std::move(cursors)));
     }
@@ -103,7 +104,7 @@ Result<std::unique_ptr<BooleanProbe>> PCube::MakeProbe(
   cursors.reserve(preds.size());
   for (const Predicate& p : preds.predicates()) {
     cursors.emplace_back(store_.get(), AtomicCellId(p.dim, p.value), fanout_,
-                         levels_);
+                         levels_, fragment_cache_);
   }
   return std::unique_ptr<BooleanProbe>(new SignatureProbe(std::move(cursors)));
 }
@@ -179,18 +180,34 @@ Status PCube::ApplyChanges(const Dataset& data, const PathChangeSet& changes) {
       if (c.has_new && (moved || inserted)) o.sets.push_back(c.new_path);
     }
   }
+  Status status;
   for (auto& [cell, o] : ops) {
     auto sig = store_->LoadFull(cell, fanout_, levels_);
-    if (!sig.ok()) return sig.status();
+    if (!sig.ok()) {
+      status = sig.status();
+      break;
+    }
     // Clears before sets: a move within one cell must not drop fresh bits.
     for (const Path& p : o.clears) sig->ClearPath(p);
     for (const Path& p : o.sets) sig->SetPath(p);
-    PCUBE_RETURN_NOT_OK(store_->Put(cell, *sig));
-    if (bloom_ != nullptr) {
-      PCUBE_RETURN_NOT_OK(bloom_->Put(cell, *sig, options_.bloom_bits_per_key));
+    status = store_->Put(cell, *sig);
+    if (status.ok() && bloom_ != nullptr) {
+      status = bloom_->Put(cell, *sig, options_.bloom_bits_per_key);
     }
+    if (!status.ok()) break;
   }
-  return Status::OK();
+  if (epoch_ != nullptr) {
+    // Bump AFTER the writes (even failed ones — partially applied batches
+    // must invalidate too): a concurrent fill that read its stamp before
+    // this point can only look stale at lookup, never wrongly fresh. Even
+    // an empty ops map bumps the global/structural epochs — the underlying
+    // tree mutation may have reshaped nodes without moving any tuple.
+    std::vector<CellId> bumped;
+    bumped.reserve(ops.size());
+    for (const auto& [cell, o] : ops) bumped.push_back(cell);
+    epoch_->BumpCells(bumped);
+  }
+  return status;
 }
 
 Status PCube::Rebuild(const Dataset& data, const RStarTree& tree) {
@@ -199,7 +216,12 @@ Status PCube::Rebuild(const Dataset& data, const RStarTree& tree) {
   auto paths = PathTable::Collect(tree);
   if (!paths.ok()) return paths.status();
   num_cells_ = 0;
-  return BuildAllCuboids(data, *paths);
+  Status s = BuildAllCuboids(data, *paths);
+  // Unknown footprint (every signature rewritten): invalidate everything,
+  // even on failure — a partial rebuild must not leave fresh-looking
+  // entries behind.
+  if (epoch_ != nullptr) epoch_->BumpAll();
+  return s;
 }
 
 uint64_t PCube::MaterializedPages() const {

@@ -22,6 +22,8 @@
 
 #include <memory>
 
+#include "cache/epoch.h"
+#include "cache/fragment_cache.h"
 #include "core/bloom_store.h"
 #include "core/probe.h"
 #include "core/signature_builder.h"
@@ -80,6 +82,15 @@ class PCube {
   /// Recomputes every materialised signature from the tree's current state.
   Status Rebuild(const Dataset& data, const RStarTree& tree);
 
+  /// Attaches the cache layer (both optional, owned by the Workbench and
+  /// outliving the cube). When set, MakeProbe hands the fragment cache to
+  /// every cursor, and ApplyChanges/Rebuild bump `epoch` so stale cache
+  /// entries (both levels) are detected at lookup.
+  void AttachCaches(DataEpoch* epoch, FragmentCache* fragment_cache) {
+    epoch_ = epoch;
+    fragment_cache_ = fragment_cache;
+  }
+
   uint32_t fanout() const { return fanout_; }
   int levels() const { return levels_; }
   const SignatureStore& store() const { return *store_; }
@@ -108,6 +119,8 @@ class PCube {
   PCubeOptions options_;
   int num_bool_dims_ = 0;
   uint64_t num_cells_ = 0;
+  DataEpoch* epoch_ = nullptr;
+  FragmentCache* fragment_cache_ = nullptr;
 };
 
 }  // namespace pcube

@@ -91,7 +91,8 @@ std::vector<PartialSignature> DecomposeSignature(const Signature& sig,
 
 Status DecodePartialSignature(const Path& root_path,
                               const std::vector<uint8_t>& bytes,
-                              SignatureFragment* fragment) {
+                              SignatureFragment* fragment,
+                              std::vector<std::pair<Path, BitVector>>* added) {
   const int levels = fragment->levels();
   size_t offset = 0;
   std::deque<Path> bfs;
@@ -104,6 +105,7 @@ Status DecodePartialSignature(const Path& root_path,
       BitVector bits;
       PCUBE_RETURN_NOT_OK(
           BitmapCodec::Decode(bytes.data(), bytes.size(), &offset, &bits));
+      if (added != nullptr) added->emplace_back(x, bits);
       fragment->AddNode(x, std::move(bits));
     }
     const BitVector* bits = fragment->Node(x);

@@ -74,8 +74,15 @@ std::vector<PartialSignature> DecomposeSignature(const Signature& sig,
 /// skipping nodes the fragment already contains. Fails with Corruption when
 /// the payload does not align with the fragment's current state — which
 /// happens if ancestor partials were not decoded first.
-Status DecodePartialSignature(const Path& root_path,
-                              const std::vector<uint8_t>& bytes,
-                              SignatureFragment* fragment);
+///
+/// When `added` is non-null it collects (path, bits) for every node this
+/// call contributed, in decode order. Because cursors always load partials
+/// along root-to-leaf prefixes in order, the contributed set is a pure
+/// function of (cell, sid) — which is what makes the decode cacheable and
+/// replayable into another query's fragment (cache/fragment_cache.h).
+Status DecodePartialSignature(
+    const Path& root_path, const std::vector<uint8_t>& bytes,
+    SignatureFragment* fragment,
+    std::vector<std::pair<Path, BitVector>>* added = nullptr);
 
 }  // namespace pcube

@@ -6,13 +6,38 @@ Status SignatureCursor::LoadPartialAt(const Path& root_path) {
   uint64_t sid = PathToSid(root_path, fragment_.fanout());
   if (attempted_.count(sid) > 0) return Status::OK();
   attempted_.insert(sid);
+  if (cache_ != nullptr) {
+    if (auto hit = cache_->Lookup(cell_, sid)) {
+      // Replay the cached decode. The contributed node set is a pure
+      // function of (cell, sid) because every cursor loads partials along
+      // root-to-leaf prefixes in the same order, so insertion is exact.
+      for (const auto& [path, bits] : hit->nodes) {
+        fragment_.AddNode(path, bits);  // no-op if an ancestor supplied it
+      }
+      return Status::OK();
+    }
+  }
+  // Read the epoch stamp BEFORE the store access: a concurrent update can
+  // then only make the entry look stale at lookup, never wrongly fresh.
+  uint64_t stamp =
+      cache_ != nullptr ? cache_->epoch()->OfCell(cell_) : 0;
   auto bytes = store_->LoadPartial(cell_, sid);
   if (!bytes.ok()) {
-    if (bytes.status().IsNotFound()) return Status::OK();
+    if (bytes.status().IsNotFound()) {
+      // Negative entry: the probing rule touches many absent SIDs.
+      if (cache_ != nullptr) cache_->Insert(cell_, sid, false, {}, stamp);
+      return Status::OK();
+    }
     return bytes.status();
   }
   ++partials_loaded_;
-  return DecodePartialSignature(root_path, *bytes, &fragment_);
+  std::vector<std::pair<Path, BitVector>> added;
+  PCUBE_RETURN_NOT_OK(DecodePartialSignature(
+      root_path, *bytes, &fragment_, cache_ != nullptr ? &added : nullptr));
+  if (cache_ != nullptr) {
+    cache_->Insert(cell_, sid, true, std::move(added), stamp);
+  }
+  return Status::OK();
 }
 
 Result<bool> SignatureCursor::EnsureNode(const Path& node_path) {

@@ -15,6 +15,7 @@
 
 #include <set>
 
+#include "cache/fragment_cache.h"
 #include "core/signature_codec.h"
 #include "core/signature_store.h"
 
@@ -23,10 +24,15 @@ namespace pcube {
 /// Incremental reader of one cell's stored signature.
 class SignatureCursor {
  public:
+  /// `cache` (optional) is the shared L2 fragment cache: partial loads are
+  /// served from it when possible and publish their decodes into it,
+  /// stamped with the cell's epoch read before the store access. L2 hits
+  /// do not count as partials_loaded (no page was read, nothing decoded).
   SignatureCursor(const SignatureStore* store, CellId cell, uint32_t fanout,
-                  int levels)
+                  int levels, FragmentCache* cache = nullptr)
       : store_(store),
         cell_(cell),
+        cache_(cache),
         fragment_(fanout, levels),
         levels_(levels) {}
 
@@ -48,6 +54,7 @@ class SignatureCursor {
 
   const SignatureStore* store_;
   CellId cell_;
+  FragmentCache* cache_;
   SignatureFragment fragment_;
   int levels_;
   std::set<uint64_t> attempted_;  // partial SIDs already probed (hit or miss)

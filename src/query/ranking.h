@@ -5,8 +5,11 @@
 // bound never exceeds the score of any point inside the box.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
@@ -24,7 +27,35 @@ class RankingFunction {
 
   /// Lower bound of the score over all points inside `box`.
   virtual double LowerBound(const RectF& box) const = 0;
+
+  /// Canonical description of this function for query fingerprinting: two
+  /// rankings with equal CacheKey() must score every point identically
+  /// (bit-exact, because cached responses carry exact scores — which is
+  /// also why proportional weights are NOT collapsed). Empty means "not
+  /// canonicalizable": such queries bypass the result cache.
+  virtual std::string CacheKey() const { return std::string(); }
 };
+
+namespace ranking_detail {
+/// Stable textual form of a double: the exact bit pattern in hex, so the
+/// key is independent of printf rounding and locale.
+inline void AppendDoubleBits(double v, std::string* out) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  out->append(buf);
+}
+
+inline void AppendDoubleList(const std::vector<double>& vs, std::string* out) {
+  for (size_t i = 0; i < vs.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendDoubleBits(vs[i], out);
+  }
+}
+}  // namespace ranking_detail
 
 /// f(x) = sum_d w_d * x_d. Weights may be negative.
 class LinearRanking : public RankingFunction {
@@ -44,6 +75,12 @@ class LinearRanking : public RankingFunction {
     for (size_t d = 0; d < weights_.size(); ++d) {
       s += weights_[d] * (weights_[d] >= 0 ? box.min[d] : box.max[d]);
     }
+    return s;
+  }
+
+  std::string CacheKey() const override {
+    std::string s = "linear:";
+    ranking_detail::AppendDoubleList(weights_, &s);
     return s;
   }
 
@@ -82,6 +119,14 @@ class WeightedL2Ranking : public RankingFunction {
     return s;
   }
 
+  std::string CacheKey() const override {
+    std::string s = "wl2:";
+    ranking_detail::AppendDoubleList(target_, &s);
+    s.push_back(';');
+    ranking_detail::AppendDoubleList(weights_, &s);
+    return s;
+  }
+
  private:
   std::vector<double> target_;
   std::vector<double> weights_;
@@ -113,6 +158,16 @@ class MinkowskiRanking : public RankingFunction {
                             static_cast<double>(box.max[d]));
       s += weights_[d] * std::pow(std::abs(c - target_[d]), p_);
     }
+    return s;
+  }
+
+  std::string CacheKey() const override {
+    std::string s = "mink:";
+    ranking_detail::AppendDoubleBits(p_, &s);
+    s.push_back(';');
+    ranking_detail::AppendDoubleList(target_, &s);
+    s.push_back(';');
+    ranking_detail::AppendDoubleList(weights_, &s);
     return s;
   }
 

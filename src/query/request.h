@@ -76,7 +76,46 @@ struct QueryRequest {
     q.k = k;
     return q;
   }
+
+  /// True when the query has a stable canonical form: always for skylines,
+  /// for top-k only when the ranking function reports a CacheKey(). Queries
+  /// without one cannot be fingerprinted and bypass the result cache.
+  bool Canonicalizable() const;
+
+  /// Canonical textual form of the query: kind, predicates (already sorted
+  /// by dimension), skyline options with pref_dims sorted and deduped,
+  /// ranking CacheKey and k, with all floating-point parameters rendered as
+  /// exact bit patterns. Two requests with equal Canonical() strings have
+  /// byte-identical answers against the same data. Plan hints and deadlines
+  /// are deliberately excluded — they change how a query runs, not what it
+  /// returns. Empty when !Canonicalizable().
+  std::string Canonical() const;
+
+  /// Stable 64-bit FNV-1a hash of Canonical(); 0 when !Canonicalizable().
+  uint64_t Fingerprint() const;
+
+  /// Canonical() with the predicate set replaced by `preds` and, for top-k,
+  /// the k term dropped. This is the result cache's family key: a cached
+  /// top-k answer serves any smaller k of the same family by truncation,
+  /// and containment lookups probe the families of predicate subsets.
+  std::string CanonicalFamily(const PredicateSet& preds) const;
+  uint64_t FamilyFingerprint(const PredicateSet& preds) const;
 };
+
+/// FNV-1a 64-bit over a byte string (the query-fingerprint hash).
+uint64_t Fnv1a64(const std::string& bytes);
+
+/// How the result cache participated in answering a query.
+enum class CacheOutcome {
+  kNone,         ///< no result cache configured
+  kBypass,       ///< cache present but not consulted (forced plan hint,
+                 ///< non-canonicalizable query)
+  kMiss,         ///< consulted, executed from scratch
+  kHit,          ///< served from an exact cached entry (incl. truncation)
+  kContainment,  ///< derived from a cached subset-predicate entry
+};
+
+const char* CacheOutcomeName(CacheOutcome outcome);
 
 /// What every execution path returns: the answer plus everything needed to
 /// observe how it was produced.
@@ -103,6 +142,10 @@ struct QueryResponse {
   /// authoritative). `degraded_reason` carries the original failure.
   bool degraded = false;
   std::string degraded_reason;
+
+  /// Result-cache outcome for this query (logged as `cache:` in the query
+  /// log). Degraded responses are never inserted into the cache.
+  CacheOutcome cache = CacheOutcome::kNone;
 
   uint64_t trace_id() const { return trace.id(); }
 };

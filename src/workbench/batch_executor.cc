@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "cache/cached_execution.h"
 #include "common/metrics.h"
 #include "common/timer.h"
 
@@ -57,6 +58,78 @@ BatchQueryResult BatchExecutor::RunOne(const BatchQuery& query) const {
     deadline = std::chrono::steady_clock::now() +
                std::chrono::milliseconds(query.deadline_ms);
   }
+  // L1 result cache. Batches ignore plan hints (they always run the
+  // signature plan), so only canonicalizability gates cache use. A hit is
+  // served only when the entry can reconstruct the full engine output —
+  // BatchQueryResult promises skyline/topk on success — which Find's
+  // require_state mode enforces.
+  const bool use_cache =
+      cache_ != nullptr && data_ != nullptr && query.Canonicalizable();
+  if (cache_ != nullptr && !use_cache) {
+    result.response.cache = CacheOutcome::kBypass;
+    MetricsRegistry::Default()
+        .GetCounter("pcube_result_cache_bypass_total")
+        ->Increment();
+  }
+  if (use_cache) {
+    ResultCache::Lookup found;
+    {
+      ScopedSpan span(&result.response.trace, "cache_lookup");
+      found = cache_->Find(query, *data_, /*require_state=*/true);
+    }
+    result.response.cache = found.outcome;
+    if (found.outcome == CacheOutcome::kHit) {
+      result.response.tids = std::move(found.tids);
+      result.response.scores = std::move(found.scores);
+      result.response.estimate.choice = found.plan;
+      if (query.kind == BatchQuery::Kind::kSkyline) {
+        result.response.counters = found.skyline_state->counters;
+        result.skyline = *found.skyline_state;
+      } else {
+        result.response.counters = found.topk_state->counters;
+        result.topk = *found.topk_state;
+      }
+      result.seconds = timer.ElapsedSeconds();
+      result.response.seconds = result.seconds;
+      result.response.io = result.io;
+      return result;
+    }
+    if (found.outcome == CacheOutcome::kContainment) {
+      // Skyline only (require_state skips top-k containment): Lemma 2
+      // drill-down from the cached ancestor. Stamps are read before the
+      // execution they will guard.
+      ResultCache::Stamps stamps = cache_->SnapshotStamps(query.preds);
+      auto run = RunSkylineDrillDown(tree_, cube_, query, *found.drill_prev,
+                                     &result.response.trace, deadline);
+      if (run.ok()) {
+        result.response.counters = run->counters;
+        for (const SearchEntry& e : run->skyline) {
+          result.response.tids.push_back(e.id);
+        }
+        std::sort(result.response.tids.begin(), result.response.tids.end());
+        result.skyline = std::move(*run);
+        result.seconds = timer.ElapsedSeconds();
+        result.response.seconds = result.seconds;
+        result.response.io = result.io;
+        cache_->Insert(query, result.response,
+                       std::make_shared<const SkylineOutput>(*result.skyline),
+                       nullptr, stamps);
+        return result;
+      }
+      if (run.status().IsTimeout()) {
+        result.status = run.status();
+        result.seconds = timer.ElapsedSeconds();
+        result.response.seconds = result.seconds;
+        result.response.io = result.io;
+        return result;
+      }
+      // Any other drill-down failure: fall through to a fresh execution.
+      result.response.cache = CacheOutcome::kMiss;
+    }
+  }
+  ResultCache::Stamps stamps;
+  if (use_cache) stamps = cache_->SnapshotStamps(query.preds);
+
   auto probe = cube_->MakeProbe(query.preds);
   if (!probe.ok()) {
     result.status = probe.status();
@@ -106,6 +179,16 @@ BatchQueryResult BatchExecutor::RunOne(const BatchQuery& query) const {
   result.seconds = timer.ElapsedSeconds();
   result.response.seconds = result.seconds;
   result.response.io = result.io;
+  if (use_cache && result.status.ok()) {
+    if (query.kind == BatchQuery::Kind::kSkyline) {
+      cache_->Insert(query, result.response,
+                     std::make_shared<const SkylineOutput>(*result.skyline),
+                     nullptr, stamps);
+    } else {
+      cache_->Insert(query, result.response, nullptr,
+                     std::make_shared<const TopKOutput>(*result.topk), stamps);
+    }
+  }
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/pcube.h"
@@ -74,10 +75,21 @@ struct BatchOutput {
 class BatchExecutor {
  public:
   /// `query_log`, when non-null, receives one JSONL record per finished
-  /// query (thread-safe; must outlive the executor).
+  /// query (thread-safe; must outlive the executor). `cache` + `data`,
+  /// when non-null, enable the L1 result cache for the batch: a query is
+  /// served from cache only when the entry can reconstruct the full engine
+  /// output (BatchQueryResult promises skyline/topk on success), and every
+  /// executed query publishes its answer back. Both must outlive the
+  /// executor.
   BatchExecutor(const RStarTree* tree, const PCube* cube, ThreadPool* pool,
-                QueryLog* query_log = nullptr)
-      : tree_(tree), cube_(cube), pool_(pool), query_log_(query_log) {}
+                QueryLog* query_log = nullptr, ResultCache* cache = nullptr,
+                const Dataset* data = nullptr)
+      : tree_(tree),
+        cube_(cube),
+        pool_(pool),
+        query_log_(query_log),
+        cache_(cache),
+        data_(data) {}
 
   /// Runs every query to completion; individual failures are reported in the
   /// per-query status, never by aborting the batch.
@@ -90,6 +102,8 @@ class BatchExecutor {
   const PCube* cube_;
   ThreadPool* pool_;
   QueryLog* query_log_;
+  ResultCache* cache_;
+  const Dataset* data_;
 };
 
 }  // namespace pcube

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cache/cached_execution.h"
 #include "common/metrics.h"
 
 namespace pcube {
@@ -59,7 +60,8 @@ Result<PlanEstimate> QueryPlanner::Estimate(const PredicateSet& preds) const {
 Status QueryPlanner::ExecuteSignature(
     const QueryRequest& request,
     const std::optional<std::chrono::steady_clock::time_point>& deadline,
-    QueryResponse* resp) {
+    QueryResponse* resp, std::shared_ptr<const SkylineOutput>* skyline_state,
+    std::shared_ptr<const TopKOutput>* topk_state) {
   auto probe = wb_->cube()->MakeProbe(request.preds);
   if (!probe.ok()) return probe.status();
   if (request.kind == QueryRequest::Kind::kSkyline) {
@@ -70,6 +72,9 @@ Status QueryPlanner::ExecuteSignature(
     if (!run.ok()) return run.status();
     resp->counters = run->counters;
     for (const SearchEntry& e : run->skyline) resp->tids.push_back(e.id);
+    if (skyline_state != nullptr) {
+      *skyline_state = std::make_shared<const SkylineOutput>(std::move(*run));
+    }
   } else {
     TopKEngine engine(wb_->tree(), probe->get(), nullptr,
                       request.ranking.get(), request.k);
@@ -81,6 +86,9 @@ Status QueryPlanner::ExecuteSignature(
     for (const SearchEntry& e : run->results) {
       resp->tids.push_back(e.id);
       resp->scores.push_back(e.key);
+    }
+    if (topk_state != nullptr) {
+      *topk_state = std::make_shared<const TopKOutput>(std::move(*run));
     }
   }
   return Status::OK();
@@ -116,6 +124,90 @@ Result<QueryResponse> QueryPlanner::Run(const QueryRequest& request) {
     return Status::InvalidArgument("top-k query without ranking");
   }
   QueryResponse resp;
+  MetricsRegistry& registry = MetricsRegistry::Default();
+
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (request.deadline_ms > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(request.deadline_ms);
+  }
+
+  // L1 result cache. A forced plan hint bypasses it entirely (lookup AND
+  // insert): the caller demands a specific execution — regression tests
+  // compare both plans on one query — and an answer produced under duress
+  // should not masquerade as the cost-based one later. Queries without a
+  // canonical form (custom rankings) cannot be keyed and bypass too.
+  ResultCache* cache = wb_->result_cache();
+  bool use_cache = cache != nullptr && request.hint == PlanHint::kAuto &&
+                   request.Canonicalizable();
+  if (cache != nullptr && !use_cache) {
+    resp.cache = CacheOutcome::kBypass;
+    registry.GetCounter("pcube_result_cache_bypass_total")->Increment();
+  }
+  if (use_cache) {
+    ResultCache::Lookup found;
+    {
+      ScopedSpan span(&resp.trace, "cache_lookup");
+      found = cache->Find(request, wb_->data());
+    }
+    resp.cache = found.outcome;
+    if (found.outcome == CacheOutcome::kHit) {
+      Timer timer;
+      resp.tids = std::move(found.tids);
+      resp.scores = std::move(found.scores);
+      resp.estimate.choice = found.plan;
+      resp.seconds = timer.ElapsedSeconds();
+      registry.GetHistogram("pcube_query_seconds")->Observe(resp.seconds);
+      return resp;
+    }
+    if (found.outcome == CacheOutcome::kContainment &&
+        request.kind == QueryRequest::Kind::kSkyline) {
+      // Lemma 2 drill-down seeded from the cached ancestor instead of a
+      // root restart. Stamps are read before the execution it feeds.
+      ResultCache::Stamps stamps = cache->SnapshotStamps(request.preds);
+      PCUBE_RETURN_NOT_OK(wb_->ColdStart());
+      Timer timer;
+      Trace::ScopedBind bind(&resp.trace);
+      auto run = RunSkylineDrillDown(wb_->tree(), wb_->cube(), request,
+                                     *found.drill_prev, &resp.trace, deadline);
+      if (run.ok()) {
+        resp.counters = run->counters;
+        for (const SearchEntry& e : run->skyline) resp.tids.push_back(e.id);
+        std::sort(resp.tids.begin(), resp.tids.end());
+        resp.estimate.choice = PlanChoice::kSignature;
+        resp.seconds = timer.ElapsedSeconds();
+        resp.io = wb_->IoSince();
+        cache->Insert(
+            request, resp,
+            std::make_shared<const SkylineOutput>(std::move(*run)), nullptr,
+            stamps);
+        registry.GetHistogram("pcube_query_seconds")->Observe(resp.seconds);
+        return resp;
+      }
+      if (run.status().IsTimeout()) {
+        registry.GetCounter("pcube_query_timeouts_total")->Increment();
+        return run.status();
+      }
+      // Any other drill-down failure: fall back to a fresh execution.
+      resp.cache = CacheOutcome::kMiss;
+      resp.tids.clear();
+      resp.counters = EngineCounters();
+    }
+    if (found.outcome == CacheOutcome::kContainment &&
+        request.kind == QueryRequest::Kind::kTopK) {
+      // Filter pass already produced the final answer inside Find.
+      Timer timer;
+      resp.tids = std::move(found.tids);
+      resp.scores = std::move(found.scores);
+      resp.estimate.choice = found.plan;
+      resp.seconds = timer.ElapsedSeconds();
+      registry.GetHistogram("pcube_query_seconds")->Observe(resp.seconds);
+      return resp;
+    }
+  }
+  ResultCache::Stamps stamps;
+  if (use_cache) stamps = cache->SnapshotStamps(request.preds);
+
   {
     ScopedSpan span(&resp.trace, "plan_estimate");
     auto est = Estimate(request.preds);
@@ -133,20 +225,18 @@ Result<QueryResponse> QueryPlanner::Run(const QueryRequest& request) {
       (request.skyline.skyband_k > 1 || !request.skyline.origin.empty())) {
     resp.estimate.choice = PlanChoice::kSignature;
   }
-  std::optional<std::chrono::steady_clock::time_point> deadline;
-  if (request.deadline_ms > 0) {
-    deadline = std::chrono::steady_clock::now() +
-               std::chrono::milliseconds(request.deadline_ms);
-  }
 
   PCUBE_RETURN_NOT_OK(wb_->ColdStart());
   Timer timer;
   // Bind the trace to this thread so the BufferPool attributes `io_wait`.
   Trace::ScopedBind bind(&resp.trace);
 
-  MetricsRegistry& registry = MetricsRegistry::Default();
+  std::shared_ptr<const SkylineOutput> skyline_state;
+  std::shared_ptr<const TopKOutput> topk_state;
   if (resp.estimate.choice == PlanChoice::kSignature) {
-    Status st = ExecuteSignature(request, deadline, &resp);
+    Status st = ExecuteSignature(request, deadline, &resp,
+                                 use_cache ? &skyline_state : nullptr,
+                                 use_cache ? &topk_state : nullptr);
     if (!st.ok()) {
       // Signatures and the R-tree are derived, redundant state: when their
       // pages are corrupt or unreadable, the base relation can still answer
@@ -177,6 +267,14 @@ Result<QueryResponse> QueryPlanner::Run(const QueryRequest& request) {
   resp.seconds = timer.ElapsedSeconds();
   resp.io = wb_->IoSince();
 
+  // Publish the executed answer. Insert() itself refuses degraded
+  // responses — a boolean-first answer computed around corrupt pages must
+  // not outlive the corruption.
+  if (use_cache) {
+    cache->Insert(request, resp, std::move(skyline_state),
+                  std::move(topk_state), stamps);
+  }
+
   registry
       .GetCounter(resp.estimate.choice == PlanChoice::kSignature
                       ? "pcube_planner_plans_total{plan=\"signature\"}"
@@ -184,20 +282,6 @@ Result<QueryResponse> QueryPlanner::Run(const QueryRequest& request) {
       ->Increment();
   registry.GetHistogram("pcube_query_seconds")->Observe(resp.seconds);
   return resp;
-}
-
-Result<PlannedSkyline> QueryPlanner::Skyline(const PredicateSet& preds) {
-  return Run(QueryRequest::Skyline(preds));
-}
-
-Result<PlannedTopK> QueryPlanner::TopK(const PredicateSet& preds,
-                                       const RankingFunction& f, size_t k) {
-  // Non-owning aliasing shared_ptr: the caller guarantees `f` outlives the
-  // call, and Run() does not retain the request.
-  return Run(QueryRequest::TopK(
-      preds, std::shared_ptr<const RankingFunction>(
-                 std::shared_ptr<const RankingFunction>(), &f),
-      k));
 }
 
 }  // namespace pcube

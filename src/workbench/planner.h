@@ -17,11 +17,6 @@
 
 namespace pcube {
 
-/// Legacy aliases from before the unified query API: a planned query result
-/// IS a QueryResponse (tids/scores, estimate, counters, io, trace).
-using PlannedSkyline = QueryResponse;
-using PlannedTopK = QueryResponse;
-
 /// Chooses and executes plans against one workbench.
 class QueryPlanner {
  public:
@@ -32,25 +27,26 @@ class QueryPlanner {
   /// (index-only match counting).
   Result<PlanEstimate> Estimate(const PredicateSet& preds) const;
 
-  /// The unified entry point: estimates, picks a plan (honouring
-  /// request.hint), cold-starts the cache and executes. The response's
-  /// estimate.choice is the plan that actually ran.
+  /// The single entry point: consults the workbench's result cache (L1),
+  /// then — on a miss — estimates, picks a plan (honouring request.hint),
+  /// cold-starts the buffer pool and executes, publishing the answer back
+  /// into the cache. The response's estimate.choice is the plan that ran
+  /// (for a cache hit, the plan that produced the cached entry) and
+  /// response.cache records how the cache participated. Forced plan hints
+  /// bypass the cache in both directions: the caller asked for a specific
+  /// execution, so neither a cached answer nor publishing one is wanted.
   Result<QueryResponse> Run(const QueryRequest& request);
 
-  /// Runs the cheaper skyline plan (cold cache). Shorthand for
-  /// Run(QueryRequest::Skyline(preds)).
-  Result<PlannedSkyline> Skyline(const PredicateSet& preds);
-
-  /// Runs the cheaper top-k plan (cold cache). `f` must outlive the call.
-  Result<PlannedTopK> TopK(const PredicateSet& preds, const RankingFunction& f,
-                           size_t k);
-
  private:
-  /// Runs the branch-and-bound signature plan into `resp`.
+  /// Runs the branch-and-bound signature plan into `resp`. On success the
+  /// engine's full output is exported through `skyline_state`/`topk_state`
+  /// (when non-null) for the result cache.
   Status ExecuteSignature(const QueryRequest& request,
                           const std::optional<std::chrono::steady_clock::
                                                   time_point>& deadline,
-                          QueryResponse* resp);
+                          QueryResponse* resp,
+                          std::shared_ptr<const SkylineOutput>* skyline_state,
+                          std::shared_ptr<const TopKOutput>* topk_state);
   /// Runs the boolean-first baseline plan into `resp`.
   Status ExecuteBoolean(const QueryRequest& request, QueryResponse* resp);
   /// True when the boolean plan can answer this request (it implements

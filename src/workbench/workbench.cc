@@ -85,6 +85,7 @@ Result<std::unique_ptr<Workbench>> Workbench::Build(Dataset data,
     if (!cube.ok()) return cube.status();
     wb->cube_ = std::make_unique<PCube>(std::move(*cube));
   }
+  wb->SetUpCaches(options);
   PCUBE_RETURN_NOT_OK(wb->ColdStart());
   if (latency != nullptr) latency->set_read_latency_us(options.read_latency_us);
   if (wb->faults_ != nullptr) wb->faults_->set_armed(true);
@@ -139,11 +140,16 @@ Status Workbench::Save() {
   return Status::OK();
 }
 
-Result<std::unique_ptr<Workbench>> Workbench::Open(const std::string& path,
-                                                   size_t pool_pages) {
-  WorkbenchOptions options;
-  options.pool_pages = pool_pages;
-  return Open(path, options);
+void Workbench::SetUpCaches(const WorkbenchOptions& options) {
+  if (options.fragment_cache_mb > 0) {
+    fragment_cache_ = std::make_unique<FragmentCache>(
+        options.fragment_cache_mb << 20, &epoch_);
+  }
+  if (options.result_cache_mb > 0) {
+    result_cache_ = std::make_unique<ResultCache>(
+        options.result_cache_mb << 20, &epoch_, options.enable_containment);
+  }
+  if (cube_ != nullptr) cube_->AttachCaches(&epoch_, fragment_cache_.get());
 }
 
 Result<std::unique_ptr<Workbench>> Workbench::Open(
@@ -218,6 +224,7 @@ Result<std::unique_ptr<Workbench>> Workbench::Open(
     return true;
   });
   if (!scan.ok()) return scan;
+  wb->SetUpCaches(options);
   PCUBE_RETURN_NOT_OK(wb->ColdStart());
   if (latency != nullptr) latency->set_read_latency_us(options.read_latency_us);
   if (wb->faults_ != nullptr) wb->faults_->set_armed(true);
@@ -255,7 +262,8 @@ BatchOutput Workbench::RunBatch(const std::vector<BatchQuery>& queries,
                                 size_t num_workers, QueryLog* query_log) {
   PCUBE_CHECK(cube_ != nullptr);
   ThreadPool pool(num_workers);
-  BatchExecutor executor(tree_.get(), cube_.get(), &pool, query_log);
+  BatchExecutor executor(tree_.get(), cube_.get(), &pool, query_log,
+                         result_cache_.get(), &data_);
   return executor.Execute(queries);
 }
 
@@ -355,6 +363,36 @@ void Workbench::ExportMetrics(MetricsRegistry* registry) const {
       ->Set(static_cast<double>(stats_.TotalReads()));
   registry->GetGauge("pcube_io_writes_total")
       ->Set(static_cast<double>(stats_.TotalWrites()));
+
+  // Cache occupancy plus per-level hit rates. The caches report their
+  // event counters into the process-wide default registry; the rates here
+  // are derived from those so one scrape shows both.
+  MetricsRegistry& events = MetricsRegistry::Default();
+  if (result_cache_ != nullptr) {
+    registry->GetGauge("pcube_result_cache_bytes")
+        ->Set(static_cast<double>(result_cache_->bytes()));
+    registry->GetGauge("pcube_result_cache_entries")
+        ->Set(static_cast<double>(result_cache_->entries()));
+    double hits =
+        events.GetCounter("pcube_result_cache_hits_total")->Value() +
+        events.GetCounter("pcube_result_cache_containment_total")->Value();
+    double lookups =
+        hits + events.GetCounter("pcube_result_cache_misses_total")->Value();
+    registry->GetGauge("pcube_result_cache_hit_rate")
+        ->Set(lookups > 0 ? hits / lookups : 0.0);
+  }
+  if (fragment_cache_ != nullptr) {
+    registry->GetGauge("pcube_fragment_cache_bytes")
+        ->Set(static_cast<double>(fragment_cache_->bytes()));
+    registry->GetGauge("pcube_fragment_cache_entries")
+        ->Set(static_cast<double>(fragment_cache_->entries()));
+    double hits = events.GetCounter("pcube_fragment_cache_hits_total")->Value();
+    double lookups =
+        hits + events.GetCounter("pcube_fragment_cache_misses_total")->Value() +
+        events.GetCounter("pcube_fragment_cache_stale_total")->Value();
+    registry->GetGauge("pcube_fragment_cache_hit_rate")
+        ->Set(lookups > 0 ? hits / lookups : 0.0);
+  }
 }
 
 }  // namespace pcube

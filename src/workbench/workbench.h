@@ -10,6 +10,9 @@
 #include "baselines/boolean_first.h"
 #include "baselines/domination_first.h"
 #include "baselines/index_merge.h"
+#include "cache/epoch.h"
+#include "cache/fragment_cache.h"
+#include "cache/result_cache.h"
 #include "common/metrics.h"
 #include "core/pcube.h"
 #include "data/generators.h"
@@ -23,7 +26,12 @@
 
 namespace pcube {
 
-/// Knobs for Workbench::Build.
+/// Every knob of a Workbench instance, for both entry points — this struct
+/// is the single documented surface: Build(data, options) honours all
+/// fields; Open(path, options) honours the runtime fields (pool_pages,
+/// pool_stripes, read_latency_us, verify_checksums, fault_plan and the
+/// cache knobs) and ignores the build-time ones (rtree, pcube, grid/build_*
+/// flags, file_path) because the structures already exist on disk.
 struct WorkbenchOptions {
   /// Buffer-pool capacity in pages (default 64Ki pages = 256 MiB of frames).
   size_t pool_pages = size_t{1} << 16;
@@ -31,7 +39,9 @@ struct WorkbenchOptions {
   /// Concurrency benchmarks set this explicitly so small eviction-pressure
   /// pools still get parallel stripes.
   size_t pool_stripes = 0;
+  /// R*-tree shape (fanout etc.; dims is overwritten from the schema).
   RTreeOptions rtree;
+  /// P-Cube materialisation (cuboid depth, Bloom signatures).
   PCubeOptions pcube;
   /// Build the R-tree by repeated R* insertion (construction benchmarks)
   /// instead of STR bulk loading.
@@ -58,6 +68,16 @@ struct WorkbenchOptions {
   /// disarmed while Build/Open construct the structures and armed just
   /// before returning, so faults hit queries, not construction.
   FaultPlan fault_plan;
+  /// L1 semantic result cache budget in MiB (cache/result_cache.h); 0
+  /// disables the level. Served through QueryPlanner::Run and RunBatch.
+  size_t result_cache_mb = 16;
+  /// L2 decoded-signature fragment cache budget in MiB
+  /// (cache/fragment_cache.h); 0 disables the level.
+  size_t fragment_cache_mb = 16;
+  /// Allow L1 containment reuse: answer predicates P' ⊇ P from the entry
+  /// cached for P (top-k filter pass / skyline Lemma 2 drill-down).
+  /// Exact-repeat and truncation hits work regardless.
+  bool enable_containment = true;
 };
 
 /// One fully built experimental instance. Movable-only aggregate.
@@ -73,19 +93,11 @@ class Workbench {
   Status Save();
 
   /// Reopens a previously Save()d file: re-attaches every structure and
-  /// reconstructs the in-memory Dataset from the heap file. Honours the
-  /// runtime knobs of `options` — pool_pages, pool_stripes and
-  /// read_latency_us; the build-time knobs (rtree, pcube, build_*) and
-  /// file_path are ignored because the structures already exist in `path`.
-  static Result<std::unique_ptr<Workbench>> Open(const std::string& path,
-                                                 const WorkbenchOptions& options);
-
-  /// DEPRECATED forwarder: Open(path, options) with only pool_pages set.
-  /// Reopened instances get default striping and zero read latency; use the
-  /// WorkbenchOptions overload to control those.
-  static Result<std::unique_ptr<Workbench>> Open(const std::string& path,
-                                                 size_t pool_pages = size_t{1}
-                                                                     << 16);
+  /// reconstructs the in-memory Dataset from the heap file. The single
+  /// open path — `options` defaults cover the common case; see
+  /// WorkbenchOptions for which fields apply to reopen.
+  static Result<std::unique_ptr<Workbench>> Open(
+      const std::string& path, const WorkbenchOptions& options = {});
 
   /// Flushes and empties the buffer pool and snapshots IoStats — queries run
   /// after this observe cold-cache disk-access counts.
@@ -108,6 +120,13 @@ class Workbench {
   FaultInjectingPageManager* faults() { return faults_; }
   /// The checksum layer, or null when options.verify_checksums is false.
   ChecksumPageManager* checksums() { return checksums_; }
+
+  /// The invalidation epochs every mutation bumps (always present).
+  DataEpoch* epoch() { return &epoch_; }
+  /// L1 result cache, or null when options.result_cache_mb == 0.
+  ResultCache* result_cache() { return result_cache_.get(); }
+  /// L2 fragment cache, or null when options.fragment_cache_mb == 0.
+  FragmentCache* fragment_cache() { return fragment_cache_.get(); }
 
   /// Optional value dictionaries for the boolean dimensions (set by CSV
   /// importers); persisted with Save() and restored by Open().
@@ -157,6 +176,10 @@ class Workbench {
  private:
   Workbench() : pool_(nullptr) {}
 
+  /// Creates the configured cache levels and attaches them (and the epoch
+  /// registry) to the cube; shared tail of Build() and Open().
+  void SetUpCaches(const WorkbenchOptions& options);
+
   Dataset data_;
   IoStats stats_;
   IoStats snapshot_;
@@ -168,6 +191,9 @@ class Workbench {
   std::vector<BooleanIndex> indices_;
   std::unique_ptr<RStarTree> tree_;
   std::unique_ptr<PCube> cube_;
+  DataEpoch epoch_;
+  std::unique_ptr<FragmentCache> fragment_cache_;
+  std::unique_ptr<ResultCache> result_cache_;
   PageId catalog_root_ = kInvalidPageId;
   RTreeOptions rtree_options_;
   std::vector<std::vector<std::string>> dictionaries_;

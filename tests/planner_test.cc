@@ -30,7 +30,7 @@ TEST(PlannerTest, AnswersAlwaysCorrectEitherPlan) {
     Random rng(c);
     for (int trial = 0; trial < 4; ++trial) {
       PredicateSet preds{{0, static_cast<uint32_t>(rng.Uniform(c))}};
-      auto out = planner.Skyline(preds);
+      auto out = planner.Run(QueryRequest::Skyline(preds));
       ASSERT_TRUE(out.ok());
       EXPECT_EQ(out->tids, NaiveSkyline(wb->data(), preds))
           << "C=" << c << " " << preds.ToString();
@@ -66,7 +66,7 @@ TEST(PlannerTest, ChoosesBooleanForNeedleQueries) {
   EXPECT_EQ(est->choice, PlanChoice::kBooleanFirst);
   EXPECT_LT(est->matching_tuples, 50u);
   // And the executed plan is indeed cheap.
-  auto out = planner.Skyline({{0, 123}});
+  auto out = planner.Run(QueryRequest::Skyline({{0, 123}}));
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out->tids, NaiveSkyline((*wb)->data(), {{0, 123}}));
   EXPECT_LT(out->io.TotalReads(), 60u);
@@ -90,7 +90,7 @@ TEST(PlannerTest, ExecutedCostNeverCatastrophic) {
     uint64_t bool_pages = wb->IoSince().TotalReads();
 
     QueryPlanner planner(wb.get());
-    auto out = planner.Skyline(preds);
+    auto out = planner.Run(QueryRequest::Skyline(preds));
     ASSERT_TRUE(out.ok());
     uint64_t best = std::min(sig_pages, bool_pages);
     EXPECT_LE(out->io.TotalReads(), 3 * best + 10)
@@ -101,11 +101,11 @@ TEST(PlannerTest, ExecutedCostNeverCatastrophic) {
 TEST(PlannerTest, TopKPlansCorrectly) {
   auto wb = MakeWorkbench(50, 320);
   QueryPlanner planner(wb.get());
-  LinearRanking f({0.6, 0.4});
+  auto f = std::make_shared<LinearRanking>(std::vector<double>{0.6, 0.4});
   PredicateSet preds{{1, 7}};
-  auto out = planner.TopK(preds, f, 12);
+  auto out = planner.Run(QueryRequest::TopK(preds, f, 12));
   ASSERT_TRUE(out.ok());
-  auto naive = NaiveTopK(wb->data(), preds, f, 12);
+  auto naive = NaiveTopK(wb->data(), preds, *f, 12);
   ASSERT_EQ(out->tids.size(), naive.size());
   ASSERT_EQ(out->scores.size(), naive.size());
   for (size_t i = 0; i < naive.size(); ++i) {

@@ -1,0 +1,131 @@
+// Canonicalization and fingerprint tests for the unified QueryRequest: the
+// cache key must be insensitive to predicate/pref-dim insertion order,
+// sensitive to everything that changes the answer, and absent (bypass) for
+// requests without a canonical form.
+#include <gtest/gtest.h>
+
+#include "query/request.h"
+
+namespace pcube {
+namespace {
+
+TEST(RequestCanonicalTest, PredicateInsertionOrderIsIrrelevant) {
+  PredicateSet a;
+  a.Add({0, 5});
+  a.Add({2, 7});
+  a.Add({1, 1});
+  PredicateSet b;
+  b.Add({2, 7});
+  b.Add({1, 1});
+  b.Add({0, 5});
+  QueryRequest qa = QueryRequest::Skyline(a);
+  QueryRequest qb = QueryRequest::Skyline(b);
+  EXPECT_EQ(qa.Canonical(), qb.Canonical());
+  EXPECT_EQ(qa.Fingerprint(), qb.Fingerprint());
+  EXPECT_NE(qa.Canonical(), "");
+}
+
+TEST(RequestCanonicalTest, PrefDimOrderAndDuplicatesAreIrrelevant) {
+  SkylineQueryOptions oa;
+  oa.pref_dims = {2, 0, 1};
+  SkylineQueryOptions ob;
+  ob.pref_dims = {0, 1, 2, 1};
+  QueryRequest qa = QueryRequest::Skyline({{0, 3}}, oa);
+  QueryRequest qb = QueryRequest::Skyline({{0, 3}}, ob);
+  EXPECT_EQ(qa.Canonical(), qb.Canonical());
+  EXPECT_EQ(qa.Fingerprint(), qb.Fingerprint());
+
+  SkylineQueryOptions oc;
+  oc.pref_dims = {0, 1};
+  QueryRequest qc = QueryRequest::Skyline({{0, 3}}, oc);
+  EXPECT_NE(qa.Canonical(), qc.Canonical());
+}
+
+TEST(RequestCanonicalTest, DistinctQueriesGetDistinctKeys) {
+  QueryRequest base = QueryRequest::Skyline({{0, 3}});
+  EXPECT_NE(base.Canonical(), QueryRequest::Skyline({{0, 4}}).Canonical());
+  EXPECT_NE(base.Canonical(), QueryRequest::Skyline({{1, 3}}).Canonical());
+  EXPECT_NE(base.Canonical(),
+            QueryRequest::Skyline({{0, 3}, {1, 1}}).Canonical());
+
+  SkylineQueryOptions band;
+  band.skyband_k = 2;
+  EXPECT_NE(base.Canonical(),
+            QueryRequest::Skyline({{0, 3}}, band).Canonical());
+
+  SkylineQueryOptions dynamic;
+  dynamic.origin = {0.5f, 0.5f};
+  EXPECT_NE(base.Canonical(),
+            QueryRequest::Skyline({{0, 3}}, dynamic).Canonical());
+  // The origin is keyed by exact float bits, not a rounded rendering.
+  SkylineQueryOptions dynamic2;
+  dynamic2.origin = {0.5f, 0.50000006f};  // next float up from 0.5
+  EXPECT_NE(QueryRequest::Skyline({{0, 3}}, dynamic).Canonical(),
+            QueryRequest::Skyline({{0, 3}}, dynamic2).Canonical());
+}
+
+TEST(RequestCanonicalTest, TopKKeysSeparateKButShareTheFamily) {
+  auto f = std::make_shared<LinearRanking>(std::vector<double>{0.25, 0.75});
+  QueryRequest k5 = QueryRequest::TopK({{0, 1}}, f, 5);
+  QueryRequest k9 = QueryRequest::TopK({{0, 1}}, f, 9);
+  EXPECT_NE(k5.Canonical(), k9.Canonical());
+  EXPECT_NE(k5.Fingerprint(), k9.Fingerprint());
+  // The family key strips k, so one cached run serves smaller k by prefix.
+  EXPECT_EQ(k5.CanonicalFamily(k5.preds), k9.CanonicalFamily(k9.preds));
+  EXPECT_EQ(k5.FamilyFingerprint(k5.preds), k9.FamilyFingerprint(k9.preds));
+}
+
+TEST(RequestCanonicalTest, RankingWeightsAreBitExact) {
+  auto a = std::make_shared<LinearRanking>(std::vector<double>{0.1, 0.2});
+  auto b = std::make_shared<LinearRanking>(std::vector<double>{0.1, 0.2});
+  auto c = std::make_shared<LinearRanking>(
+      std::vector<double>{0.1, 0.20000000000000004});  // next double up
+  EXPECT_EQ(QueryRequest::TopK({{0, 1}}, a, 5).Canonical(),
+            QueryRequest::TopK({{0, 1}}, b, 5).Canonical());
+  EXPECT_NE(QueryRequest::TopK({{0, 1}}, a, 5).Canonical(),
+            QueryRequest::TopK({{0, 1}}, c, 5).Canonical());
+
+  auto l2 = std::make_shared<WeightedL2Ranking>(
+      std::vector<double>{0.1, 0.2}, std::vector<double>{1.0, 1.0});
+  EXPECT_NE(QueryRequest::TopK({{0, 1}}, a, 5).Canonical(),
+            QueryRequest::TopK({{0, 1}}, l2, 5).Canonical());
+}
+
+// A ranking that deliberately opts out of caching (no CacheKey override).
+class OpaqueRanking : public RankingFunction {
+ public:
+  double Score(std::span<const float> point) const override {
+    double s = 0;
+    for (float v : point) s += v;
+    return s;
+  }
+  double LowerBound(const RectF& box) const override { return box.min[0]; }
+};
+
+TEST(RequestCanonicalTest, CustomRankingIsNotCanonicalizable) {
+  auto f = std::make_shared<OpaqueRanking>();
+  QueryRequest q = QueryRequest::TopK({{0, 1}}, f, 5);
+  EXPECT_FALSE(q.Canonicalizable());
+  EXPECT_EQ(q.Canonical(), "");
+  EXPECT_EQ(q.Fingerprint(), 0u);
+  // Skylines always canonicalize.
+  EXPECT_TRUE(QueryRequest::Skyline({}).Canonicalizable());
+}
+
+TEST(RequestCanonicalTest, FamilySubstitutesPredicates) {
+  QueryRequest q = QueryRequest::Skyline({{0, 3}, {1, 1}});
+  PredicateSet sub{{0, 3}};
+  // The family for a subset equals the family the subset's own query
+  // would produce — that identity is what containment probing relies on.
+  QueryRequest sub_q = QueryRequest::Skyline(sub);
+  EXPECT_EQ(q.CanonicalFamily(sub), sub_q.CanonicalFamily(sub_q.preds));
+}
+
+TEST(RequestCanonicalTest, Fnv1a64KnownAnswers) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+}  // namespace
+}  // namespace pcube

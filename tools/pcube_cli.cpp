@@ -36,19 +36,26 @@
 //       (testing tool; `verify` and checksummed reads must catch it).
 //
 // Both query commands accept:
-//   --plan auto|signature|boolean   plan selection (default: signature; auto
-//                                   lets the cost model pick, see `explain`)
+//   --plan auto|signature|boolean   plan selection (default: auto, the cost
+//                                   model picks; see `explain`. A forced
+//                                   plan bypasses the result cache)
 //   --deadline-ms N                 per-query deadline; exceeding it fails
 //                                   the query with a Timeout status
 //   --metrics                       append a Prometheus-style text dump of
-//                                   every engine and buffer-pool metric
+//                                   every engine, cache and buffer-pool
+//                                   metric
 //   --query-log FILE                write one JSONL record (trace id, plan,
-//                                   counters, per-stage spans) to FILE
+//                                   cache outcome, counters, per-stage
+//                                   spans) to FILE
 //
 // Every command that opens a database accepts:
 //   --fault-plan SPEC               inject storage faults while queries run,
 //                                   e.g. "seed=7,read_error=0.01,bit_flip=
 //                                   0.001" (see storage/fault_injection.h)
+//   --cache MB                      budget PER LEVEL for the two query cache
+//                                   levels (L1 semantic results, L2 decoded
+//                                   signature fragments; default 16)
+//   --no-cache                      disable both cache levels
 //
 // Predicate values use the stored dictionary when the database came from a
 // CSV import ("color=red"); raw codes also work ("color=#3" or "2=#3").
@@ -148,6 +155,14 @@ std::unique_ptr<Workbench> OpenDb(const Args& args) {
   if (args.Has("fault-plan")) {
     options.fault_plan = Unwrap(FaultPlan::Parse(args.Get("fault-plan")));
   }
+  if (args.Has("no-cache")) {
+    options.result_cache_mb = 0;
+    options.fragment_cache_mb = 0;
+  } else if (args.Has("cache")) {
+    size_t mb = static_cast<size_t>(args.GetInt("cache", 16));
+    options.result_cache_mb = mb;
+    options.fragment_cache_mb = mb;
+  }
   return Unwrap(Workbench::Open(args.Require("db"), options));
 }
 
@@ -231,7 +246,7 @@ void PrintTuple(const Workbench& wb, TupleId tid, double score,
 }
 
 PlanHint ParsePlanHint(const Args& args) {
-  std::string plan = args.Get("plan", "signature");
+  std::string plan = args.Get("plan", "auto");
   if (plan == "signature") return PlanHint::kSignature;
   if (plan == "boolean") return PlanHint::kBooleanFirst;
   if (plan == "auto") return PlanHint::kAuto;
@@ -244,12 +259,16 @@ PlanHint ParsePlanHint(const Args& args) {
 /// query-log record and the optional metrics dump.
 void FinishQuery(Workbench* wb, const QueryRequest& request,
                  const QueryResponse& resp, const Args& args) {
-  std::printf("disk: %llu page reads (%llu r-tree, %llu signature)\n",
+  std::printf("disk: %llu page reads (%llu r-tree, %llu signature)",
               static_cast<unsigned long long>(resp.io.TotalReads()),
               static_cast<unsigned long long>(
                   resp.io.ReadCount(IoCategory::kRtreeBlock)),
               static_cast<unsigned long long>(
                   resp.io.ReadCount(IoCategory::kSignature)));
+  if (resp.cache != CacheOutcome::kNone) {
+    std::printf("  [cache: %s]", CacheOutcomeName(resp.cache));
+  }
+  std::printf("\n");
   if (args.Has("query-log")) {
     auto log = Unwrap(QueryLog::OpenFile(args.Get("query-log")));
     log->Append(QueryLogRecord(request, resp));
@@ -547,8 +566,52 @@ int Usage() {
   std::fprintf(stderr,
                "usage: pcube <generate|build|info|explain|skyline|topk"
                "|verify|corrupt> [--options]\n"
-               "see the header of tools/pcube_cli.cpp for details\n");
+               "run `pcube --help` for the full option list\n");
   return 2;
+}
+
+int Help() {
+  std::printf(
+      "pcube — P-Cube preference queries over multi-dimensional data\n"
+      "\n"
+      "commands:\n"
+      "  generate --rows N --out F     emit a synthetic CSV\n"
+      "           [--bool K --pref M --card C --dist D --seed S]\n"
+      "  build    --csv F --spec S --db F [--header]\n"
+      "                                import a CSV and persist all\n"
+      "                                structures to one file\n"
+      "  info     --db F               stored relation + structure stats\n"
+      "  explain  --db F [--where W]   cost estimates and plan choice\n"
+      "  skyline  --db F [--where W] [--band K] [--origin X,..] [--limit N]\n"
+      "  topk     --db F --k N [--where W]\n"
+      "           (--weights W,.. | --target T,.. [--tweights W,..])\n"
+      "  verify   --db F               full integrity walk (exit 1 on damage)\n"
+      "  corrupt  --db F [--kind signature|rtree|table|catalog]\n"
+      "           [--page N] [--offset K]   flip bytes (testing tool)\n"
+      "\n"
+      "query options (skyline, topk):\n"
+      "  --plan auto|signature|boolean  plan selection (default auto: the\n"
+      "                                 cost model picks; a forced plan\n"
+      "                                 bypasses the result cache)\n"
+      "  --deadline-ms N                fail the query with Timeout beyond N\n"
+      "  --metrics                      print a Prometheus-style dump of all\n"
+      "                                 engine/cache/buffer-pool metrics\n"
+      "  --query-log FILE               append one JSONL trace record (plan,\n"
+      "                                 cache outcome, counters, spans)\n"
+      "\n"
+      "database options (every command with --db):\n"
+      "  --cache MB                     per-level budget for the query\n"
+      "                                 caches: L1 semantic result cache and\n"
+      "                                 L2 decoded-signature fragment cache\n"
+      "                                 (default 16)\n"
+      "  --no-cache                     disable both cache levels\n"
+      "  --fault-plan SPEC              inject storage faults, e.g.\n"
+      "                                 \"seed=7,read_error=0.01\"\n"
+      "\n"
+      "predicates: --where \"col=value,col=value\"; values may use the CSV\n"
+      "dictionary (\"color=red\"), raw codes (\"color=#3\") or dimension\n"
+      "indices (\"2=#3\").\n");
+  return 0;
 }
 
 }  // namespace
@@ -556,6 +619,7 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "help" || cmd == "-h") return Help();
   Args args(argc, argv);
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "build") return CmdBuild(args);
