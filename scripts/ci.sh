@@ -1,150 +1,248 @@
 #!/usr/bin/env bash
-# CI driver: builds and tests the tree five ways —
-#   1. plain RelWithDebInfo, full ctest suite;
-#   2. ThreadSanitizer (-DPCUBE_SANITIZE=thread), concurrency-focused tests
-#      (thread pool, striped buffer pool, batch executor, metrics registry,
-#      plus the classic buffer pool and workbench suites that share the
-#      touched code);
-#   3. AddressSanitizer (-DPCUBE_SANITIZE=address), robustness-focused tests
-#      (fault injection, fuzz corpus, checksums, page manager, status);
-#   4. bench_throughput smoke run (tiny dataset, {1,2} workers) validating
-#      the observability artifacts: BENCH_throughput.json must carry the
-#      latency quantiles, and the metrics dump + query log must exist. The
-#      three artifacts are collected under build/artifacts/.
-#   5. corruption gate: build a file-backed database with the CLI, flip a
-#      byte in every signature page, and assert that `pcube verify` flags
-#      it, that a signature-plan query degrades to boolean-first, and that
-#      the degraded answer matches the pre-corruption reference;
-#   6. cache smoke: bench_cache on a small repeated workload — fails unless
-#      the warm pass records L1 hits and beats the cold pass, and the
-#      metrics dump carries the cache counters and hit-rate gauges.
-# Usage: scripts/ci.sh [jobs]   (default: nproc)
+# CI driver. Usage: scripts/ci.sh [jobs] [phase...]
+#
+#   jobs   — optional leading integer, default $(nproc)
+#   phase  — any of: plain tsan asan ubsan tidy format throughput
+#            corruption cache (default: all, in that order)
+#
+# Phases:
+#   plain      — RelWithDebInfo build, full ctest suite (includes the
+#                compile-fail negative tests of the enforcement layer).
+#   tsan/asan/ubsan — sanitizer builds. The test set is label-driven: a
+#                test labeled `tsan` in tests/CMakeLists.txt is built and
+#                run by the tsan phase (`ctest -L tsan`), and the build
+#                target list is derived from the same labels, so there is
+#                exactly one place that decides sanitizer coverage.
+#   tidy       — clang-tidy over every non-test entry of the plain build's
+#                compile_commands.json (src/, tools/, bench/), warnings as
+#                errors per .clang-tidy. Skipped when clang-tidy is absent.
+#   format     — scripts/format.sh --check against .clang-format. Skipped
+#                when clang-format is absent.
+#   throughput — bench_throughput smoke (observability artifacts).
+#   corruption — end-to-end corruption gate (verify flags corruption, the
+#                degraded answer matches the boolean-first reference).
+#   cache      — bench_cache smoke (warm pass must record L1 hits and beat
+#                the cold pass).
+#
+# Every configure exports compile_commands.json
+# (CMAKE_EXPORT_COMPILE_COMMANDS is set in CMakeLists.txt), so clang-tidy
+# and editors share one database per build tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-JOBS="${1:-$(nproc)}"
-
-echo "=== plain build ==="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build -j "$JOBS"
-echo "=== plain ctest ==="
-ctest --test-dir build --output-on-failure
-
-echo "=== tsan build ==="
-cmake -B build-tsan -S . -DPCUBE_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target \
-  thread_pool_test buffer_pool_concurrency_test batch_executor_test \
-  metrics_test buffer_pool_test workbench_test cache_test \
-  cache_concurrency_test
-echo "=== tsan ctest ==="
-ctest --test-dir build-tsan --output-on-failure -R \
-  '^(thread_pool_test|buffer_pool_concurrency_test|batch_executor_test|metrics_test|buffer_pool_test|workbench_test|cache_test|cache_concurrency_test)$'
-
-echo "=== asan build ==="
-cmake -B build-asan -S . -DPCUBE_SANITIZE=address
-cmake --build build-asan -j "$JOBS" --target \
-  fault_injection_test fuzz_corpus_test status_test page_manager_test \
-  buffer_pool_test request_test cache_test
-echo "=== asan ctest ==="
-ctest --test-dir build-asan --output-on-failure -R \
-  '^(fault_injection_test|fuzz_corpus_test|status_test|page_manager_test|buffer_pool_test|request_test|cache_test)$'
-
-echo "=== throughput smoke ==="
-SMOKE_DIR=build/smoke
-mkdir -p "$SMOKE_DIR"
-(cd "$SMOKE_DIR" &&
- PCUBE_THROUGHPUT_SMOKE=1 \
- PCUBE_THROUGHPUT_ROWS=2000 \
- PCUBE_THROUGHPUT_QUERIES=24 \
- PCUBE_THROUGHPUT_LATENCY_US=100 \
- ../bench/bench_throughput)
-for field in latency_p50 latency_p95 latency_p99; do
-  if ! grep -q "\"$field\"" "$SMOKE_DIR/BENCH_throughput.json"; then
-    echo "ci.sh: BENCH_throughput.json is missing $field" >&2
-    exit 1
-  fi
-done
-for artifact in BENCH_throughput_metrics.prom BENCH_throughput_querylog.jsonl; do
-  if [ ! -s "$SMOKE_DIR/$artifact" ]; then
-    echo "ci.sh: $artifact missing or empty" >&2
-    exit 1
-  fi
-done
-if ! grep -q '^pcube_bufferpool_hits_total' "$SMOKE_DIR/BENCH_throughput_metrics.prom"; then
-  echo "ci.sh: metrics dump lacks buffer-pool counters" >&2
-  exit 1
+JOBS="$(nproc)"
+if [[ "${1:-}" =~ ^[0-9]+$ ]]; then
+  JOBS="$1"
+  shift
 fi
-mkdir -p build/artifacts
-cp "$SMOKE_DIR"/BENCH_throughput.json \
-   "$SMOKE_DIR"/BENCH_throughput_metrics.prom \
-   "$SMOKE_DIR"/BENCH_throughput_querylog.jsonl build/artifacts/
-echo "ci.sh: artifacts in build/artifacts/"
 
-echo "=== corruption gate ==="
-GATE_DIR=build/corruption-gate
-rm -rf "$GATE_DIR"
-mkdir -p "$GATE_DIR"
-PCUBE=build/tools/pcube
-"$PCUBE" generate --rows 3000 --bool 3 --pref 2 --card 8 --seed 5 \
-  --out "$GATE_DIR/data.csv" >/dev/null
-"$PCUBE" build --csv "$GATE_DIR/data.csv" --spec bbbpp --header \
-  --db "$GATE_DIR/gate.pcube" >/dev/null
-# Reference answer from the boolean-first plan (never touches signatures).
-"$PCUBE" skyline --db "$GATE_DIR/gate.pcube" --where "0=#3" --plan boolean \
-  --limit 100000 | grep '^  #' | sort > "$GATE_DIR/reference.txt"
-[ -s "$GATE_DIR/reference.txt" ] || {
-  echo "ci.sh: gate reference query returned nothing" >&2; exit 1; }
-"$PCUBE" verify --db "$GATE_DIR/gate.pcube" >/dev/null || {
-  echo "ci.sh: verify failed on a pristine database" >&2; exit 1; }
-"$PCUBE" corrupt --db "$GATE_DIR/gate.pcube" --kind signature >/dev/null
-if "$PCUBE" verify --db "$GATE_DIR/gate.pcube" >/dev/null 2>&1; then
-  echo "ci.sh: verify missed the corrupted signature pages" >&2
-  exit 1
+ALL_PHASES=(plain tsan asan ubsan tidy format throughput corruption cache)
+if [ "$#" -gt 0 ]; then
+  PHASES=("$@")
+  for phase in "${PHASES[@]}"; do
+    case " ${ALL_PHASES[*]} " in
+      *" $phase "*) ;;
+      *)
+        echo "ci.sh: unknown phase '$phase' (known: ${ALL_PHASES[*]})" >&2
+        exit 1
+        ;;
+    esac
+  done
+else
+  PHASES=("${ALL_PHASES[@]}")
 fi
-"$PCUBE" skyline --db "$GATE_DIR/gate.pcube" --where "0=#3" --plan signature \
-  --limit 100000 > "$GATE_DIR/degraded_run.txt"
-grep -q '^degraded:' "$GATE_DIR/degraded_run.txt" || {
-  echo "ci.sh: query on corrupt signatures did not report degradation" >&2
-  exit 1
+
+want() {
+  local phase
+  for phase in "${PHASES[@]}"; do
+    if [ "$phase" = "$1" ]; then return 0; fi
+  done
+  return 1
 }
-grep '^  #' "$GATE_DIR/degraded_run.txt" | sort > "$GATE_DIR/degraded.txt"
-diff -u "$GATE_DIR/reference.txt" "$GATE_DIR/degraded.txt" || {
-  echo "ci.sh: degraded answer differs from the reference" >&2
-  exit 1
+
+# Configures + builds the plain tree (the smoke/gate phases run binaries
+# out of it). Cheap when already up to date.
+ensure_plain_build() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "$JOBS"
 }
-echo "ci.sh: corruption gate passed"
 
-echo "=== cache smoke ==="
-CACHE_DIR=build/cache-smoke
-mkdir -p "$CACHE_DIR"
-# bench_cache itself exits non-zero when the warm pass records no L1 hits,
-# misses the 2x warm-over-cold bar, or the hot pass falls below cold.
-(cd "$CACHE_DIR" &&
- PCUBE_CACHE_ROWS=2000 \
- PCUBE_CACHE_QUERIES=24 \
- PCUBE_CACHE_LATENCY_US=100 \
- PCUBE_CACHE_WORKERS=2 \
- PCUBE_CACHE_HOT_PASSES=2 \
- ../bench/bench_cache)
-for field in warm_over_cold l1_hit_rate; do
-  if ! grep -q "\"$field\"" "$CACHE_DIR/BENCH_cache.json"; then
-    echo "ci.sh: BENCH_cache.json is missing $field" >&2
+# Builds a sanitizer tree and runs the ctest label that defines its test
+# set: sanitizer_pass <dir> <PCUBE_SANITIZE value> <label>.
+sanitizer_pass() {
+  local dir="$1" sanitizer="$2" label="$3"
+  cmake -B "$dir" -S . -DPCUBE_SANITIZE="$sanitizer"
+  # Derive the build-target list from the test labels so a newly labeled
+  # test cannot silently miss the sanitizer matrix. Test name == target
+  # name for every pcube_add_test; the compile-fail script tests carry
+  # only the `static` label and so never land here.
+  local -a targets
+  mapfile -t targets < <(ctest --test-dir "$dir" -N -L "$label" |
+                         sed -n 's/^ *Test *#[0-9]*: //p')
+  if [ "${#targets[@]}" -eq 0 ]; then
+    echo "ci.sh: no tests labeled '$label' — label set regressed" >&2
     exit 1
   fi
-done
-for counter in pcube_result_cache_hits_total pcube_fragment_cache_hits_total \
-               pcube_result_cache_hit_rate; do
-  if ! grep -q "^$counter" "$CACHE_DIR/BENCH_cache_metrics.prom"; then
-    echo "ci.sh: metrics dump lacks $counter" >&2
-    exit 1
-  fi
-done
-if ! grep -q '"cache":' "$CACHE_DIR/BENCH_cache_querylog.jsonl"; then
-  echo "ci.sh: query log records lack the cache: field" >&2
-  exit 1
+  echo "--- $label targets: ${targets[*]}"
+  cmake --build "$dir" -j "$JOBS" --target "${targets[@]}"
+  ctest --test-dir "$dir" --output-on-failure -L "$label"
+}
+
+if want plain; then
+  echo "=== plain build ==="
+  ensure_plain_build
+  echo "=== plain ctest ==="
+  ctest --test-dir build --output-on-failure
 fi
-cp "$CACHE_DIR"/BENCH_cache.json "$CACHE_DIR"/BENCH_cache_metrics.prom \
-   "$CACHE_DIR"/BENCH_cache_querylog.jsonl build/artifacts/
-echo "ci.sh: cache smoke passed"
 
-echo "ci.sh: all green"
+if want tsan; then
+  echo "=== tsan ==="
+  sanitizer_pass build-tsan thread tsan
+fi
+
+if want asan; then
+  echo "=== asan ==="
+  sanitizer_pass build-asan address asan
+fi
+
+if want ubsan; then
+  echo "=== ubsan ==="
+  sanitizer_pass build-ubsan undefined ubsan
+fi
+
+if want tidy; then
+  echo "=== clang-tidy ==="
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "ci.sh: clang-tidy not installed — phase SKIPPED"
+  else
+    # The plain tree's database covers everything; tidy the non-test code
+    # (tests trip GTest-macro noise, and the compile-time gates already
+    # cover them). .clang-tidy sets WarningsAsErrors: '*'.
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    mapfile -t tidy_files < <(git ls-files 'src/**/*.cc' 'tools/*.cpp' \
+                              'bench/*.cc')
+    clang-tidy -p build --quiet "${tidy_files[@]}"
+    echo "ci.sh: clang-tidy clean over ${#tidy_files[@]} files"
+  fi
+fi
+
+if want format; then
+  echo "=== format check ==="
+  rc=0
+  scripts/format.sh --check || rc=$?
+  if [ "$rc" -eq 77 ]; then
+    echo "ci.sh: clang-format not installed — phase SKIPPED"
+  elif [ "$rc" -ne 0 ]; then
+    exit "$rc"
+  fi
+fi
+
+if want throughput; then
+  echo "=== throughput smoke ==="
+  ensure_plain_build
+  SMOKE_DIR=build/smoke
+  mkdir -p "$SMOKE_DIR"
+  (cd "$SMOKE_DIR" &&
+   PCUBE_THROUGHPUT_SMOKE=1 \
+   PCUBE_THROUGHPUT_ROWS=2000 \
+   PCUBE_THROUGHPUT_QUERIES=24 \
+   PCUBE_THROUGHPUT_LATENCY_US=100 \
+   ../bench/bench_throughput)
+  for field in latency_p50 latency_p95 latency_p99; do
+    if ! grep -q "\"$field\"" "$SMOKE_DIR/BENCH_throughput.json"; then
+      echo "ci.sh: BENCH_throughput.json is missing $field" >&2
+      exit 1
+    fi
+  done
+  for artifact in BENCH_throughput_metrics.prom BENCH_throughput_querylog.jsonl; do
+    if [ ! -s "$SMOKE_DIR/$artifact" ]; then
+      echo "ci.sh: $artifact missing or empty" >&2
+      exit 1
+    fi
+  done
+  if ! grep -q '^pcube_bufferpool_hits_total' "$SMOKE_DIR/BENCH_throughput_metrics.prom"; then
+    echo "ci.sh: metrics dump lacks buffer-pool counters" >&2
+    exit 1
+  fi
+  mkdir -p build/artifacts
+  cp "$SMOKE_DIR"/BENCH_throughput.json \
+     "$SMOKE_DIR"/BENCH_throughput_metrics.prom \
+     "$SMOKE_DIR"/BENCH_throughput_querylog.jsonl build/artifacts/
+  echo "ci.sh: artifacts in build/artifacts/"
+fi
+
+if want corruption; then
+  echo "=== corruption gate ==="
+  ensure_plain_build
+  GATE_DIR=build/corruption-gate
+  rm -rf "$GATE_DIR"
+  mkdir -p "$GATE_DIR"
+  PCUBE=build/tools/pcube
+  "$PCUBE" generate --rows 3000 --bool 3 --pref 2 --card 8 --seed 5 \
+    --out "$GATE_DIR/data.csv" >/dev/null
+  "$PCUBE" build --csv "$GATE_DIR/data.csv" --spec bbbpp --header \
+    --db "$GATE_DIR/gate.pcube" >/dev/null
+  # Reference answer from the boolean-first plan (never touches signatures).
+  "$PCUBE" skyline --db "$GATE_DIR/gate.pcube" --where "0=#3" --plan boolean \
+    --limit 100000 | grep '^  #' | sort > "$GATE_DIR/reference.txt"
+  [ -s "$GATE_DIR/reference.txt" ] || {
+    echo "ci.sh: gate reference query returned nothing" >&2; exit 1; }
+  "$PCUBE" verify --db "$GATE_DIR/gate.pcube" >/dev/null || {
+    echo "ci.sh: verify failed on a pristine database" >&2; exit 1; }
+  "$PCUBE" corrupt --db "$GATE_DIR/gate.pcube" --kind signature >/dev/null
+  if "$PCUBE" verify --db "$GATE_DIR/gate.pcube" >/dev/null 2>&1; then
+    echo "ci.sh: verify missed the corrupted signature pages" >&2
+    exit 1
+  fi
+  "$PCUBE" skyline --db "$GATE_DIR/gate.pcube" --where "0=#3" --plan signature \
+    --limit 100000 > "$GATE_DIR/degraded_run.txt"
+  grep -q '^degraded:' "$GATE_DIR/degraded_run.txt" || {
+    echo "ci.sh: query on corrupt signatures did not report degradation" >&2
+    exit 1
+  }
+  grep '^  #' "$GATE_DIR/degraded_run.txt" | sort > "$GATE_DIR/degraded.txt"
+  diff -u "$GATE_DIR/reference.txt" "$GATE_DIR/degraded.txt" || {
+    echo "ci.sh: degraded answer differs from the reference" >&2
+    exit 1
+  }
+  echo "ci.sh: corruption gate passed"
+fi
+
+if want cache; then
+  echo "=== cache smoke ==="
+  ensure_plain_build
+  CACHE_DIR=build/cache-smoke
+  mkdir -p "$CACHE_DIR"
+  # bench_cache itself exits non-zero when the warm pass records no L1 hits,
+  # misses the 2x warm-over-cold bar, or the hot pass falls below cold.
+  (cd "$CACHE_DIR" &&
+   PCUBE_CACHE_ROWS=2000 \
+   PCUBE_CACHE_QUERIES=24 \
+   PCUBE_CACHE_LATENCY_US=100 \
+   PCUBE_CACHE_WORKERS=2 \
+   PCUBE_CACHE_HOT_PASSES=2 \
+   ../bench/bench_cache)
+  for field in warm_over_cold l1_hit_rate; do
+    if ! grep -q "\"$field\"" "$CACHE_DIR/BENCH_cache.json"; then
+      echo "ci.sh: BENCH_cache.json is missing $field" >&2
+      exit 1
+    fi
+  done
+  for counter in pcube_result_cache_hits_total pcube_fragment_cache_hits_total \
+                 pcube_result_cache_hit_rate; do
+    if ! grep -q "^$counter" "$CACHE_DIR/BENCH_cache_metrics.prom"; then
+      echo "ci.sh: metrics dump lacks $counter" >&2
+      exit 1
+    fi
+  done
+  if ! grep -q '"cache":' "$CACHE_DIR/BENCH_cache_querylog.jsonl"; then
+    echo "ci.sh: query log records lack the cache: field" >&2
+    exit 1
+  fi
+  mkdir -p build/artifacts
+  cp "$CACHE_DIR"/BENCH_cache.json "$CACHE_DIR"/BENCH_cache_metrics.prom \
+     "$CACHE_DIR"/BENCH_cache_querylog.jsonl build/artifacts/
+  echo "ci.sh: cache smoke passed"
+fi
+
+echo "ci.sh: selected phases green (${PHASES[*]})"

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Formats (or with --check, verifies) every tracked C++ source against the
+# repo's .clang-format. Exit codes: 0 clean, 1 violations/failure, 77 when
+# clang-format is not installed (scripts/ci.sh reports that as a skipped
+# phase; the compile-time gates do not depend on it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="format"
+if [ "${1:-}" = "--check" ]; then
+  MODE="check"
+elif [ -n "${1:-}" ]; then
+  echo "usage: scripts/format.sh [--check]" >&2
+  exit 1
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format.sh: clang-format not installed — skipping" >&2
+  exit 77
+fi
+
+mapfile -t FILES < <(git ls-files '*.cc' '*.h' '*.cpp' '*.hpp')
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "format.sh: no C++ sources found" >&2
+  exit 1
+fi
+
+if [ "$MODE" = "check" ]; then
+  clang-format --dry-run --Werror "${FILES[@]}"
+  echo "format.sh: ${#FILES[@]} files clean"
+else
+  clang-format -i "${FILES[@]}"
+  echo "format.sh: formatted ${#FILES[@]} files"
+fi

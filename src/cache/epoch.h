@@ -9,10 +9,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "cube/cell.h"
 
 namespace pcube {
@@ -30,7 +30,7 @@ class DataEpoch {
   uint64_t OfCell(CellId cell) const {
     uint64_t floor = floor_.load(std::memory_order_acquire);
     const Shard& s = shards_[ShardOf(cell)];
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     auto it = s.cells.find(cell);
     uint64_t e = it == s.cells.end() ? 0 : it->second;
     return e > floor ? e : floor;
@@ -54,7 +54,7 @@ class DataEpoch {
     structure_.fetch_add(1, std::memory_order_acq_rel);
     for (CellId cell : cells) {
       Shard& s = shards_[ShardOf(cell)];
-      std::lock_guard<std::mutex> lock(s.mu);
+      MutexLock lock(&s.mu);
       uint64_t& slot = s.cells[cell];
       if (slot < e) slot = e;
     }
@@ -80,8 +80,8 @@ class DataEpoch {
   }
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<CellId, uint64_t> cells;
+    mutable Mutex mu;
+    std::unordered_map<CellId, uint64_t> cells GUARDED_BY(mu);
   };
 
   std::atomic<uint64_t> global_{0};

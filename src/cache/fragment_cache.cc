@@ -31,7 +31,7 @@ std::shared_ptr<const CachedFragment> FragmentCache::Lookup(CellId cell,
   Shard& shard = ShardOf(key);
   std::shared_ptr<const CachedFragment> value;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     if (!shard.slru.Lookup(key, &value)) {
       misses_->Increment();
       return nullptr;
@@ -63,7 +63,7 @@ void FragmentCache::Insert(CellId cell, uint64_t sid, bool present,
 
   Key key{cell, sid};
   Shard& shard = ShardOf(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   size_t bytes_before = shard.slru.bytes();
   size_t entries_before = shard.slru.entries();
   size_t evicted = shard.slru.Insert(key, std::move(entry), charge);

@@ -15,7 +15,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -23,6 +22,7 @@
 #include "cache/epoch.h"
 #include "cache/slru.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "rtree/path.h"
 
 namespace pcube {
@@ -78,9 +78,12 @@ class FragmentCache {
     }
   };
   static constexpr size_t kShards = 16;
+  /// Lock order: shard mutexes are leaves and never nested (one shard per
+  /// Lookup/Insert; the codec decode happens before the lock is taken).
   struct Shard {
-    std::mutex mu;
-    SlruShard<Key, std::shared_ptr<const CachedFragment>, KeyHash> slru;
+    Mutex mu;
+    SlruShard<Key, std::shared_ptr<const CachedFragment>, KeyHash> slru
+        GUARDED_BY(mu);
   };
   Shard& ShardOf(const Key& k) {
     return shards_[KeyHash{}(k) >> 57 & (kShards - 1)];

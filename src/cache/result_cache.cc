@@ -79,14 +79,14 @@ std::shared_ptr<const CachedResult> ResultCache::GetFresh(
   Shard& shard = ShardOf(fp);
   std::shared_ptr<const CachedResult> entry;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     if (!shard.slru.Lookup(fp, &entry)) return nullptr;
   }
   // Different family behind the same fingerprint: a 64-bit collision. Keep
   // the resident entry (its queries are live too) and report a miss.
   if (entry->family != family) return nullptr;
   if (!AnswerFresh(*entry)) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     size_t bytes_before = shard.slru.bytes();
     if (shard.slru.Erase(fp)) {
       bytes_.fetch_sub(bytes_before - shard.slru.bytes(),
@@ -245,7 +245,7 @@ void ResultCache::Insert(const QueryRequest& request,
   uint64_t fp = Fnv1a64(entry->family);
   size_t charge = entry->charge;
   Shard& shard = ShardOf(fp);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   size_t bytes_before = shard.slru.bytes();
   size_t entries_before = shard.slru.entries();
   size_t evicted = shard.slru.Insert(fp, std::move(entry), charge);

@@ -25,7 +25,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +32,7 @@
 #include "cache/epoch.h"
 #include "cache/slru.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "cube/relation.h"
 #include "query/request.h"
 
@@ -134,9 +134,12 @@ class ResultCache {
   /// probes); above this many predicates it is skipped.
   static constexpr size_t kMaxContainmentPreds = 6;
 
+  /// Lock order: shard mutexes are leaves and never nested — containment
+  /// probing touches one shard at a time, releasing before the next probe.
   struct Shard {
-    std::mutex mu;
-    SlruShard<uint64_t, std::shared_ptr<const CachedResult>> slru;
+    Mutex mu;
+    SlruShard<uint64_t, std::shared_ptr<const CachedResult>> slru
+        GUARDED_BY(mu);
   };
   Shard& ShardOf(uint64_t fp) { return shards_[fp >> 61 & (kShards - 1)]; }
 

@@ -16,8 +16,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
 
 namespace pcube {
 
@@ -105,24 +106,28 @@ class MetricsRegistry {
 
   /// Find-or-create; the returned pointer stays valid for the registry's
   /// lifetime, so hot paths look a metric up once and cache the pointer.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) EXCLUDES(mu_);
 
   /// Prometheus-style text dump: `name value` per counter/gauge, and
   /// `name_count` / `name_sum` / `name{quantile="..."}` per histogram, in
   /// sorted name order.
-  std::string RenderText() const;
+  std::string RenderText() const EXCLUDES(mu_);
 
   /// Zeroes every registered metric (benchmark reruns, tests). Pointers
   /// handed out earlier stay valid.
-  void ResetAll();
+  void ResetAll() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Reader/writer split: registration (Get*) mutates the maps under the
+  // writer lock; RenderText/ResetAll only traverse them (metric values are
+  // atomics), so concurrent scrapes never serialise against each other.
+  mutable SharedMutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace pcube

@@ -35,7 +35,12 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 ///   Status s = page_manager.Read(pid, &page);
 ///   if (!s.ok()) return s;                     // or PCUBE_RETURN_NOT_OK(s)
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning a Status by value
+/// is a build error to call and ignore (-Werror=unused-result). The rare
+/// call site where dropping the error is genuinely correct must say so with
+/// an explicit `.IgnoreError()`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status (the default).
   Status() = default;
@@ -84,6 +89,11 @@ class Status {
   /// "OK" or "<code>: <message>".
   std::string ToString() const;
 
+  /// Explicitly discards the status. The one sanctioned way to ignore an
+  /// error: it turns an invisible dropped Status into a greppable,
+  /// reviewable statement of intent at the call site.
+  void IgnoreError() const {}
+
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string msg_;
@@ -92,9 +102,10 @@ class Status {
 /// A value-or-Status, analogous to arrow::Result.
 ///
 /// Dereferencing a non-OK Result is a programming error and aborts in debug
-/// builds (checked via PCUBE_DCHECK).
+/// builds (checked via PCUBE_DCHECK). [[nodiscard]] like Status: silently
+/// dropping a Result discards both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : repr_(std::move(value)) {}              // NOLINT implicit
   Result(Status status) : repr_(std::move(status)) {        // NOLINT implicit

@@ -1,0 +1,73 @@
+// Clang thread-safety analysis annotations (Abseil/LevelDB style).
+//
+// These macros attach lock contracts to types, fields and functions so that
+// `clang -Wthread-safety` proves them at compile time: a field declared
+// GUARDED_BY(mu_) cannot be touched without mu_ held, a function declared
+// REQUIRES(mu_) cannot be called without it, and a SCOPED_CAPABILITY guard
+// that is released early cannot leak a held lock out of scope. Under any
+// compiler without the attribute (GCC in the default container) every macro
+// expands to nothing — the annotations are documentation there and a build
+// gate under Clang (see PCUBE_WERROR_THREAD_SAFETY in CMakeLists.txt).
+//
+// Always annotate through the wrappers in common/mutex.h; raw std::mutex is
+// invisible to the analysis.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PCUBE_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define PCUBE_THREAD_ANNOTATION_IMPL(x)  // no-op off Clang
+#endif
+
+// Types: CAPABILITY marks a class as a lockable resource ("mutex" is the
+// kind reported in diagnostics); SCOPED_CAPABILITY marks RAII guards whose
+// constructor acquires and destructor releases.
+#define CAPABILITY(x) PCUBE_THREAD_ANNOTATION_IMPL(capability(x))
+#define SCOPED_CAPABILITY PCUBE_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+// Fields: data protected by a mutex (or, for pointers, the pointed-to data).
+#define GUARDED_BY(x) PCUBE_THREAD_ANNOTATION_IMPL(guarded_by(x))
+#define PT_GUARDED_BY(x) PCUBE_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+// Lock-ordering declarations between mutexes (deadlock detection).
+#define ACQUIRED_BEFORE(...) \
+  PCUBE_THREAD_ANNOTATION_IMPL(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  PCUBE_THREAD_ANNOTATION_IMPL(acquired_after(__VA_ARGS__))
+
+// Function contracts: the caller must hold (REQUIRES) or must NOT hold
+// (EXCLUDES) the listed capabilities across the call.
+#define REQUIRES(...) \
+  PCUBE_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  PCUBE_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) PCUBE_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire/release capabilities (mutex methods and guards).
+#define ACQUIRE(...) \
+  PCUBE_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  PCUBE_THREAD_ANNOTATION_IMPL(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  PCUBE_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  PCUBE_THREAD_ANNOTATION_IMPL(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  PCUBE_THREAD_ANNOTATION_IMPL(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  PCUBE_THREAD_ANNOTATION_IMPL(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  PCUBE_THREAD_ANNOTATION_IMPL(try_acquire_shared_capability(__VA_ARGS__))
+
+// Runtime assertion that a capability is held (AssertHeld()).
+#define ASSERT_CAPABILITY(x) \
+  PCUBE_THREAD_ANNOTATION_IMPL(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  PCUBE_THREAD_ANNOTATION_IMPL(assert_shared_capability(x))
+
+// A function returning a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) PCUBE_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (document why at use).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PCUBE_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)

@@ -12,10 +12,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  wake_.notify_all();
+  wake_.SignalAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -23,8 +23,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      wake_.Wait(&mu_, [this]() REQUIRES(mu_) {
+        return stop_ || !queue_.empty();
+      });
       // Graceful shutdown: finish everything queued before exiting.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
@@ -33,16 +35,18 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_.SignalAll();
     }
   }
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  idle_.Wait(&mu_, [this]() REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 }  // namespace pcube

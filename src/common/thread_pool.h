@@ -10,15 +10,15 @@
 // submits from the driver thread.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace pcube {
 
@@ -44,27 +44,27 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
-    wake_.notify_one();
+    wake_.Signal();
     return future;
   }
 
   /// Blocks until the queue is empty and every worker is idle.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable wake_;   // workers: queue non-empty or stopping
-  std::condition_variable idle_;   // Wait(): queue drained and all idle
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;  // tasks currently executing
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar wake_;  // workers: queue non-empty or stopping
+  CondVar idle_;  // Wait(): queue drained and all idle
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -64,14 +64,14 @@ Result<std::unique_ptr<QueryLog>> QueryLog::OpenFile(const std::string& path) {
 }
 
 void QueryLog::Append(const std::string& json_line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   (*out_) << json_line << "\n";
   out_->flush();
   ++records_;
 }
 
 uint64_t QueryLog::records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return records_;
 }
 

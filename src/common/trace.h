@@ -21,12 +21,12 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/timer.h"
 
@@ -110,18 +110,18 @@ class QueryLog {
 
   /// Appends one record (a complete JSON object WITHOUT trailing newline;
   /// the log adds it) and flushes.
-  void Append(const std::string& json_line);
+  void Append(const std::string& json_line) EXCLUDES(mu_);
 
-  uint64_t records() const;
+  uint64_t records() const EXCLUDES(mu_);
 
  private:
   explicit QueryLog(std::unique_ptr<std::ofstream> owned)
       : out_(owned.get()), owned_(std::move(owned)) {}
 
-  mutable std::mutex mu_;
-  std::ostream* out_;
+  mutable Mutex mu_;
+  std::ostream* out_ PT_GUARDED_BY(mu_);
   std::unique_ptr<std::ofstream> owned_;
-  uint64_t records_ = 0;
+  uint64_t records_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace pcube

@@ -70,7 +70,7 @@ void BufferPool::ChargeWrite(IoCategory cat) {
 
 void BufferPool::Unpin(PageId pid) {
   Stripe& stripe = StripeFor(pid);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   auto it = stripe.frames.find(pid);
   PCUBE_DCHECK(it != stripe.frames.end());
   PCUBE_DCHECK_GT(it->second.pins, 0);
@@ -126,7 +126,7 @@ Status BufferPool::ReadWithRetry(PageId pid, Page* out) {
 Result<PageHandle> BufferPool::Fetch(PageId pid, IoCategory cat, bool load,
                                      bool dirty) {
   Stripe& stripe = StripeFor(pid);
-  std::unique_lock<std::mutex> lock(stripe.mu);
+  MutexLock lock(&stripe.mu);
   for (;;) {
     auto it = stripe.frames.find(pid);
     if (it == stripe.frames.end()) break;
@@ -134,7 +134,7 @@ Result<PageHandle> BufferPool::Fetch(PageId pid, IoCategory cat, bool load,
     if (frame.loading) {
       // Another thread is reading this page in. Wait and re-check: if its
       // load fails it removes the frame, and we retry as a fresh miss.
-      stripe.cv.wait(lock);
+      stripe.cv.Wait(&stripe.mu);
       continue;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -170,7 +170,7 @@ Result<PageHandle> BufferPool::Fetch(PageId pid, IoCategory cat, bool load,
     // never invalidates references on insert, and erase of a loading frame
     // is excluded by the eviction rule.
     frame.loading = true;
-    lock.unlock();
+    lock.Unlock();
     Timer read_timer;
     Status st = ReadWithRetry(pid, &frame.page);
     double wait = read_timer.ElapsedSeconds();
@@ -179,16 +179,16 @@ Result<PageHandle> BufferPool::Fetch(PageId pid, IoCategory cat, bool load,
     if (Trace* trace = Trace::Current(); trace != nullptr) {
       trace->Record("io_wait", wait);
     }
-    lock.lock();
+    lock.Lock();
     frame.loading = false;
     if (!st.ok()) {
       stripe.lru.erase(frame.lru_pos);
       stripe.frames.erase(pid);
-      stripe.cv.notify_all();
+      stripe.cv.SignalAll();
       return st;
     }
     ChargeRead(cat);
-    stripe.cv.notify_all();
+    stripe.cv.SignalAll();
   } else {
     frame.page.Zero();
   }
@@ -215,7 +215,7 @@ Result<PageHandle> BufferPool::New(IoCategory cat, PageId* pid) {
 
 Status BufferPool::FlushAll() {
   for (auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    MutexLock lock(&stripe->mu);
     for (auto& [pid, frame] : stripe->frames) {
       if (frame.dirty) {
         PCUBE_RETURN_NOT_OK(pm_->Write(pid, frame.page));
@@ -230,7 +230,7 @@ Status BufferPool::FlushAll() {
 Status BufferPool::FreePage(PageId pid) {
   Stripe& stripe = StripeFor(pid);
   {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(&stripe.mu);
     auto it = stripe.frames.find(pid);
     if (it != stripe.frames.end()) {
       PCUBE_CHECK_EQ(it->second.pins, 0) << "freeing a pinned page";
@@ -270,7 +270,7 @@ std::vector<BufferPool::StripeStats> BufferPool::PerStripeStats() const {
             stripe->load_wait_us.load(std::memory_order_relaxed)) *
         1e-6;
     {
-      std::lock_guard<std::mutex> lock(stripe->mu);
+      MutexLock lock(&stripe->mu);
       s.frames = stripe->frames.size();
     }
     out.push_back(s);
@@ -318,7 +318,7 @@ void BufferPool::ExportTo(MetricsRegistry* registry,
 Status BufferPool::Clear() {
   PCUBE_RETURN_NOT_OK(FlushAll());
   for (auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    MutexLock lock(&stripe->mu);
     for ([[maybe_unused]] auto& [pid, frame] : stripe->frames) {
       PCUBE_CHECK_EQ(frame.pins, 0) << "Clear() with outstanding pins";
     }

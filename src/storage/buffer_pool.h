@@ -23,16 +23,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/io_stats.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/page.h"
 #include "storage/page_manager.h"
@@ -163,12 +162,14 @@ class BufferPool {
 
   /// One lock-striping partition: pages hash onto exactly one stripe, which
   /// owns their frames, their LRU order and a share of the capacity.
+  /// Lock order: stripe mutexes are leaves — no other pcube lock is ever
+  /// acquired while one is held (the physical read in Fetch runs unlocked).
   struct Stripe {
-    std::mutex mu;
-    std::condition_variable cv;  // signalled when a loading frame settles
-    std::unordered_map<PageId, Frame> frames;
-    std::list<PageId> lru;  // front = most recent
-    size_t capacity = 1;
+    Mutex mu;
+    CondVar cv;  // signalled when a loading frame settles
+    std::unordered_map<PageId, Frame> frames GUARDED_BY(mu);
+    std::list<PageId> lru GUARDED_BY(mu);  // front = most recent
+    size_t capacity GUARDED_BY(mu) = 1;
     // Per-stripe observability counters (atomics so PerStripeStats and the
     // metrics export read them without taking every stripe lock).
     std::atomic<uint64_t> hits{0};
@@ -191,7 +192,7 @@ class BufferPool {
   Status ReadWithRetry(PageId pid, Page* out);
   /// Evicts the LRU unpinned frame of `stripe` (caller holds its mutex); a
   /// fully pinned stripe grows instead of failing.
-  Status EvictOne(Stripe* stripe);
+  Status EvictOne(Stripe* stripe) REQUIRES(stripe->mu);
   void Unpin(PageId pid);
   void ChargeRead(IoCategory cat);
   void ChargeWrite(IoCategory cat);

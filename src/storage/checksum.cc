@@ -52,7 +52,7 @@ ChecksumPageManager::ChecksumPageManager(std::unique_ptr<PageManager> inner,
   if (!sidecar_path_.empty()) {
     // A missing or stale sidecar is legacy data, not an error: those pages
     // stay at "unknown" and adopt their checksum on first read.
-    (void)LoadSidecar();
+    LoadSidecar().IgnoreError();
   }
 }
 

@@ -122,7 +122,7 @@ Status FaultInjectingPageManager::Read(PageId pid, Page* out) {
   bool inject_short = false;
   uint64_t page_op_index;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     page_op_index = page_ops_[{pid, kOpRead}]++;
 
     ScriptedFault::Kind scripted;
@@ -198,7 +198,7 @@ Status FaultInjectingPageManager::Write(PageId pid, const Page& page) {
   bool tear = false;
   uint64_t page_op_index;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     page_op_index = page_ops_[{pid, kOpWrite}]++;
     ScriptedFault::Kind scripted;
     if (ScriptFires(pid, ScriptedFault::Op::kWrite, page_op_index,

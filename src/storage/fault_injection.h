@@ -31,10 +31,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/page_manager.h"
 
@@ -123,9 +123,10 @@ class FaultInjectingPageManager : public PageManager {
 
   // Per-(page, op) operation counts drive the script and burst state; a
   // mutex keeps them consistent (fault paths are not hot paths).
-  mutable std::mutex mu_;
-  std::map<std::pair<PageId, int>, uint64_t> page_ops_;
-  std::map<PageId, uint32_t> pending_errors_;  ///< remaining burst per page
+  mutable Mutex mu_;
+  std::map<std::pair<PageId, int>, uint64_t> page_ops_ GUARDED_BY(mu_);
+  std::map<PageId, uint32_t> pending_errors_
+      GUARDED_BY(mu_);  ///< remaining burst per page
 
   std::atomic<uint64_t> read_errors_{0};
   std::atomic<uint64_t> bit_flips_{0};

@@ -109,7 +109,11 @@ TEST(CacheConcurrencyTest, BatchWorkersRaceIncrementalUpdates) {
       TupleId tid =
           wb->mutable_data()->Append(extra.BoolRow(t), extra.PrefPoint(t));
       PathChangeSet changes;
-      wb->tree()->Insert(wb->data().PrefPoint(tid), tid, &changes);
+      Status ins = wb->tree()->Insert(wb->data().PrefPoint(tid), tid, &changes);
+      if (!ins.ok()) {
+        report("tree Insert failed: " + ins.ToString());
+        return;
+      }
       Status st = wb->cube()->ApplyChanges(wb->data(), changes);
       if (!st.ok()) {
         if (st.code() != StatusCode::kNotSupported) {

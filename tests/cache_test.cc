@@ -46,7 +46,8 @@ void InsertTuple(Workbench* wb, std::vector<uint32_t> bool_row,
                  std::vector<float> pref) {
   TupleId tid = wb->mutable_data()->Append(bool_row, pref);
   PathChangeSet changes;
-  wb->tree()->Insert(wb->data().PrefPoint(tid), tid, &changes);
+  Status insert = wb->tree()->Insert(wb->data().PrefPoint(tid), tid, &changes);
+  ASSERT_TRUE(insert.ok()) << insert.ToString();
   Status st = wb->cube()->ApplyChanges(wb->data(), changes);
   if (!st.ok()) {
     ASSERT_EQ(st.code(), StatusCode::kNotSupported) << st.ToString();

@@ -1,0 +1,20 @@
+// Compile-fail case: silently dropping a Status must not build.
+// Clean variant: the discard is made explicit with IgnoreError().
+// Faulty variant (-DPCUBE_COMPILE_FAIL): the bare call discards the
+// [[nodiscard]] Status and -Werror=unused-result rejects it.
+#include "common/status.h"
+
+namespace {
+
+pcube::Status Fallible() { return pcube::Status::IoError("injected"); }
+
+}  // namespace
+
+int main() {
+#ifdef PCUBE_COMPILE_FAIL
+  Fallible();
+#else
+  Fallible().IgnoreError();
+#endif
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Compile-fail case: touching a GUARDED_BY field without holding its mutex
+// must not build under Clang's thread-safety analysis.
+// Clean variant: the access happens under a MutexLock.
+// Faulty variant (-DPCUBE_COMPILE_FAIL): the lock is omitted and
+// -Werror=thread-safety rejects the access (Clang only; skipped on GCC).
+#include "common/mutex.h"
+
+namespace {
+
+class Tally {
+ public:
+  void Bump() {
+#ifdef PCUBE_COMPILE_FAIL
+    ++n_;
+#else
+    pcube::MutexLock lock(&mu_);
+    ++n_;
+#endif
+  }
+
+ private:
+  pcube::Mutex mu_;
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Tally t;
+  t.Bump();
+  return 0;
+}
