@@ -3,7 +3,7 @@
 #
 #   jobs   — optional leading integer, default $(nproc)
 #   phase  — any of: plain tsan asan ubsan tidy format throughput
-#            corruption cache (default: all, in that order)
+#            corruption cache simd simd-off (default: all, in that order)
 #
 # Phases:
 #   plain      — RelWithDebInfo build, full ctest suite (includes the
@@ -23,6 +23,13 @@
 #                degraded answer matches the boolean-first reference).
 #   cache      — bench_cache smoke (warm pass must record L1 hits and beat
 #                the cold pass).
+#   simd       — bench_micro kernel smoke (PCUBE_SIMD_SMOKE=1): emits
+#                BENCH_simd.json and, when AVX2 kernels are dispatched,
+#                fails below 2x verbatim-intersect / 1.5x batched-dominance
+#                speedup over scalar. Report-only on scalar-only machines.
+#   simd-off   — full ctest suite of a -DPCUBE_SIMD=OFF build: the scalar
+#                fallback path must pass everything, including the
+#                differential suite, with the vector kernels compiled out.
 #
 # Every configure exports compile_commands.json
 # (CMAKE_EXPORT_COMPILE_COMMANDS is set in CMakeLists.txt), so clang-tidy
@@ -36,7 +43,8 @@ if [[ "${1:-}" =~ ^[0-9]+$ ]]; then
   shift
 fi
 
-ALL_PHASES=(plain tsan asan ubsan tidy format throughput corruption cache)
+ALL_PHASES=(plain tsan asan ubsan tidy format throughput corruption cache
+            simd simd-off)
 if [ "$#" -gt 0 ]; then
   PHASES=("$@")
   for phase in "${PHASES[@]}"; do
@@ -243,6 +251,34 @@ if want cache; then
   cp "$CACHE_DIR"/BENCH_cache.json "$CACHE_DIR"/BENCH_cache_metrics.prom \
      "$CACHE_DIR"/BENCH_cache_querylog.jsonl build/artifacts/
   echo "ci.sh: cache smoke passed"
+fi
+
+if want simd; then
+  echo "=== simd kernel smoke ==="
+  ensure_plain_build
+  cmake --build build -j "$JOBS" --target bench_micro
+  SIMD_DIR=build/simd-smoke
+  mkdir -p "$SIMD_DIR"
+  # bench_micro's smoke mode exits non-zero itself when the AVX2 kernels
+  # are dispatched but miss the 2x intersect / 1.5x dominance bars.
+  (cd "$SIMD_DIR" && PCUBE_SIMD_SMOKE=1 ../bench/bench_micro)
+  for field in simd_level intersect_speedup dominance_speedup; do
+    if ! grep -q "\"$field\"" "$SIMD_DIR/BENCH_simd.json"; then
+      echo "ci.sh: BENCH_simd.json is missing $field" >&2
+      exit 1
+    fi
+  done
+  mkdir -p build/artifacts
+  cp "$SIMD_DIR/BENCH_simd.json" build/artifacts/
+  echo "ci.sh: simd smoke passed"
+fi
+
+if want simd-off; then
+  echo "=== scalar fallback (PCUBE_SIMD=OFF) ==="
+  cmake -B build-simd-off -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPCUBE_SIMD=OFF
+  cmake --build build-simd-off -j "$JOBS"
+  ctest --test-dir build-simd-off --output-on-failure
 fi
 
 echo "ci.sh: selected phases green (${PHASES[*]})"

@@ -1,5 +1,7 @@
 #include "bitmap/bitvector.h"
 
+#include "common/simd/word_kernels.h"
+
 namespace pcube {
 
 size_t BitVector::FindNextSet(size_t from) const {
@@ -19,14 +21,36 @@ size_t BitVector::FindNextSet(size_t from) const {
   return num_bits_;
 }
 
-void BitVector::InplaceOr(const BitVector& other) {
-  PCUBE_CHECK_EQ(num_bits_, other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+size_t BitVector::Count() const {
+  return simd::PopcountWords(words_.data(), words_.size());
 }
 
-void BitVector::InplaceAnd(const BitVector& other) {
+bool BitVector::AnySet() const {
+  return simd::AnyWords(words_.data(), words_.size());
+}
+
+bool BitVector::InplaceAnd(const BitVector& other) {
   PCUBE_CHECK_EQ(num_bits_, other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return simd::AndWords(words_.data(), words_.data(), other.words_.data(),
+                        words_.size());
+}
+
+void BitVector::InplaceOr(const BitVector& other) {
+  PCUBE_CHECK_EQ(num_bits_, other.num_bits_);
+  simd::OrWords(words_.data(), words_.data(), other.words_.data(),
+                words_.size());
+}
+
+void BitVector::InplaceAndNot(const BitVector& other) {
+  PCUBE_CHECK_EQ(num_bits_, other.num_bits_);
+  simd::AndNotWords(words_.data(), words_.data(), other.words_.data(),
+                    words_.size());
+}
+
+size_t BitVector::AndCount(const BitVector& other) const {
+  PCUBE_CHECK_EQ(num_bits_, other.num_bits_);
+  return simd::AndPopcountWords(words_.data(), other.words_.data(),
+                                words_.size());
 }
 
 std::vector<uint32_t> BitVector::SetPositions() const {

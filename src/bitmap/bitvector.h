@@ -1,14 +1,21 @@
 // Dynamic fixed-length bit vector. This is the in-memory form of one
 // signature node's bit array (one bit per R-tree child slot); the codecs in
 // bitmap/codec.h compress it for storage inside partial signatures.
+//
+// Storage is 32-byte aligned (common/simd/aligned.h) and the bulk algebra
+// (And/Or/AndNot/Count) dispatches to the kernel layer of DESIGN.md §12, so
+// every vector — fragment nodes, cache blocks, codec scratch — is a legal
+// SIMD operand without copies.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/bit_util.h"
 #include "common/logging.h"
+#include "common/simd/aligned.h"
 
 namespace pcube {
 
@@ -20,6 +27,14 @@ class BitVector {
   /// All-zero vector of `num_bits` bits.
   explicit BitVector(size_t num_bits)
       : num_bits_(num_bits), words_(bit_util::Words64(num_bits), 0) {}
+
+  /// Vector initialised from a packed word array (e.g. one node's slice of
+  /// a FragmentCache block). `words` must hold exactly Words64(num_bits)
+  /// words with the pad bits of the last word zero.
+  BitVector(size_t num_bits, std::span<const uint64_t> words)
+      : num_bits_(num_bits), words_(words.begin(), words.end()) {
+    PCUBE_DCHECK_EQ(words_.size(), bit_util::Words64(num_bits));
+  }
 
   size_t size() const { return num_bits_; }
   bool empty() const { return num_bits_ == 0; }
@@ -47,32 +62,34 @@ class BitVector {
     }
   }
 
-  /// Number of set bits.
-  size_t Count() const {
-    size_t c = 0;
-    for (uint64_t w : words_) c += bit_util::PopCount(w);
-    return c;
-  }
+  /// Number of set bits (hardware popcount via the kernel layer).
+  size_t Count() const;
 
-  bool AnySet() const {
-    for (uint64_t w : words_) {
-      if (w != 0) return true;
-    }
-    return false;
-  }
+  bool AnySet() const;
 
   /// Index of the first set bit at or after `from`, or size() if none.
   size_t FindNextSet(size_t from) const;
 
-  /// In-place bitwise OR / AND with an equally sized vector.
+  /// In-place bitwise algebra with an equally sized vector. InplaceAnd
+  /// returns whether any bit survives (fused with the AND — signature
+  /// intersection's liveness check costs no second pass).
+  bool InplaceAnd(const BitVector& other);
   void InplaceOr(const BitVector& other);
-  void InplaceAnd(const BitVector& other);
+  /// this &= ~other.
+  void InplaceAndNot(const BitVector& other);
+
+  /// |this & other| without materialising the intersection.
+  size_t AndCount(const BitVector& other) const;
 
   bool operator==(const BitVector& other) const {
     return num_bits_ == other.num_bits_ && words_ == other.words_;
   }
 
-  const std::vector<uint64_t>& words() const { return words_; }
+  const simd::AlignedVector<uint64_t>& words() const { return words_; }
+
+  /// Mutable backing words, for codec fast paths that assemble the vector
+  /// word-at-a-time. Callers must keep the pad bits of the last word zero.
+  uint64_t* mutable_words() { return words_.data(); }
 
   /// Positions of all set bits, ascending.
   std::vector<uint32_t> SetPositions() const;
@@ -82,7 +99,7 @@ class BitVector {
 
  private:
   size_t num_bits_ = 0;
-  std::vector<uint64_t> words_;
+  simd::AlignedVector<uint64_t> words_;
 };
 
 }  // namespace pcube

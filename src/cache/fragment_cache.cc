@@ -1,17 +1,36 @@
 #include "cache/fragment_cache.h"
 
+#include <algorithm>
+
+#include "common/bit_util.h"
+
 namespace pcube {
 
 namespace {
-size_t FragmentCharge(const std::vector<std::pair<Path, BitVector>>& nodes) {
-  size_t c = 96;  // entry + control-block overhead
-  for (const auto& [path, bits] : nodes) {
-    c += 48 + path.capacity() * sizeof(Path::value_type) +
-         bits.words().capacity() * sizeof(uint64_t);
+/// Words one node occupies in the packed block: its payload rounded up to a
+/// 4-word (32-byte) boundary so the next node's slice is aligned too.
+size_t PaddedWords(size_t num_bits) {
+  return (bit_util::Words64(num_bits) + 3) & ~size_t{3};
+}
+
+size_t FragmentCharge(const CachedFragment& f) {
+  size_t c = 96 + f.words.capacity() * sizeof(uint64_t);
+  for (const auto& node : f.nodes) {
+    c += sizeof(CachedFragment::NodeRef) +
+         node.path.capacity() * sizeof(Path::value_type);
   }
   return c;
 }
 }  // namespace
+
+std::span<const uint64_t> CachedFragment::node_words(size_t i) const {
+  const NodeRef& ref = nodes[i];
+  return {words.data() + ref.word_offset, bit_util::Words64(ref.num_bits)};
+}
+
+BitVector CachedFragment::NodeBits(size_t i) const {
+  return BitVector(nodes[i].num_bits, node_words(i));
+}
 
 FragmentCache::FragmentCache(size_t capacity_bytes, const DataEpoch* epoch)
     : epoch_(epoch), shards_(new Shard[kShards]) {
@@ -56,9 +75,25 @@ void FragmentCache::Insert(CellId cell, uint64_t sid, bool present,
                            uint64_t epoch) {
   auto entry = std::make_shared<CachedFragment>();
   entry->present = present;
-  entry->nodes = std::move(nodes);
   entry->epoch = epoch;
-  entry->charge = FragmentCharge(entry->nodes);
+  size_t total_words = 0;
+  for (const auto& [path, bits] : nodes) {
+    total_words += PaddedWords(bits.size());
+  }
+  entry->words.resize(total_words);  // value-init: padding words stay zero
+  entry->nodes.reserve(nodes.size());
+  size_t offset = 0;
+  for (auto& [path, bits] : nodes) {
+    CachedFragment::NodeRef ref;
+    ref.path = std::move(path);
+    ref.word_offset = static_cast<uint32_t>(offset);
+    ref.num_bits = static_cast<uint32_t>(bits.size());
+    std::copy_n(bits.words().data(), bits.words().size(),
+                entry->words.data() + offset);
+    offset += PaddedWords(bits.size());
+    entry->nodes.push_back(std::move(ref));
+  }
+  entry->charge = FragmentCharge(*entry);
   size_t charge = entry->charge;
 
   Key key{cell, sid};

@@ -1,0 +1,68 @@
+#include "common/simd/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/metrics.h"
+
+namespace pcube::simd {
+
+bool CpuSupportsAvx2() {
+#if defined(PCUBE_SIMD_DISABLED)
+  return false;
+#elif defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") > 0;
+#else
+  return false;
+#endif
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseSimdLevel(const char* text, SimdLevel* out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "scalar") == 0) {
+    *out = SimdLevel::kScalar;
+    return true;
+  }
+  if (std::strcmp(text, "avx2") == 0) {
+    *out = SimdLevel::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+SimdLevel ResolveLevel() {
+  SimdLevel detected =
+      CpuSupportsAvx2() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once inside a thread-safe
+  // static initializer, before any kernel has dispatched.
+  SimdLevel requested = detected;
+  if (ParseSimdLevel(std::getenv("PCUBE_SIMD_LEVEL"), &requested)) {
+    // The env var can only select a level the CPU (and build) supports;
+    // asking for avx2 on a scalar-only machine keeps scalar.
+    if (requested < detected) detected = requested;
+  }
+  MetricsRegistry::Default().GetGauge("pcube_simd_level")
+      ->Set(static_cast<double>(detected));
+  return detected;
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = ResolveLevel();
+  return level;
+}
+
+}  // namespace pcube::simd

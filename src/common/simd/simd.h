@@ -1,0 +1,50 @@
+// Runtime SIMD dispatch for the kernel layer (DESIGN.md §12). The hot inner
+// loops — bitmap word algebra, WAH intersection, batched dominance — each
+// ship a portable scalar implementation and an AVX2 one compiled via the
+// GCC/Clang `target("avx2")` function attribute (no -mavx2 on the whole
+// translation unit, so the binary stays runnable on any x86-64 and the
+// non-x86 build never sees intrinsics). The level is detected once per
+// process with CPUID and every kernel entry point indirects through it.
+//
+// Controls, in priority order:
+//   - CMake -DPCUBE_SIMD=OFF compiles the vector paths out entirely
+//     (defines PCUBE_SIMD_DISABLED; dispatch always answers kScalar).
+//   - env PCUBE_SIMD_LEVEL=scalar|avx2 clamps the detected level at process
+//     start (A/B debugging; requesting a level the CPU lacks falls back to
+//     the best supported one).
+//
+// Observability: ActiveSimdLevel() publishes the `pcube_simd_level` gauge
+// (numeric value of the enum) on first use, and each dispatching kernel
+// counts invocations in pcube_simd_kernel_calls_total{kernel="..."}.
+#pragma once
+
+namespace pcube::simd {
+
+/// Instruction-set tier a kernel can run at. Numeric values are stable —
+/// they are exported through the pcube_simd_level gauge (1 is reserved for
+/// an SSE/NEON tier if one is ever added).
+enum class SimdLevel : int {
+  kScalar = 0,
+  kAvx2 = 2,
+};
+
+/// The level every dispatching kernel uses, resolved once per process:
+/// CPUID detection, clamped by PCUBE_SIMD_LEVEL, forced to kScalar when the
+/// build disabled SIMD. Publishes the pcube_simd_level gauge as a side
+/// effect of the first call.
+SimdLevel ActiveSimdLevel();
+
+/// "scalar" / "avx2" — CLI and metrics label text.
+const char* SimdLevelName(SimdLevel level);
+
+/// True when this CPU (and build) can execute the AVX2 kernels, regardless
+/// of any env clamp — the differential tests use it to decide whether the
+/// AVX2 variants are runnable.
+bool CpuSupportsAvx2();
+
+/// Parses a PCUBE_SIMD_LEVEL value ("scalar"/"avx2", case-sensitive).
+/// Returns false on unrecognised text (caller keeps the detected level).
+/// Exposed for tests; ActiveSimdLevel() applies it to the real env var.
+bool ParseSimdLevel(const char* text, SimdLevel* out);
+
+}  // namespace pcube::simd

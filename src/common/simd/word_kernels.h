@@ -1,0 +1,69 @@
+// Vectorized bulk boolean algebra over 64-bit word arrays — the compute
+// core behind BitVector's in-place operators, the bitmap codec's verbatim
+// fast paths and the WAH literal fallback (DESIGN.md §12). Each operation
+// has a portable scalar implementation (64 bits per step) and an AVX2 one
+// (256 bits per step); the unsuffixed entry points dispatch through
+// simd::ActiveSimdLevel() once per call and count invocations in
+// pcube_simd_kernel_calls_total{kernel="..."}.
+//
+// Aliasing: `dst` may alias `a` (the in-place case) but not partially
+// overlap either input. All lengths are in 64-bit words; arrays from
+// AlignedVector honour the 32-byte base-pointer contract but the kernels
+// use unaligned loads, so interior pointers are also legal.
+//
+// The per-level variants (suffixed Scalar/Avx2) exist for the differential
+// tests and the kernel benchmark; Avx2 variants must only be called when
+// CpuSupportsAvx2() is true.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pcube::simd {
+
+/// dst[i] = a[i] & b[i]; returns true when any result word is non-zero
+/// (fused with the AND so signature intersection needs no second pass).
+bool AndWords(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n);
+
+/// dst[i] = a[i] | b[i].
+void OrWords(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n);
+
+/// dst[i] = a[i] & ~b[i].
+void AndNotWords(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                 size_t n);
+
+/// Total set bits across the array (hardware POPCNT when dispatched).
+uint64_t PopcountWords(const uint64_t* a, size_t n);
+
+/// Set bits of the intersection, without materialising it.
+uint64_t AndPopcountWords(const uint64_t* a, const uint64_t* b, size_t n);
+
+/// True when any word is non-zero.
+bool AnyWords(const uint64_t* a, size_t n);
+
+// Per-level variants (tests/bench only; see header comment).
+bool AndWordsScalar(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                    size_t n);
+void OrWordsScalar(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                   size_t n);
+void AndNotWordsScalar(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                       size_t n);
+uint64_t PopcountWordsScalar(const uint64_t* a, size_t n);
+uint64_t AndPopcountWordsScalar(const uint64_t* a, const uint64_t* b,
+                                size_t n);
+bool AnyWordsScalar(const uint64_t* a, size_t n);
+
+#if defined(__x86_64__) && !defined(PCUBE_SIMD_DISABLED)
+#define PCUBE_SIMD_HAVE_AVX2 1
+bool AndWordsAvx2(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                  size_t n);
+void OrWordsAvx2(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                 size_t n);
+void AndNotWordsAvx2(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                     size_t n);
+uint64_t PopcountWordsAvx2(const uint64_t* a, size_t n);
+uint64_t AndPopcountWordsAvx2(const uint64_t* a, const uint64_t* b, size_t n);
+bool AnyWordsAvx2(const uint64_t* a, size_t n);
+#endif
+
+}  // namespace pcube::simd

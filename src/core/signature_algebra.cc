@@ -43,7 +43,9 @@ bool IntersectRec(const SignatureNode& a, const SignatureNode& b,
                   SignatureNode* out, uint32_t m, int depth, int levels) {
   if (a.bits.empty() || b.bits.empty()) return false;
   out->bits = a.bits;
-  out->bits.InplaceAnd(b.bits);
+  // The kernel-backed AND reports liveness as it combines (one pass, no
+  // separate AnySet scan); a dead intersection prunes the whole subtree.
+  if (!out->bits.InplaceAnd(b.bits)) return false;
   if (depth + 1 < levels) {
     // Inner level: a set bit must be confirmed by a non-empty child
     // intersection.

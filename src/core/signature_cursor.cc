@@ -11,8 +11,9 @@ Status SignatureCursor::LoadPartialAt(const Path& root_path) {
       // Replay the cached decode. The contributed node set is a pure
       // function of (cell, sid) because every cursor loads partials along
       // root-to-leaf prefixes in the same order, so insertion is exact.
-      for (const auto& [path, bits] : hit->nodes) {
-        fragment_.AddNode(path, bits);  // no-op if an ancestor supplied it
+      for (size_t i = 0; i < hit->num_nodes(); ++i) {
+        // no-op if an ancestor partial already supplied the node
+        fragment_.AddNode(hit->path(i), hit->NodeBits(i));
       }
       return Status::OK();
     }

@@ -32,6 +32,8 @@ SkylineEngine::SkylineEngine(const RStarTree* tree, BooleanProbe* probe,
   PCUBE_CHECK(options_.origin.empty() ||
               options_.origin.size() == static_cast<size_t>(tree_->dims()))
       << "dynamic-skyline origin needs one coordinate per tree dimension";
+  window_.Reset(dims_.size());
+  cand_scratch_.resize(dims_.size());
 }
 
 double SkylineEngine::LowCoord(const RectF& rect, int d) const {
@@ -49,25 +51,19 @@ double SkylineEngine::EntryKey(const RectF& rect) const {
   return s;
 }
 
-bool SkylineEngine::Dominated(const RectF& rect) const {
-  size_t dominators = 0;
-  for (const SearchEntry& s : out_.skyline) {
-    bool all_le = true;
-    bool one_lt = false;
-    for (int d : dims_) {
-      // Results are points (min == max), so LowCoord is their exact
-      // transformed coordinate.
-      double sv = LowCoord(s.rect, d);
-      double ev = LowCoord(rect, d);
-      if (sv > ev) {
-        all_le = false;
-        break;
-      }
-      if (sv < ev) one_lt = true;
-    }
-    if (all_le && one_lt && ++dominators >= options_.skyband_k) return true;
+void SkylineEngine::TransformInto(const RectF& rect) const {
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    cand_scratch_[i] = LowCoord(rect, dims_[i]);
   }
-  return false;
+}
+
+bool SkylineEngine::Dominated(const RectF& rect) const {
+  // One batched pass over the SoA window (4 members per AVX2 step),
+  // saturating at skyband_k dominators — the same count the scalar
+  // member-at-a-time loop produced.
+  TransformInto(rect);
+  return window_.CountDominators(cand_scratch_.data(), options_.skyband_k) >=
+         options_.skyband_k;
 }
 
 Result<bool> SkylineEngine::Prune(const SearchEntry& e) {
@@ -108,6 +104,7 @@ Result<SkylineOutput> SkylineEngine::Run() {
 Result<SkylineOutput> SkylineEngine::RunFrom(
     const std::vector<SearchEntry>& seed) {
   out_ = SkylineOutput();
+  window_.Reset(dims_.size());
   CandidateHeap heap;
   for (const SearchEntry& e : seed) {
     SearchEntry copy = e;
@@ -144,6 +141,11 @@ Result<SkylineOutput> SkylineEngine::RunFrom(
           continue;
         }
       }
+      // Accepted results are points (min == max), so LowCoord is their
+      // exact transformed coordinate; the window caches it column-major so
+      // later dominance tests never touch the member rects again.
+      TransformInto(e.rect);
+      window_.Append(cand_scratch_.data());
       out_.skyline.push_back(e);
       continue;
     }

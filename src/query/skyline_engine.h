@@ -9,8 +9,11 @@
 #include <chrono>
 #include <optional>
 
+#include <vector>
+
 #include "common/trace.h"
 #include "core/probe.h"
+#include "query/dominance_kernels.h"
 #include "query/query_types.h"
 #include "query/verifier.h"
 #include "rtree/rstar_tree.h"
@@ -56,8 +59,11 @@ class SkylineEngine {
   /// |x - origin_d| with one).
   double LowCoord(const RectF& rect, int d) const;
   /// True when the entry's optimistic corner is dominated by >= skyband_k
-  /// current results.
+  /// current results (batched kernel over the SoA window).
   bool Dominated(const RectF& rect) const;
+  /// Writes the transformed coordinates of `rect` on the preference
+  /// dimensions into cand_scratch_.
+  void TransformInto(const RectF& rect) const;
   /// Applies the paper's prune() (lines 14-20): preference first, boolean
   /// second; files the entry into the appropriate list.
   Result<bool> Prune(const SearchEntry& e);
@@ -70,6 +76,11 @@ class SkylineEngine {
   SkylineQueryOptions options_;
   std::vector<int> dims_;
   SkylineOutput out_;
+  /// Column-major transformed coordinates of out_.skyline, appended as
+  /// members are accepted, so every dominance test runs the batched kernel
+  /// instead of re-deriving coordinates from each member's rect.
+  DominanceWindow window_;
+  mutable std::vector<double> cand_scratch_;
 };
 
 }  // namespace pcube

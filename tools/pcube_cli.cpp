@@ -68,6 +68,7 @@
 #include <string>
 
 #include "common/random.h"
+#include "common/simd/simd.h"
 #include "data/csv.h"
 #include "data/generators.h"
 #include "workbench/planner.h"
@@ -469,6 +470,8 @@ int CmdExplain(const Args& args) {
   std::printf("  chosen plan:               %s\n",
               est->choice == PlanChoice::kSignature ? "signature (P-Cube)"
                                                     : "boolean-first");
+  std::printf("  simd kernels:              %s\n",
+              simd::SimdLevelName(simd::ActiveSimdLevel()));
   return 0;
 }
 
