@@ -135,6 +135,9 @@ int main() {
       workers, latency_us);
   auto wb = Workbench::Build(GenerateSynthetic(config), options);
   PCUBE_CHECK(wb.ok()) << wb.status().ToString();
+  // All query traffic goes through the QueryService interface; swapping in
+  // a ShardedWorkbench coordinator is a one-line change (bench_shard).
+  QueryService& service = **wb;
 
   std::vector<BatchQuery> queries = BuildWorkload(num_queries, config);
 
@@ -162,7 +165,7 @@ int main() {
                          CounterValue("pcube_result_cache_containment_total");
     double before_misses = CounterValue("pcube_result_cache_misses_total");
     for (size_t i = 0; i < passes; ++i) {
-      BatchOutput out = (*wb)->RunBatch(queries, workers, log);
+      BatchOutput out = service.RunBatch(queries, workers, log);
       PCUBE_CHECK_EQ(out.failed, 0u);
       p.seconds += out.seconds;
       p.reads += out.io.TotalReads();
@@ -216,7 +219,7 @@ int main() {
   json.close();
 
   MetricsRegistry& registry = MetricsRegistry::Default();
-  (*wb)->ExportMetrics(&registry);
+  service.ExportMetrics(&registry);
   std::ofstream prom("BENCH_cache_metrics.prom");
   prom << registry.RenderText();
   prom.close();

@@ -1,0 +1,206 @@
+// Scatter-gather sharding benchmark: one mixed skyline/top-k workload runs
+// through ShardedWorkbench coordinators at 1, 2 and 4 shards over the SAME
+// relation, and the sweep reports QPS and speedup vs. the single-shard
+// baseline. As in bench_throughput, per-read latency is REAL (a
+// LatencyPageManager sleeps per physical read) and each shard's buffer pool
+// is kept small, so the fan-out's win comes from shards faulting their
+// pages concurrently — the disk-bound regime of the paper's experiments.
+//
+// The sweep doubles as a differential gate: every shard count must return
+// byte-identical answers to the 1-shard run (the merge-soundness argument
+// of DESIGN.md §13 made executable), and the process exits non-zero on any
+// mismatch — which is how scripts/ci.sh's `shard` phase uses it.
+//
+// Output: a table on stdout plus BENCH_shard.json in the working directory.
+//
+// Environment knobs:
+//   PCUBE_SHARD_ROWS        dataset size             (default 20000)
+//   PCUBE_SHARD_QUERIES     queries per batch        (default 120)
+//   PCUBE_SHARD_LATENCY_US  per-read sleep, micros   (default 500)
+//   PCUBE_SHARD_POOL_PAGES  per-shard buffer pool    (default 64)
+//   PCUBE_SHARD_WORKERS     batch worker threads     (default 4)
+//   PCUBE_SHARD_SMOKE       when set, sweep only {1, 2} shards (CI)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "data/generators.h"
+#include "shard/sharded_workbench.h"
+
+using namespace pcube;
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  uint64_t v = std::strtoull(env, nullptr, 10);
+  return v == 0 ? fallback : v;
+}
+
+/// Same deterministic mixed workload shape as bench_throughput: 1/3
+/// skylines (one of them a 2-skyband), 2/3 top-k.
+std::vector<BatchQuery> BuildWorkload(size_t n, const SyntheticConfig& config) {
+  Random rng(2024);
+  std::vector<BatchQuery> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    PredicateSet preds;
+    preds.Add({static_cast<int>(rng.Uniform(config.num_bool)),
+               static_cast<uint32_t>(rng.Uniform(config.bool_cardinality))});
+    if (rng.Uniform(4) == 0) {
+      preds.Add({static_cast<int>(rng.Uniform(config.num_bool)),
+                 static_cast<uint32_t>(rng.Uniform(config.bool_cardinality))});
+    }
+    switch (i % 3) {
+      case 0: {
+        SkylineQueryOptions options;
+        if (i % 6 == 3) options.skyband_k = 2;
+        queries.push_back(BatchQuery::Skyline(std::move(preds), options));
+        break;
+      }
+      case 1: {
+        std::vector<double> weights(config.num_pref);
+        for (double& w : weights) w = 0.25 + rng.NextDouble();
+        queries.push_back(BatchQuery::TopK(
+            std::move(preds), std::make_shared<LinearRanking>(weights), 10));
+        break;
+      }
+      default: {
+        std::vector<double> target(config.num_pref);
+        for (double& t : target) t = rng.NextDouble();
+        std::vector<double> weights(config.num_pref, 1.0);
+        queries.push_back(BatchQuery::TopK(
+            std::move(preds),
+            std::make_shared<WeightedL2Ranking>(target, weights), 10));
+        break;
+      }
+    }
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main() {
+  SyntheticConfig config;
+  config.num_tuples = EnvU64("PCUBE_SHARD_ROWS", 20000);
+  config.num_bool = 3;
+  config.num_pref = 3;
+  config.bool_cardinality = 100;
+  config.seed = 42;
+
+  const size_t num_queries = EnvU64("PCUBE_SHARD_QUERIES", 120);
+  const double latency_us =
+      static_cast<double>(EnvU64("PCUBE_SHARD_LATENCY_US", 500));
+  const size_t pool_pages = EnvU64("PCUBE_SHARD_POOL_PAGES", 64);
+  const size_t workers = EnvU64("PCUBE_SHARD_WORKERS", 4);
+
+  Dataset data = GenerateSynthetic(config);
+  std::vector<BatchQuery> queries = BuildWorkload(num_queries, config);
+  std::printf(
+      "shard sweep: %llu rows, %zu queries, %zu workers, pool %zu "
+      "pages/shard, %.0f us/read\n",
+      static_cast<unsigned long long>(config.num_tuples), queries.size(),
+      workers, pool_pages, latency_us);
+
+  std::vector<size_t> sweep = {1, 2, 4};
+  if (std::getenv("PCUBE_SHARD_SMOKE") != nullptr) sweep = {1, 2};
+
+  struct Row {
+    size_t shards;
+    double seconds;
+    double qps;
+    uint64_t reads;
+    LatencySummary latency;
+  };
+  std::vector<Row> rows;
+  // Answers of the 1-shard run — every later shard count must match them
+  // exactly (the differential gate).
+  std::vector<std::vector<TupleId>> baseline_tids;
+  std::vector<std::vector<double>> baseline_scores;
+  bool mismatch = false;
+
+  for (size_t num_shards : sweep) {
+    ShardedOptions options;
+    options.num_shards = num_shards;
+    options.shard.pool_pages = pool_pages;
+    options.shard.pool_stripes = 16;
+    options.shard.read_latency_us = latency_us;
+    // The sweep re-runs one workload; the coordinator L1 would serve the
+    // repeats without fanning out and mask the scatter-gather cost.
+    options.result_cache_mb = 0;
+    options.shard.fragment_cache_mb = 0;
+    auto sw = ShardedWorkbench::Build(data, options);
+    PCUBE_CHECK(sw.ok()) << sw.status().ToString();
+    QueryService& service = **sw;
+
+    // Untimed warm-up pass so every shard count is measured against its
+    // steady faulting state.
+    (void)service.RunBatch(queries, workers);
+    BatchOutput out = service.RunBatch(queries, workers);
+    PCUBE_CHECK_EQ(out.failed, 0u);
+    rows.push_back({num_shards, out.seconds,
+                    static_cast<double>(queries.size()) / out.seconds,
+                    out.io.TotalReads(), out.latency});
+    std::printf(
+        "  %zu shard(s): %7.2f qps  (%.3f s, %llu page reads, p95 %.1f ms, "
+        "%zu live)\n",
+        num_shards, rows.back().qps, out.seconds,
+        static_cast<unsigned long long>(rows.back().reads),
+        out.latency.p95 * 1e3, (*sw)->live_shards());
+
+    if (baseline_tids.empty()) {
+      for (const BatchQueryResult& r : out.results) {
+        baseline_tids.push_back(r.response.tids);
+        baseline_scores.push_back(r.response.scores);
+      }
+    } else {
+      for (size_t q = 0; q < out.results.size(); ++q) {
+        if (out.results[q].response.tids != baseline_tids[q] ||
+            out.results[q].response.scores != baseline_scores[q]) {
+          std::fprintf(stderr,
+                       "DIFFERENTIAL MISMATCH: query %zu differs at %zu "
+                       "shards\n",
+                       q, num_shards);
+          mismatch = true;
+        }
+      }
+    }
+  }
+
+  const double base_qps = rows.front().qps;
+  std::ofstream json("BENCH_shard.json");
+  json << "{\n  \"workload\": {\"rows\": " << config.num_tuples
+       << ", \"queries\": " << num_queries << ", \"workers\": " << workers
+       << ", \"pool_pages\": " << pool_pages
+       << ", \"read_latency_us\": " << latency_us << "},\n  \"runs\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\"shards\": " << r.shards << ", \"qps\": " << r.qps
+         << ", \"seconds\": " << r.seconds << ", \"page_reads\": " << r.reads
+         << ", \"latency_p50\": " << r.latency.p50
+         << ", \"latency_p95\": " << r.latency.p95
+         << ", \"latency_p99\": " << r.latency.p99
+         << ", \"speedup\": " << r.qps / base_qps
+         << ", \"identical_to_baseline\": " << (mismatch ? "false" : "true")
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+
+  for (const Row& r : rows) {
+    std::printf("speedup @%zu shards: %.2fx\n", r.shards, r.qps / base_qps);
+  }
+  std::printf("wrote BENCH_shard.json\n");
+  if (mismatch) {
+    std::fprintf(stderr,
+                 "sharded answers diverged from the 1-shard baseline\n");
+    return 1;
+  }
+  return 0;
+}

@@ -123,12 +123,15 @@ int main() {
       pool_stripes, latency_us);
   auto wb = Workbench::Build(GenerateSynthetic(config), options);
   PCUBE_CHECK(wb.ok()) << wb.status().ToString();
+  // All query traffic goes through the QueryService interface; swapping in
+  // a ShardedWorkbench coordinator is a one-line change (bench_shard).
+  QueryService& service = **wb;
 
   std::vector<BatchQuery> queries = BuildWorkload(num_queries, config);
 
   // One untimed pass brings the pool to its steady faulting state so every
   // measured worker count starts from the same cache contents.
-  (void)(*wb)->RunBatch(queries, 4);
+  (void)service.RunBatch(queries, 4);
 
   struct Row {
     size_t workers;
@@ -153,7 +156,7 @@ int main() {
     const size_t workers = sweep[i];
     const bool last = i + 1 == sweep.size();
     BatchOutput out =
-        (*wb)->RunBatch(queries, workers, last ? query_log.get() : nullptr);
+        service.RunBatch(queries, workers, last ? query_log.get() : nullptr);
     PCUBE_CHECK_EQ(out.failed, 0u);
     rows.push_back({workers, out.seconds,
                     static_cast<double>(queries.size()) / out.seconds,
@@ -189,7 +192,7 @@ int main() {
   // Process-wide metrics dump: engine counters and latency histogram from
   // every batch above plus this instance's buffer-pool/storage gauges.
   MetricsRegistry& registry = MetricsRegistry::Default();
-  (*wb)->ExportMetrics(&registry);
+  service.ExportMetrics(&registry);
   std::ofstream prom("BENCH_throughput_metrics.prom");
   prom << registry.RenderText();
   prom.close();

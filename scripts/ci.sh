@@ -3,7 +3,8 @@
 #
 #   jobs   — optional leading integer, default $(nproc)
 #   phase  — any of: plain tsan asan ubsan tidy format throughput
-#            corruption cache simd simd-off (default: all, in that order)
+#            corruption cache shard simd simd-off
+#            (default: all, in that order)
 #
 # Phases:
 #   plain      — RelWithDebInfo build, full ctest suite (includes the
@@ -23,6 +24,10 @@
 #                degraded answer matches the boolean-first reference).
 #   cache      — bench_cache smoke (warm pass must record L1 hits and beat
 #                the cold pass).
+#   shard      — scatter-gather gate: the shard differential suite
+#                (shard_test) plus a bench_shard smoke whose every shard
+#                count must answer byte-identically to the 1-shard
+#                baseline; emits BENCH_shard.json with QPS per shard count.
 #   simd       — bench_micro kernel smoke (PCUBE_SIMD_SMOKE=1): emits
 #                BENCH_simd.json and, when AVX2 kernels are dispatched,
 #                fails below 2x verbatim-intersect / 1.5x batched-dominance
@@ -44,7 +49,7 @@ if [[ "${1:-}" =~ ^[0-9]+$ ]]; then
 fi
 
 ALL_PHASES=(plain tsan asan ubsan tidy format throughput corruption cache
-            simd simd-off)
+            shard simd simd-off)
 if [ "$#" -gt 0 ]; then
   PHASES=("$@")
   for phase in "${PHASES[@]}"; do
@@ -251,6 +256,36 @@ if want cache; then
   cp "$CACHE_DIR"/BENCH_cache.json "$CACHE_DIR"/BENCH_cache_metrics.prom \
      "$CACHE_DIR"/BENCH_cache_querylog.jsonl build/artifacts/
   echo "ci.sh: cache smoke passed"
+fi
+
+if want shard; then
+  echo "=== shard gate ==="
+  ensure_plain_build
+  # The differential property suite: sharded answers at 1/2/4/7 shards must
+  # be result-identical to the unsharded workbench, and a hot request must
+  # be served by the coordinator L1 without fanning out.
+  ctest --test-dir build --output-on-failure -R '^shard_test$'
+  SHARD_DIR=build/shard-smoke
+  mkdir -p "$SHARD_DIR"
+  # bench_shard exits non-zero itself when any shard count's answers
+  # diverge from the 1-shard baseline.
+  (cd "$SHARD_DIR" &&
+   PCUBE_SHARD_SMOKE=1 \
+   PCUBE_SHARD_ROWS=3000 \
+   PCUBE_SHARD_QUERIES=30 \
+   PCUBE_SHARD_LATENCY_US=100 \
+   PCUBE_SHARD_POOL_PAGES=64 \
+   PCUBE_SHARD_WORKERS=2 \
+   ../bench/bench_shard)
+  for field in shards qps speedup identical_to_baseline; do
+    if ! grep -q "\"$field\"" "$SHARD_DIR/BENCH_shard.json"; then
+      echo "ci.sh: BENCH_shard.json is missing $field" >&2
+      exit 1
+    fi
+  done
+  mkdir -p build/artifacts
+  cp "$SHARD_DIR/BENCH_shard.json" build/artifacts/
+  echo "ci.sh: shard gate passed"
 fi
 
 if want simd; then

@@ -15,7 +15,9 @@
 // that is cheap and safe (see pcube.h).
 #pragma once
 
+#include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bitmap/bloom_filter.h"
@@ -55,19 +57,21 @@ class TrueProbe : public BooleanProbe {
 };
 
 /// Lazy AND over one signature cursor per boolean predicate.
+///
+/// With a single cursor, Test delegates straight to it. With two or more,
+/// the probe fuses the cursors' node arrays level by level: at each path
+/// prefix it materialises every cursor's node, intersects the first pair in
+/// compressed form (BitmapCodec::IntersectEncoded — WAH fills skip whole
+/// runs without decoding) with the remaining cursors ANDed in, and memoises
+/// the fused array so deeper probes of the same subtree test one bit array
+/// instead of one per predicate. Pruning decisions are identical to the
+/// cursor-major loop — a path passes iff every cursor's bit is set at every
+/// level — only the order partial signatures are faulted in differs.
 class SignatureProbe : public BooleanProbe {
  public:
-  explicit SignatureProbe(std::vector<SignatureCursor> cursors)
-      : cursors_(std::move(cursors)) {}
+  explicit SignatureProbe(std::vector<SignatureCursor> cursors);
 
-  Result<bool> Test(const Path& path) override {
-    for (auto& c : cursors_) {
-      auto r = c.Test(path);
-      if (!r.ok()) return r.status();
-      if (!*r) return false;
-    }
-    return true;
-  }
+  Result<bool> Test(const Path& path) override;
 
   uint64_t partials_loaded() const override {
     uint64_t n = 0;
@@ -76,7 +80,14 @@ class SignatureProbe : public BooleanProbe {
   }
 
  private:
+  /// The intersection of every cursor's array for the node at `prefix`,
+  /// memoised; null when any cursor's signature lacks the node (which
+  /// proves the fused subtree empty).
+  Result<const BitVector*> FusedNode(const Path& prefix);
+
   std::vector<SignatureCursor> cursors_;
+  /// Memo of fused node arrays; nullopt records "absent in some cursor".
+  std::map<Path, std::optional<BitVector>> fused_;
 };
 
 /// AND over per-predicate Bloom filters on present-SIDs (paper §VII).

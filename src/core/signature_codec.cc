@@ -103,10 +103,16 @@ Status DecodePartialSignature(const Path& root_path,
     if (!fragment->HasNode(x)) {
       if (offset >= bytes.size()) break;  // cut point: rest is in later partials
       BitVector bits;
+      const size_t start = offset;
       PCUBE_RETURN_NOT_OK(
           BitmapCodec::Decode(bytes.data(), bytes.size(), &offset, &bits));
       if (added != nullptr) added->emplace_back(x, bits);
       fragment->AddNode(x, std::move(bits));
+      if (fragment->keep_encoded()) {
+        fragment->SetEncodedNode(
+            x, std::vector<uint8_t>(bytes.begin() + start,
+                                    bytes.begin() + offset));
+      }
     }
     const BitVector* bits = fragment->Node(x);
     if (static_cast<int>(x.size()) + 1 < levels) {

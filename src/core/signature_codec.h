@@ -53,6 +53,27 @@ class SignatureFragment {
     arrays_.emplace(p, std::move(bits));
   }
 
+  /// When set, DecodePartialSignature keeps each contributed node's
+  /// compressed wire bytes next to the decoded array, so multi-predicate
+  /// probes can intersect node pairs in compressed form
+  /// (BitmapCodec::IntersectEncoded) instead of walking decoded words.
+  void set_keep_encoded(bool keep) { keep_encoded_ = keep; }
+  bool keep_encoded() const { return keep_encoded_; }
+
+  /// Retains `wire` (one BitmapCodec encoding) for a node already added;
+  /// no-op unless keep_encoded().
+  void SetEncodedNode(const Path& p, std::vector<uint8_t> wire) {
+    if (keep_encoded_) encoded_.emplace(p, std::move(wire));
+  }
+
+  /// The compressed wire bytes of a node, or null when not retained (nodes
+  /// replayed from the fragment cache arrive decoded; callers fall back to
+  /// the decoded AND).
+  const std::vector<uint8_t>* EncodedNode(const Path& p) const {
+    auto it = encoded_.find(p);
+    return it == encoded_.end() ? nullptr : &it->second;
+  }
+
   size_t num_nodes() const { return arrays_.size(); }
 
   /// Converts the (complete) fragment back into a Signature; used by
@@ -63,6 +84,8 @@ class SignatureFragment {
   uint32_t m_;
   int levels_;
   std::map<Path, BitVector> arrays_;
+  bool keep_encoded_ = false;
+  std::map<Path, std::vector<uint8_t>> encoded_;
 };
 
 /// Splits `sig` into compressed partial signatures, each with payload size

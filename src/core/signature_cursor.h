@@ -45,6 +45,29 @@ class SignatureCursor {
 
   const SignatureFragment& fragment() const { return fragment_; }
 
+  /// Multi-cursor fusion support (SignatureProbe): retain each decoded
+  /// node's compressed wire bytes so node pairs can be intersected in
+  /// compressed form. Must be set before the first Test.
+  void set_keep_encoded(bool keep) { fragment_.set_keep_encoded(keep); }
+
+  /// Ensures the node at `path` is materialised (loading partials on
+  /// demand); false when the cell's signature provably lacks it.
+  Result<bool> EnsureNodeLoaded(const Path& path) { return EnsureNode(path); }
+
+  /// Decoded bit array of a materialised node, or null.
+  const BitVector* NodeBits(const Path& path) const {
+    return fragment_.Node(path);
+  }
+
+  /// Compressed wire bytes of a materialised node, or null when not
+  /// retained (keep_encoded off, or the node was replayed from the L2
+  /// fragment cache, which stores decoded arrays only).
+  const std::vector<uint8_t>* EncodedNode(const Path& path) const {
+    return fragment_.EncodedNode(path);
+  }
+
+  uint32_t fanout() const { return fragment_.fanout(); }
+
  private:
   /// Ensures the array of the node at `node_path` is present if it exists in
   /// the stored signature; returns false when the cell's signature provably

@@ -127,8 +127,8 @@ std::string QueryLogRecord(const QueryRequest& request,
   std::snprintf(
       buf, sizeof(buf),
       "{\"trace_id\":%llu,\"kind\":\"%s\",\"preds\":\"%s\",\"k\":%llu,"
-      "\"plan\":\"%s\",\"cache\":\"%s\",\"degraded\":%s,\"seconds\":%.9g,"
-      "\"results\":%llu,"
+      "\"plan\":\"%s\",\"cache\":\"%s\",\"shards\":%u,\"degraded\":%s,"
+      "\"seconds\":%.9g,\"results\":%llu,"
       "\"io_reads\":%llu,\"counters\":{\"heap_peak\":%llu,"
       "\"nodes_expanded\":%llu,\"pruned_boolean\":%llu,"
       "\"pruned_preference\":%llu,\"verified\":%llu,\"sig_seconds\":%.9g},"
@@ -140,7 +140,9 @@ std::string QueryLogRecord(const QueryRequest& request,
           request.kind == QueryRequest::Kind::kTopK ? request.k : 0),
       response.estimate.choice == PlanChoice::kSignature ? "signature"
                                                          : "boolean_first",
-      CacheOutcomeName(response.cache), response.degraded ? "true" : "false",
+      CacheOutcomeName(response.cache),
+      static_cast<unsigned>(response.fanout_shards),
+      response.degraded ? "true" : "false",
       response.seconds, static_cast<unsigned long long>(response.tids.size()),
       static_cast<unsigned long long>(response.io.TotalReads()),
       static_cast<unsigned long long>(response.counters.heap_peak),

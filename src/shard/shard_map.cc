@@ -1,0 +1,49 @@
+#include "shard/shard_map.h"
+
+namespace pcube {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t h, uint64_t value, int bytes) {
+  for (int b = 0; b < bytes; ++b) {
+    h ^= (value >> (8 * b)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t BoolRowHash(std::span<const uint32_t> row) {
+  uint64_t h = kFnvOffset;
+  for (uint32_t v : row) h = FnvMix(h, v, 4);
+  return h;
+}
+
+size_t ShardOfTuple(const Dataset& data, TupleId tid, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  std::span<const uint32_t> row = data.BoolRow(tid);
+  uint64_t h =
+      row.empty() ? FnvMix(kFnvOffset, tid, 8) : BoolRowHash(row);
+  return static_cast<size_t>(h % num_shards);
+}
+
+ShardPartition PartitionByBoolHash(const Dataset& data, size_t num_shards) {
+  ShardPartition out;
+  out.datasets.reserve(num_shards);
+  out.global_tids.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    out.datasets.emplace_back(data.schema(), 0);
+  }
+  for (TupleId t = 0; t < data.num_tuples(); ++t) {
+    size_t s = ShardOfTuple(data, t, num_shards);
+    out.datasets[s].Append(data.BoolRow(t), data.PrefPoint(t));
+    out.global_tids[s].push_back(t);
+  }
+  return out;
+}
+
+}  // namespace pcube

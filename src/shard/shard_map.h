@@ -1,0 +1,38 @@
+// Deterministic tuple -> shard assignment for the scatter-gather
+// coordinator (DESIGN.md §13). Tuples are hashed on their full boolean row
+// (FNV-1a over the dimension values), so every tuple that can match a given
+// conjunction of equality predicates keeps co-locating with the tuples it
+// shares values with, and the map needs no lookup table — any process that
+// sees the row recomputes the same shard. Relations without boolean
+// dimensions fall back to hashing the tuple id (no predicate can route
+// anywhere anyway), which keeps the shards load-balanced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cube/relation.h"
+
+namespace pcube {
+
+/// FNV-1a over the little-endian bytes of a boolean row.
+uint64_t BoolRowHash(std::span<const uint32_t> row);
+
+/// Shard owning tuple `tid` under an N-way boolean-hash partition.
+size_t ShardOfTuple(const Dataset& data, TupleId tid, size_t num_shards);
+
+/// One N-way split of a relation: per-shard datasets (shared schema, dense
+/// local tids) plus the local -> global tid translation the merge applies.
+struct ShardPartition {
+  std::vector<Dataset> datasets;
+  /// global_tids[s][local] == the global TupleId of shard s's tuple
+  /// `local`; Append order makes it ascending per shard.
+  std::vector<std::vector<TupleId>> global_tids;
+};
+
+/// Splits `data` across `num_shards` by boolean-row hash. Shards may come
+/// back empty (small relations, skewed value sets); callers skip those.
+ShardPartition PartitionByBoolHash(const Dataset& data, size_t num_shards);
+
+}  // namespace pcube

@@ -1,0 +1,536 @@
+#include "shard/sharded_workbench.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/timer.h"
+#include "query/dominance_kernels.h"
+
+namespace pcube {
+
+namespace {
+
+/// Preference dimensions a skyline request is evaluated on — mirrors the
+/// SkylineEngine constructor verbatim (pref_dims as given, all dimensions
+/// when empty) so the merge's dominance tests replay the shards' exactly.
+std::vector<int> SkylineDims(const SkylineQueryOptions& options,
+                             int num_pref) {
+  if (!options.pref_dims.empty()) return options.pref_dims;
+  std::vector<int> dims(static_cast<size_t>(num_pref));
+  std::iota(dims.begin(), dims.end(), 0);
+  return dims;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedWorkbench>> ShardedWorkbench::Build(
+    Dataset data, ShardedOptions options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::unique_ptr<ShardedWorkbench> sw(new ShardedWorkbench());
+  sw->data_ = std::move(data);
+  ShardPartition part = PartitionByBoolHash(sw->data_, options.num_shards);
+  sw->global_tids_ = std::move(part.global_tids);
+  sw->shards_.resize(options.num_shards);
+  WorkbenchOptions shard_options = options.shard;
+  // One semantic cache, at the coordinator; shards keep their private L2
+  // fragment caches. Shards are rebuilt from the partition, never persisted.
+  shard_options.result_cache_mb = 0;
+  shard_options.file_path.clear();
+  for (size_t s = 0; s < options.num_shards; ++s) {
+    if (part.datasets[s].num_tuples() == 0) continue;
+    auto wb = Workbench::Build(std::move(part.datasets[s]), shard_options);
+    if (!wb.ok()) return wb.status();
+    sw->shards_[s] = std::move(*wb);
+    ++sw->live_shards_;
+  }
+  if (options.result_cache_mb > 0) {
+    sw->result_cache_ = std::make_unique<ResultCache>(
+        options.result_cache_mb << 20, &sw->epoch_,
+        options.enable_containment);
+  }
+  size_t threads = options.fanout_threads != 0 ? options.fanout_threads
+                                               : sw->live_shards_;
+  sw->pool_ = std::make_unique<ThreadPool>(std::max<size_t>(1, threads));
+  return sw;
+}
+
+ShardedWorkbench::SubResult ShardedWorkbench::RunShardQuery(
+    size_t s, const QueryRequest& request,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline)
+    const {
+  SubResult sub;
+  MetricsRegistry::Default()
+      .GetCounter("pcube_shard_queries_total")
+      ->Increment();
+  Workbench* wb = shards_[s].get();
+  // Per-thread I/O attribution and io_wait routing, exactly like a
+  // BatchExecutor worker. No cold start: the fan-out measures warm shards.
+  BufferPool::ScopedThreadStats scope(&sub.io);
+  Trace::ScopedBind bind(&sub.trace);
+  Timer timer;
+  auto probe = wb->cube()->MakeProbe(request.preds);
+  if (!probe.ok()) {
+    sub.status = probe.status();
+    return sub;
+  }
+  const std::vector<TupleId>& to_global = global_tids_[s];
+  switch (request.kind) {
+    case QueryRequest::Kind::kSkyline: {
+      SkylineEngine engine(wb->tree(), probe->get(), nullptr,
+                           request.skyline);
+      engine.set_trace(&sub.trace);
+      if (deadline) engine.set_deadline(*deadline);
+      auto out = engine.Run();
+      if (!out.ok()) {
+        sub.status = out.status();
+        break;
+      }
+      sub.counters = out->counters;
+      sub.tids.reserve(out->skyline.size());
+      for (const SearchEntry& e : out->skyline) {
+        sub.tids.push_back(to_global[e.id]);
+      }
+      break;
+    }
+    case QueryRequest::Kind::kTopK: {
+      TopKEngine engine(wb->tree(), probe->get(), nullptr,
+                        request.ranking.get(), request.k);
+      engine.set_trace(&sub.trace);
+      if (deadline) engine.set_deadline(*deadline);
+      auto out = engine.Run();
+      if (!out.ok()) {
+        sub.status = out.status();
+        break;
+      }
+      sub.counters = out->counters;
+      sub.tids.reserve(out->results.size());
+      for (const SearchEntry& e : out->results) {
+        sub.tids.push_back(to_global[e.id]);
+        sub.scores.push_back(e.key);
+      }
+      break;
+    }
+  }
+  sub.seconds = timer.ElapsedSeconds();
+  return sub;
+}
+
+Status ShardedWorkbench::FirstFailure(
+    const std::vector<SubResult>& subs) const {
+  for (const SubResult& sub : subs) {
+    if (!sub.status.ok()) return sub.status;
+  }
+  return Status::OK();
+}
+
+void ShardedWorkbench::MergeSubResults(const QueryRequest& request,
+                                       std::vector<SubResult>* subs,
+                                       QueryResponse* resp) const {
+  for (const SubResult& sub : *subs) {
+    resp->counters.heap_peak =
+        std::max(resp->counters.heap_peak, sub.counters.heap_peak);
+    resp->counters.nodes_expanded += sub.counters.nodes_expanded;
+    resp->counters.pruned_boolean += sub.counters.pruned_boolean;
+    resp->counters.pruned_preference += sub.counters.pruned_preference;
+    resp->counters.verified += sub.counters.verified;
+    resp->counters.verify_failed += sub.counters.verify_failed;
+    resp->counters.sig_seconds += sub.counters.sig_seconds;
+    resp->io.Merge(sub.io);
+    // Fold the per-shard stage timings into the coordinator trace (one
+    // observation per shard per stage; seconds aggregate exactly, call
+    // counts collapse to shard granularity).
+    for (const Trace::Stage& stage : sub.trace.stages()) {
+      resp->trace.Record(stage.name, stage.seconds);
+    }
+  }
+  if (request.kind == QueryRequest::Kind::kSkyline) {
+    // Union of the local skyband lists, then one dominance-filter pass.
+    // Sound and exact (DESIGN.md §13): shards partition the relation, so a
+    // tuple's global dominators are the union of its per-shard dominators,
+    // every global skyband member survives its own shard's local skyband,
+    // and each local list retains min(k, |local dominators|) of any
+    // candidate's dominators — the saturating count over the union equals
+    // the global count's saturation at k.
+    std::vector<TupleId> cand;
+    for (const SubResult& sub : *subs) {
+      cand.insert(cand.end(), sub.tids.begin(), sub.tids.end());
+    }
+    std::sort(cand.begin(), cand.end());  // shards are disjoint: no dups
+    const std::vector<int> dims =
+        SkylineDims(request.skyline, data_.num_pref());
+    const std::vector<float>& origin = request.skyline.origin;
+    const size_t limit = std::max<size_t>(1, request.skyline.skyband_k);
+    const size_t d = dims.size();
+    // Transform every candidate exactly as SkylineEngine::LowCoord does for
+    // a data point (float -> double promotion is exact, so the merge's
+    // comparisons are bit-identical to the shards').
+    std::vector<double> coords(cand.size() * d);
+    for (size_t i = 0; i < cand.size(); ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        double v = static_cast<double>(data_.PrefValue(cand[i], dims[j]));
+        if (!origin.empty()) {
+          v = std::abs(v - static_cast<double>(origin[dims[j]]));
+        }
+        coords[i * d + j] = v;
+      }
+    }
+    DominanceWindow window(d);
+    for (size_t i = 0; i < cand.size(); ++i) window.Append(&coords[i * d]);
+    // A candidate never dominates itself (equal coordinates are not strict
+    // on any dimension), so testing against the full window is safe.
+    for (size_t i = 0; i < cand.size(); ++i) {
+      if (window.CountDominators(&coords[i * d], limit) < limit) {
+        resp->tids.push_back(cand[i]);
+      }
+    }
+  } else {
+    // k-way merge of the per-shard ascending score lists; ties broken by
+    // global tid for a deterministic order.
+    struct Head {
+      double score;
+      TupleId tid;
+      size_t shard;
+      size_t idx;
+    };
+    auto later = [](const Head& a, const Head& b) {
+      return a.score > b.score || (a.score == b.score && a.tid > b.tid);
+    };
+    std::priority_queue<Head, std::vector<Head>, decltype(later)> heap(later);
+    for (size_t s = 0; s < subs->size(); ++s) {
+      const SubResult& sub = (*subs)[s];
+      if (!sub.tids.empty()) {
+        heap.push({sub.scores[0], sub.tids[0], s, 0});
+      }
+    }
+    while (!heap.empty() && resp->tids.size() < request.k) {
+      Head head = heap.top();
+      heap.pop();
+      resp->tids.push_back(head.tid);
+      resp->scores.push_back(head.score);
+      const SubResult& sub = (*subs)[head.shard];
+      if (head.idx + 1 < sub.tids.size()) {
+        heap.push({sub.scores[head.idx + 1], sub.tids[head.idx + 1],
+                   head.shard, head.idx + 1});
+      }
+    }
+  }
+}
+
+Result<QueryResponse> ShardedWorkbench::Run(const QueryRequest& request) {
+  if (request.kind == QueryRequest::Kind::kTopK &&
+      request.ranking == nullptr) {
+    return Status::InvalidArgument("top-k query without ranking");
+  }
+  QueryResponse resp;
+  resp.estimate.choice = PlanChoice::kSignature;
+  MetricsRegistry& registry = MetricsRegistry::Default();
+
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (request.deadline_ms > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(request.deadline_ms);
+  }
+
+  // Coordinator-level L1, consulted BEFORE any fan-out: a hot request is
+  // served here and no shard ever sees it (resp.fanout_shards stays 0).
+  // The hint/canonicalizability gating matches QueryPlanner::Run.
+  ResultCache* cache = result_cache_.get();
+  const bool use_cache = cache != nullptr &&
+                         request.hint == PlanHint::kAuto &&
+                         request.Canonicalizable();
+  if (cache != nullptr && !use_cache) {
+    resp.cache = CacheOutcome::kBypass;
+    registry.GetCounter("pcube_result_cache_bypass_total")->Increment();
+  }
+  if (use_cache) {
+    ResultCache::Lookup found;
+    {
+      ScopedSpan span(&resp.trace, "cache_lookup");
+      found = cache->Find(request, data_);
+    }
+    resp.cache = found.outcome;
+    if (found.outcome == CacheOutcome::kHit ||
+        (found.outcome == CacheOutcome::kContainment &&
+         request.kind == QueryRequest::Kind::kTopK)) {
+      Timer timer;
+      resp.tids = std::move(found.tids);
+      resp.scores = std::move(found.scores);
+      resp.estimate.choice = found.plan;
+      resp.seconds = timer.ElapsedSeconds();
+      registry.GetHistogram("pcube_query_seconds")->Observe(resp.seconds);
+      return resp;
+    }
+    if (found.outcome == CacheOutcome::kContainment) {
+      // Skyline containment seeds a Lemma 2 drill-down from ONE tree's
+      // engine state; merged answers carry none and per-shard states do not
+      // compose across trees, so the coordinator treats this as a miss.
+      resp.cache = CacheOutcome::kMiss;
+    }
+  }
+  ResultCache::Stamps stamps;
+  if (use_cache) stamps = cache->SnapshotStamps(request.preds);
+
+  Timer timer;
+  std::vector<SubResult> subs(shards_.size());
+  {
+    ScopedSpan span(&resp.trace, "scatter_gather");
+    std::vector<std::pair<size_t, std::future<SubResult>>> futures;
+    futures.reserve(live_shards_);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s] == nullptr) continue;  // empty shard: nothing to ask
+      futures.emplace_back(
+          s, pool_->Submit([this, s, &request, deadline] {
+            return RunShardQuery(s, request, deadline);
+          }));
+    }
+    for (auto& [s, future] : futures) subs[s] = future.get();
+  }
+  Status status = FirstFailure(subs);
+  if (!status.ok()) {
+    if (status.IsTimeout()) {
+      registry.GetCounter("pcube_query_timeouts_total")->Increment();
+    }
+    return status;
+  }
+  {
+    ScopedSpan span(&resp.trace, "shard_merge");
+    Timer merge_timer;
+    MergeSubResults(request, &subs, &resp);
+    registry.GetHistogram("pcube_shard_merge_us")
+        ->Observe(merge_timer.ElapsedSeconds() * 1e6);
+  }
+  resp.fanout_shards = static_cast<uint32_t>(live_shards_);
+  resp.seconds = timer.ElapsedSeconds();
+
+  // Publish for the next exact repeat / truncation hit. Merged answers
+  // carry no engine state (nullptr), so skyline containment over this
+  // entry can never fire and top-k containment's filter pass — a final
+  // answer derived from tids/scores alone — stays sound globally.
+  if (use_cache) cache->Insert(request, resp, nullptr, nullptr, stamps);
+
+  registry.GetHistogram("pcube_query_seconds")->Observe(resp.seconds);
+  return resp;
+}
+
+BatchOutput ShardedWorkbench::RunBatch(const std::vector<BatchQuery>& queries,
+                                       size_t num_workers,
+                                       QueryLog* query_log) {
+  Timer timer;
+  BatchOutput out;
+  out.results.resize(queries.size());
+  ResultCache* cache = result_cache_.get();
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  // A fresh pool sized by the caller, like BatchExecutor's contract; the
+  // coordinator's own fan-out pool is reserved for Run().
+  ThreadPool pool(std::max<size_t>(1, num_workers));
+
+  // Phase 1 (driver thread): validate, consult the coordinator L1. Hits
+  // are final answers; like Run(), they never fan out. Batches ignore plan
+  // hints (sub-queries always run the signature engines), so only
+  // canonicalizability gates cache use.
+  struct ColdQuery {
+    size_t index;
+    bool use_cache;
+    ResultCache::Stamps stamps;
+  };
+  std::vector<ColdQuery> cold;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const BatchQuery& q = queries[i];
+    BatchQueryResult& r = out.results[i];
+    r.response.estimate.choice = PlanChoice::kSignature;
+    if (q.kind == BatchQuery::Kind::kTopK && q.ranking == nullptr) {
+      r.status = Status::InvalidArgument("top-k query without ranking");
+      continue;
+    }
+    const bool use_cache = cache != nullptr && q.Canonicalizable();
+    if (cache != nullptr && !use_cache) {
+      r.response.cache = CacheOutcome::kBypass;
+      registry.GetCounter("pcube_result_cache_bypass_total")->Increment();
+    }
+    if (use_cache) {
+      Timer hit_timer;
+      ResultCache::Lookup found;
+      {
+        ScopedSpan span(&r.response.trace, "cache_lookup");
+        found = cache->Find(q, data_);
+      }
+      r.response.cache = found.outcome;
+      if (found.outcome == CacheOutcome::kHit ||
+          (found.outcome == CacheOutcome::kContainment &&
+           q.kind == BatchQuery::Kind::kTopK)) {
+        // Served without scattering. Unlike BatchExecutor, the entry holds
+        // no engine state, so r.skyline/r.topk stay unset (see RunBatch's
+        // declaration comment).
+        r.response.tids = std::move(found.tids);
+        r.response.scores = std::move(found.scores);
+        r.response.estimate.choice = found.plan;
+        r.seconds = hit_timer.ElapsedSeconds();
+        r.response.seconds = r.seconds;
+        continue;
+      }
+      if (found.outcome == CacheOutcome::kContainment) {
+        r.response.cache = CacheOutcome::kMiss;  // as in Run(): no state
+      }
+    }
+    ColdQuery c;
+    c.index = i;
+    c.use_cache = use_cache;
+    if (use_cache) c.stamps = cache->SnapshotStamps(q.preds);
+    cold.push_back(std::move(c));
+  }
+
+  // Phase 2: scatter the (cold query x live shard) grid; every cell is an
+  // independent task, so shards stay busy across query boundaries. Tasks
+  // are submitted only from the driver thread (ThreadPool contract).
+  std::vector<std::vector<SubResult>> subs(cold.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(cold.size() * std::max<size_t>(1, live_shards_));
+  for (size_t c = 0; c < cold.size(); ++c) {
+    subs[c].resize(shards_.size());
+    const BatchQuery& q = queries[cold[c].index];
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s] == nullptr) continue;
+      futures.push_back(pool.Submit([this, &q, c, s, &subs] {
+        // The deadline clock starts when the sub-query starts, matching
+        // the per-task semantics of BatchExecutor::RunOne.
+        std::optional<std::chrono::steady_clock::time_point> deadline;
+        if (q.deadline_ms > 0) {
+          deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(q.deadline_ms);
+        }
+        subs[c][s] = RunShardQuery(s, q, deadline);
+      }));
+    }
+  }
+  for (auto& f : futures) f.get();
+
+  // Phase 3 (driver thread): merge each cold query's sub-results.
+  for (size_t c = 0; c < cold.size(); ++c) {
+    const BatchQuery& q = queries[cold[c].index];
+    BatchQueryResult& r = out.results[cold[c].index];
+    Status status = FirstFailure(subs[c]);
+    if (!status.ok()) {
+      r.status = status;
+      continue;
+    }
+    double slowest = 0;
+    for (const SubResult& sub : subs[c]) {
+      slowest = std::max(slowest, sub.seconds);
+    }
+    Timer merge_timer;
+    MergeSubResults(q, &subs[c], &r.response);
+    registry.GetHistogram("pcube_shard_merge_us")
+        ->Observe(merge_timer.ElapsedSeconds() * 1e6);
+    r.response.fanout_shards = static_cast<uint32_t>(live_shards_);
+    // The query's wall time under unconstrained parallelism: its slowest
+    // shard plus the merge (the grid may actually serialise sub-queries
+    // when workers < shards, but per-query latency should not charge one
+    // query for another's occupancy).
+    r.seconds = slowest + merge_timer.ElapsedSeconds();
+    r.response.seconds = r.seconds;
+    r.io = r.response.io;
+    if (cold[c].use_cache) {
+      cache->Insert(q, r.response, nullptr, nullptr, cold[c].stamps);
+    }
+  }
+
+  // Phase 4: per-query bookkeeping and batch aggregates, as BatchExecutor.
+  Histogram latency;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const BatchQueryResult& r = out.results[i];
+    ReportQueryMetrics(queries[i], r.response, r.status);
+    if (query_log != nullptr && r.status.ok()) {
+      query_log->Append(QueryLogRecord(queries[i], r.response));
+    }
+    out.io.Merge(r.io);
+    if (!r.status.ok()) {
+      ++out.failed;
+      if (r.status.IsTimeout()) ++out.timed_out;
+    } else {
+      latency.Observe(r.seconds);
+    }
+  }
+  out.latency.p50 = latency.Quantile(0.50);
+  out.latency.p95 = latency.Quantile(0.95);
+  out.latency.p99 = latency.Quantile(0.99);
+  out.latency.mean = latency.Mean();
+  out.latency.count = latency.Count();
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+Result<PlanEstimate> ShardedWorkbench::Estimate(const PredicateSet& preds) {
+  PlanEstimate total;
+  for (auto& shard : shards_) {
+    if (shard == nullptr) continue;
+    auto est = shard->Estimate(preds);
+    if (!est.ok()) return est.status();
+    total.matching_tuples += est->matching_tuples;
+    total.boolean_pages += est->boolean_pages;
+    total.signature_pages += est->signature_pages;
+  }
+  total.choice = total.signature_pages <= total.boolean_pages
+                     ? PlanChoice::kSignature
+                     : PlanChoice::kBooleanFirst;
+  return total;
+}
+
+std::string ShardedWorkbench::DescribeShards() const {
+  std::string out;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    out += "shard " + std::to_string(s) + ": ";
+    if (shards_[s] == nullptr) {
+      out += "(empty)\n";
+      continue;
+    }
+    out += std::to_string(shards_[s]->data().num_tuples()) +
+           " tuples, " + std::to_string(shards_[s]->tree()->num_pages()) +
+           " r-tree pages, " +
+           std::to_string(shards_[s]->cube()->num_cells()) + " cube cells\n";
+  }
+  out += "partition: boolean-row hash (fnv1a), " +
+         std::to_string(live_shards_) + "/" +
+         std::to_string(shards_.size()) + " shards live\n";
+  return out;
+}
+
+void ShardedWorkbench::ExportMetrics(MetricsRegistry* registry) const {
+  registry->GetGauge("pcube_shard_count")
+      ->Set(static_cast<double>(shards_.size()));
+  registry->GetGauge("pcube_shard_live")
+      ->Set(static_cast<double>(live_shards_));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    registry
+        ->GetGauge("pcube_shard_tuples{shard=\"" + std::to_string(s) + "\"}")
+        ->Set(shards_[s] == nullptr
+                  ? 0.0
+                  : static_cast<double>(shards_[s]->data().num_tuples()));
+  }
+  // Coordinator L1 occupancy + hit rate, same gauge names as a single
+  // Workbench (no collision: shards are built without a result cache and
+  // their storage gauges are per-instance — scrape shard(i) directly for
+  // per-shard buffer-pool detail).
+  MetricsRegistry& events = MetricsRegistry::Default();
+  if (result_cache_ != nullptr) {
+    registry->GetGauge("pcube_result_cache_bytes")
+        ->Set(static_cast<double>(result_cache_->bytes()));
+    registry->GetGauge("pcube_result_cache_entries")
+        ->Set(static_cast<double>(result_cache_->entries()));
+    double hits =
+        events.GetCounter("pcube_result_cache_hits_total")->Value() +
+        events.GetCounter("pcube_result_cache_containment_total")->Value();
+    double lookups =
+        hits + events.GetCounter("pcube_result_cache_misses_total")->Value();
+    registry->GetGauge("pcube_result_cache_hit_rate")
+        ->Set(lookups > 0 ? hits / lookups : 0.0);
+  }
+}
+
+}  // namespace pcube

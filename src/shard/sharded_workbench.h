@@ -1,0 +1,143 @@
+// Horizontal sharding: N in-process Workbench shards behind one
+// scatter-gather coordinator (ROADMAP item 2, DESIGN.md §13). Build()
+// splits the relation by boolean-row hash (shard_map.h), builds one full
+// Workbench per non-empty shard, and keeps the global Dataset plus the
+// local -> global tid maps. Run() consults the coordinator-level L1 result
+// cache FIRST — the cache sits above the fan-out, so a hot request is
+// served without touching any shard — then scatters the request over the
+// coordinator's ThreadPool (one sub-query per live shard, executed
+// BatchExecutor-style: private probe + engine, per-thread I/O attribution,
+// no cold-start) and merges:
+//   * skyline / k-skyband — union of the local skyband lists, then one
+//     dominance-filter pass over the union using the SoA DominanceWindow.
+//     Sound and exact: dominance is decided per pair, so every global
+//     skyband member is in its own shard's local skyband (its global
+//     dominators are a superset of its shard-local ones), and counting a
+//     candidate's dominators within the union — saturating at k — equals
+//     the global count's saturation because each shard's local list retains
+//     min(k, |local dominators|) of them.
+//   * top-k — k-way heap merge of the per-shard ascending score lists,
+//     tie-broken by global tid.
+// Shards are built with result_cache_mb = 0 (one semantic cache, at the
+// coordinator) but keep their private L2 fragment caches, which see the
+// batched probe access pattern the fan-out produces.
+//
+// Thread-safety: Run/RunBatch may be called concurrently from any number
+// of threads — the shared state (ThreadPool, ResultCache, DataEpoch, each
+// shard's BufferPool/FragmentCache, the metrics registry) is thread-safe,
+// and every sub-query builds its own probe and engine. The coordinator
+// never submits pool work from inside pool tasks (no nested-Submit
+// deadlock). Shards must not be mutated while queries run.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "shard/shard_map.h"
+#include "workbench/query_service.h"
+#include "workbench/workbench.h"
+
+namespace pcube {
+
+/// Knobs of a sharded deployment.
+struct ShardedOptions {
+  /// Number of hash partitions (>= 1; 1 degenerates to a fan-out of one).
+  size_t num_shards = 2;
+  /// Options applied to every shard's Workbench::Build. result_cache_mb
+  /// and file_path are overridden (0 / in-memory): the semantic cache
+  /// lives at the coordinator and shards are rebuilt from the partition.
+  WorkbenchOptions shard;
+  /// Coordinator-level L1 result cache budget in MiB; 0 disables it.
+  size_t result_cache_mb = 16;
+  /// L1 containment reuse (top-k filter pass; see result_cache.h).
+  bool enable_containment = true;
+  /// Threads of the coordinator's fan-out pool; 0 = num_shards.
+  size_t fanout_threads = 0;
+};
+
+/// Scatter-gather coordinator over N in-process Workbench shards.
+class ShardedWorkbench : public QueryService {
+ public:
+  /// Partitions `data` and builds every non-empty shard. Empty shards
+  /// (possible on small or skewed relations) stay uninstantiated and are
+  /// skipped by the fan-out.
+  static Result<std::unique_ptr<ShardedWorkbench>> Build(
+      Dataset data, ShardedOptions options);
+
+  /// Coordinator entry point: L1 lookup, scatter, gather, merge, publish.
+  /// Plan hints cannot be honoured across shards (sub-queries always run
+  /// the signature engines, like batches); a forced hint still bypasses
+  /// the cache, matching the planner's contract.
+  Result<QueryResponse> Run(const QueryRequest& request) override;
+
+  /// Batch variant: per-query L1 on the driver thread, then one
+  /// (query x shard) task grid over a fresh pool of `num_workers` threads.
+  /// Unlike BatchExecutor, merged results carry no engine state —
+  /// BatchQueryResult::skyline/topk stay unset (b_list/d_list are
+  /// per-shard constructs that do not compose across trees).
+  BatchOutput RunBatch(const std::vector<BatchQuery>& queries,
+                       size_t num_workers,
+                       QueryLog* query_log = nullptr) override;
+
+  /// Sum of the per-shard planner estimates (each shard would run its own
+  /// plan; the aggregate picks the cheaper total, reported for explain).
+  Result<PlanEstimate> Estimate(const PredicateSet& preds) override;
+
+  const Dataset& data() const override { return data_; }
+  DataEpoch* epoch() override { return &epoch_; }
+  ResultCache* result_cache() override { return result_cache_.get(); }
+  size_t num_shards() const override { return shards_.size(); }
+  std::string DescribeShards() const override;
+  void ExportMetrics(MetricsRegistry* registry) const override;
+
+  /// Shards that actually hold tuples (<= num_shards()).
+  size_t live_shards() const { return live_shards_; }
+  /// Direct access for tests; null when shard `i` is empty.
+  Workbench* shard(size_t i) { return shards_[i].get(); }
+
+ private:
+  /// Outcome of one per-shard sub-query; tids are GLOBAL ids already.
+  struct SubResult {
+    Status status;
+    std::vector<TupleId> tids;
+    std::vector<double> scores;  ///< top-k only, aligned with tids
+    EngineCounters counters;
+    IoStats io;
+    Trace trace;
+    double seconds = 0;
+  };
+
+  ShardedWorkbench() = default;
+
+  /// Runs `request` against shard `s` on the calling (pool) thread:
+  /// private probe + signature engine, I/O charged to sub.io, trace bound
+  /// for io_wait attribution. Mirrors BatchExecutor::RunOne minus the
+  /// cache (the coordinator's L1 already ran).
+  SubResult RunShardQuery(
+      size_t s, const QueryRequest& request,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline)
+      const;
+
+  /// Folds successful sub-results into `resp`: union + dominance filter
+  /// for skylines, k-way heap merge for top-k, summed counters/I-O/spans.
+  void MergeSubResults(const QueryRequest& request,
+                       std::vector<SubResult>* subs,
+                       QueryResponse* resp) const;
+
+  /// First failure among the live shards' sub-results, or OK.
+  Status FirstFailure(const std::vector<SubResult>& subs) const;
+
+  Dataset data_;
+  std::vector<std::unique_ptr<Workbench>> shards_;  ///< null == empty shard
+  std::vector<std::vector<TupleId>> global_tids_;
+  size_t live_shards_ = 0;
+  DataEpoch epoch_;
+  std::unique_ptr<ResultCache> result_cache_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace pcube

@@ -9,10 +9,6 @@
 
 namespace pcube {
 
-namespace {
-
-/// Per-query bookkeeping every finished query reports into the process-wide
-/// registry: volume, latency and the engine counters behind Figs. 8-16.
 void ReportQueryMetrics(const BatchQuery& query, const QueryResponse& resp,
                         const Status& status) {
   MetricsRegistry& registry = MetricsRegistry::Default();
@@ -40,8 +36,6 @@ void ReportQueryMetrics(const BatchQuery& query, const QueryResponse& resp,
   registry.GetGauge("pcube_engine_heap_peak")
       ->Set(static_cast<double>(resp.counters.heap_peak));
 }
-
-}  // namespace
 
 BatchQueryResult BatchExecutor::RunOne(const BatchQuery& query) const {
   BatchQueryResult result;

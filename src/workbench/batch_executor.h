@@ -60,6 +60,12 @@ struct LatencySummary {
   uint64_t count = 0;
 };
 
+/// Per-query bookkeeping every finished query reports into the process-wide
+/// registry: volume, latency and the engine counters behind Figs. 8-16.
+/// Shared by BatchExecutor and the sharded coordinator's batch driver.
+void ReportQueryMetrics(const BatchQuery& query, const QueryResponse& resp,
+                        const Status& status);
+
 /// A completed batch: per-query results in input order plus merged counters.
 struct BatchOutput {
   std::vector<BatchQueryResult> results;

@@ -1,0 +1,61 @@
+// The unified query surface (DESIGN.md §13). Everything that can answer a
+// QueryRequest — a single Workbench or the sharded scatter-gather
+// coordinator in src/shard/ — implements this interface, so the CLI, the
+// benchmarks and the batch drivers are written once against it and a
+// deployment picks its topology with a constructor, not an #ifdef. The
+// interface deliberately exposes the observability hooks (epoch, result
+// cache, metrics export) next to Run/RunBatch: callers that sit above the
+// service (admission control, the future network server of ROADMAP item 1)
+// need both halves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "query/request.h"
+#include "workbench/batch_executor.h"
+
+namespace pcube {
+
+/// Pure-virtual front door for preference queries.
+class QueryService {
+ public:
+  virtual ~QueryService() = default;
+
+  /// Answers one request end to end: L1 result cache, planning (or shard
+  /// fan-out), execution, metrics. The single-query entry point.
+  virtual Result<QueryResponse> Run(const QueryRequest& request) = 0;
+
+  /// Answers `queries` concurrently on `num_workers` threads; results come
+  /// back in input order with merged I/O and latency quantiles.
+  /// `query_log`, when non-null, receives one JSONL record per query.
+  virtual BatchOutput RunBatch(const std::vector<BatchQuery>& queries,
+                               size_t num_workers,
+                               QueryLog* query_log = nullptr) = 0;
+
+  /// Cost estimates for a predicate set without executing anything.
+  virtual Result<PlanEstimate> Estimate(const PredicateSet& preds) = 0;
+
+  /// The full relation this service answers over (sharded services keep the
+  /// global view; result tids always index into it).
+  virtual const Dataset& data() const = 0;
+
+  /// Invalidation epochs guarding this service's caches.
+  virtual DataEpoch* epoch() = 0;
+
+  /// The L1 semantic result cache consulted by Run/RunBatch, or null. For a
+  /// sharded service this is the coordinator-level cache that sits ABOVE
+  /// the fan-out, so hot requests never scatter.
+  virtual ResultCache* result_cache() = 0;
+
+  /// 1 for a plain Workbench; N for a coordinator over N shards.
+  virtual size_t num_shards() const = 0;
+
+  /// Human-readable topology (one line per shard) for `pcube explain`.
+  virtual std::string DescribeShards() const = 0;
+
+  /// Publishes this service's gauges into `registry`.
+  virtual void ExportMetrics(MetricsRegistry* registry) const = 0;
+};
+
+}  // namespace pcube

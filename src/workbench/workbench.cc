@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "workbench/catalog.h"
+#include "workbench/planner.h"
 
 namespace pcube {
 
@@ -235,6 +236,21 @@ Status Workbench::ColdStart() {
   PCUBE_RETURN_NOT_OK(pool_->Clear());
   snapshot_ = stats_;
   return Status::OK();
+}
+
+Result<QueryResponse> Workbench::Run(const QueryRequest& request) {
+  QueryPlanner planner(this);
+  return planner.Run(request);
+}
+
+Result<PlanEstimate> Workbench::Estimate(const PredicateSet& preds) {
+  QueryPlanner planner(this);
+  return planner.Estimate(preds);
+}
+
+std::string Workbench::DescribeShards() const {
+  return "shard 0: " + std::to_string(data_.num_tuples()) +
+         " tuples (single workbench)\n";
 }
 
 Result<SkylineOutput> Workbench::SignatureSkyline(const PredicateSet& preds,

@@ -23,6 +23,7 @@
 #include "storage/fault_injection.h"
 #include "storage/table_store.h"
 #include "workbench/batch_executor.h"
+#include "workbench/query_service.h"
 
 namespace pcube {
 
@@ -80,8 +81,9 @@ struct WorkbenchOptions {
   bool enable_containment = true;
 };
 
-/// One fully built experimental instance. Movable-only aggregate.
-class Workbench {
+/// One fully built experimental instance — the single-shard QueryService.
+/// Movable-only aggregate.
+class Workbench : public QueryService {
  public:
   /// Builds every structure for `data` (the R-tree dims follow the schema).
   static Result<std::unique_ptr<Workbench>> Build(Dataset data,
@@ -106,7 +108,7 @@ class Workbench {
   /// I/O performed since the last ColdStart().
   IoStats IoSince() const { return stats_.Delta(snapshot_); }
 
-  const Dataset& data() const { return data_; }
+  const Dataset& data() const override { return data_; }
   Dataset* mutable_data() { return &data_; }
   BufferPool* pool() { return pool_.get(); }
   IoStats* stats() { return &stats_; }
@@ -122,9 +124,9 @@ class Workbench {
   ChecksumPageManager* checksums() { return checksums_; }
 
   /// The invalidation epochs every mutation bumps (always present).
-  DataEpoch* epoch() { return &epoch_; }
+  DataEpoch* epoch() override { return &epoch_; }
   /// L1 result cache, or null when options.result_cache_mb == 0.
-  ResultCache* result_cache() { return result_cache_.get(); }
+  ResultCache* result_cache() override { return result_cache_.get(); }
   /// L2 fragment cache, or null when options.fragment_cache_mb == 0.
   FragmentCache* fragment_cache() { return fragment_cache_.get(); }
 
@@ -136,6 +138,17 @@ class Workbench {
   const std::vector<std::vector<std::string>>& dictionaries() const {
     return dictionaries_;
   }
+
+  /// The single entry point (QueryService): plans via QueryPlanner — L1
+  /// lookup, cost-based plan choice honouring request.hint, cold-start
+  /// execution, cache publish. See workbench/planner.h for the contract.
+  Result<QueryResponse> Run(const QueryRequest& request) override;
+
+  /// Index-only cost estimates for both plans (QueryPlanner::Estimate).
+  Result<PlanEstimate> Estimate(const PredicateSet& preds) override;
+
+  size_t num_shards() const override { return 1; }
+  std::string DescribeShards() const override;
 
   /// Convenience: signature-based skyline with cold-cache accounting.
   Result<SkylineOutput> SignatureSkyline(const PredicateSet& preds,
@@ -149,12 +162,13 @@ class Workbench {
   /// instance must not be mutated while the batch runs. `query_log`, when
   /// non-null, receives one JSONL record per query.
   BatchOutput RunBatch(const std::vector<BatchQuery>& queries,
-                       size_t num_workers, QueryLog* query_log = nullptr);
+                       size_t num_workers,
+                       QueryLog* query_log = nullptr) override;
 
   /// Publishes this instance's storage gauges — buffer pool per-stripe
   /// hit/miss/eviction/load-wait plus structure page counts — into
   /// `registry` (pass &MetricsRegistry::Default() for the process dump).
-  void ExportMetrics(MetricsRegistry* registry) const;
+  void ExportMetrics(MetricsRegistry* registry) const override;
 
   /// What VerifyIntegrity found. ok() means every page read back with a
   /// valid checksum and every structure held its invariants.

@@ -1,0 +1,136 @@
+// Concurrent scatter-gather: many client threads issue Run() and RunBatch()
+// against ONE ShardedWorkbench at once, exercising the shared fan-out pool,
+// the coordinator L1 (concurrent hits and misses of the same entry), every
+// shard's buffer pool/fragment cache, and the metrics registry under real
+// contention. Answers must stay byte-identical to single-threaded
+// references. Runs under TSan via scripts/ci.sh (label `tsan`).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "shard/sharded_workbench.h"
+#include "workbench/workbench.h"
+
+namespace pcube {
+namespace {
+
+Dataset MakeData(uint64_t rows) {
+  SyntheticConfig config;
+  config.num_tuples = rows;
+  config.num_bool = 3;
+  config.num_pref = 2;
+  config.bool_cardinality = 8;
+  config.seed = 77;
+  return GenerateSynthetic(config);
+}
+
+/// Tie-order-insensitive view of an answer (engines pop exact score ties
+/// in heap order, the merge breaks them by tid; see shard_test.cc).
+std::vector<std::pair<double, TupleId>> Canonical(
+    const std::vector<TupleId>& tids, const std::vector<double>& scores) {
+  std::vector<std::pair<double, TupleId>> pairs;
+  pairs.reserve(tids.size());
+  for (size_t i = 0; i < tids.size(); ++i) {
+    pairs.emplace_back(scores.empty() ? 0.0 : scores[i], tids[i]);
+  }
+  if (!scores.empty()) std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::vector<QueryRequest> Workload() {
+  auto linear = std::make_shared<LinearRanking>(std::vector<double>{1.0, 2.0});
+  std::vector<QueryRequest> queries;
+  for (uint32_t v = 0; v < 8; ++v) {
+    queries.push_back(QueryRequest::Skyline(PredicateSet{{0, v}}));
+    queries.push_back(QueryRequest::TopK(PredicateSet{{1, v}}, linear, 5));
+  }
+  SkylineQueryOptions band;
+  band.skyband_k = 2;
+  queries.push_back(QueryRequest::Skyline(PredicateSet{{2, 3}}, band));
+  queries.push_back(QueryRequest::Skyline(PredicateSet{}));
+  return queries;
+}
+
+TEST(ShardConcurrencyTest, ParallelClientsGetIdenticalAnswers) {
+  Dataset data = MakeData(2000);
+  ShardedOptions options;
+  options.num_shards = 3;
+  options.result_cache_mb = 8;  // concurrent hits AND misses of one entry
+  auto built = ShardedWorkbench::Build(data, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ShardedWorkbench& sharded = **built;
+  std::vector<QueryRequest> queries = Workload();
+
+  // Single-threaded references from an unsharded bench (caches off).
+  WorkbenchOptions plain;
+  plain.result_cache_mb = 0;
+  plain.fragment_cache_mb = 0;
+  auto reference = Workbench::Build(data, plain);
+  ASSERT_TRUE(reference.ok());
+  std::vector<std::vector<std::pair<double, TupleId>>> expected;
+  for (const QueryRequest& q : queries) {
+    auto resp = (*reference)->Run(q);
+    ASSERT_TRUE(resp.ok());
+    expected.push_back(Canonical(resp->tids, resp->scores));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 30;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        // Offset start positions so threads collide on the same hot
+        // entries from different phases of the loop.
+        const size_t q = (t * 5 + i) % queries.size();
+        auto resp = sharded.Run(queries[q]);
+        if (!resp.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (Canonical(resp->tids, resp->scores) != expected[q]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  // One more client drives the batch path concurrently with the Run()s.
+  clients.emplace_back([&] {
+    std::vector<BatchQuery> batch;
+    for (const QueryRequest& q : queries) {
+      if (q.kind == QueryRequest::Kind::kSkyline) {
+        batch.push_back(BatchQuery::Skyline(q.preds, q.skyline));
+      } else {
+        batch.push_back(BatchQuery::TopK(q.preds, q.ranking, q.k));
+      }
+    }
+    for (int round = 0; round < 3; ++round) {
+      BatchOutput out = sharded.RunBatch(batch, /*num_workers=*/2);
+      if (out.failed != 0) {
+        failures.fetch_add(static_cast<int>(out.failed));
+        continue;
+      }
+      for (size_t i = 0; i < out.results.size(); ++i) {
+        if (Canonical(out.results[i].response.tids,
+                      out.results[i].response.scores) != expected[i]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    }
+  });
+  for (std::thread& c : clients) c.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace pcube

@@ -1,0 +1,352 @@
+// Differential property suite for the scatter-gather coordinator
+// (DESIGN.md §13): a ShardedWorkbench at every shard count must return
+// answers byte-identical to an unsharded Workbench over the same relation —
+// for skylines, k-skybands, dynamic skylines, pref_dims projections and
+// top-k, across uniform / correlated / anti-correlated data. Also pins the
+// coordinator's cache placement (a hot request is served from the L1
+// WITHOUT fanning out, observed through pcube_shard_queries_total), the
+// shard map's determinism/completeness, and empty-shard handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "shard/sharded_workbench.h"
+#include "workbench/workbench.h"
+
+namespace pcube {
+namespace {
+
+Dataset MakeData(uint64_t rows, uint64_t seed,
+                 PrefDistribution dist = PrefDistribution::kUniform,
+                 uint32_t cardinality = 12) {
+  SyntheticConfig config;
+  config.num_tuples = rows;
+  config.num_bool = 3;
+  config.num_pref = 3;
+  config.bool_cardinality = cardinality;
+  config.seed = seed;
+  config.dist = dist;
+  return GenerateSynthetic(config);
+}
+
+/// The unsharded reference, caches off so every Run executes its engine.
+std::unique_ptr<Workbench> Reference(const Dataset& data) {
+  WorkbenchOptions options;
+  options.result_cache_mb = 0;
+  options.fragment_cache_mb = 0;
+  auto wb = Workbench::Build(data, options);
+  PCUBE_CHECK(wb.ok()) << wb.status().ToString();
+  return std::move(*wb);
+}
+
+std::unique_ptr<ShardedWorkbench> Sharded(const Dataset& data,
+                                          size_t num_shards,
+                                          size_t result_cache_mb = 0) {
+  ShardedOptions options;
+  options.num_shards = num_shards;
+  options.result_cache_mb = result_cache_mb;
+  options.shard.fragment_cache_mb = 0;
+  auto sw = ShardedWorkbench::Build(data, options);
+  PCUBE_CHECK(sw.ok()) << sw.status().ToString();
+  return std::move(*sw);
+}
+
+/// A top-k answer with its tie order normalized: the engine pops exact
+/// score ties in heap order, the coordinator's merge breaks them by global
+/// tid — both are correct answers, so comparisons sort (score, tid) pairs.
+/// Skylines (no scores) pass through untouched: their tid order is pinned.
+std::vector<std::pair<double, TupleId>> Canonical(
+    const std::vector<TupleId>& tids, const std::vector<double>& scores) {
+  std::vector<std::pair<double, TupleId>> pairs;
+  pairs.reserve(tids.size());
+  for (size_t i = 0; i < tids.size(); ++i) {
+    pairs.emplace_back(scores.empty() ? 0.0 : scores[i], tids[i]);
+  }
+  if (!scores.empty()) std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+/// Every query shape the coordinator merges: plain skylines, k-skybands,
+/// a pref_dims projection, a dynamic skyline, and both ranking families —
+/// each with zero, one and two predicates.
+std::vector<QueryRequest> DifferentialWorkload(uint32_t cardinality) {
+  std::vector<QueryRequest> queries;
+  std::vector<PredicateSet> pred_sets;
+  pred_sets.push_back(PredicateSet{});
+  pred_sets.push_back(PredicateSet{{0, 1 % cardinality}});
+  pred_sets.push_back(
+      PredicateSet{{1, 3 % cardinality}, {2, 7 % cardinality}});
+
+  auto linear = std::make_shared<LinearRanking>(
+      std::vector<double>{1.0, 0.5, 2.0});
+  auto l2 = std::make_shared<WeightedL2Ranking>(
+      std::vector<double>{0.3, 0.6, 0.9}, std::vector<double>{1.0, 2.0, 1.0});
+
+  for (const PredicateSet& preds : pred_sets) {
+    queries.push_back(QueryRequest::Skyline(preds));
+
+    SkylineQueryOptions band;
+    band.skyband_k = 3;
+    queries.push_back(QueryRequest::Skyline(preds, band));
+
+    SkylineQueryOptions projected;
+    projected.pref_dims = {0, 2};
+    projected.skyband_k = 2;
+    queries.push_back(QueryRequest::Skyline(preds, projected));
+
+    SkylineQueryOptions dynamic;
+    dynamic.origin = {0.5f, 0.25f, 0.75f};
+    queries.push_back(QueryRequest::Skyline(preds, dynamic));
+
+    queries.push_back(QueryRequest::TopK(preds, linear, 7));
+    queries.push_back(QueryRequest::TopK(preds, l2, 5));
+  }
+  return queries;
+}
+
+/// Runs the whole workload against the reference and against coordinators
+/// at every shard count in `sweep`, asserting byte-identical answers.
+void ExpectShardingInvisible(const Dataset& data,
+                             const std::vector<size_t>& sweep,
+                             uint32_t cardinality,
+                             const std::string& label) {
+  auto reference = Reference(data);
+  std::vector<QueryRequest> queries = DifferentialWorkload(cardinality);
+
+  std::vector<std::vector<std::pair<double, TupleId>>> expected;
+  for (const QueryRequest& q : queries) {
+    auto resp = reference->Run(q);
+    ASSERT_TRUE(resp.ok()) << label << ": " << resp.status().ToString();
+    expected.push_back(Canonical(resp->tids, resp->scores));
+  }
+
+  for (size_t num_shards : sweep) {
+    auto sharded = Sharded(data, num_shards);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto resp = sharded->Run(queries[i]);
+      ASSERT_TRUE(resp.ok())
+          << label << ": query " << i << " at " << num_shards << " shards: "
+          << resp.status().ToString();
+      EXPECT_EQ(Canonical(resp->tids, resp->scores), expected[i])
+          << label << ": answer diverges for query " << i << " at "
+          << num_shards << " shards";
+      EXPECT_EQ(resp->fanout_shards, sharded->live_shards());
+    }
+  }
+}
+
+TEST(ShardMapTest, PartitionIsDeterministicAndComplete) {
+  Dataset data = MakeData(600, 3);
+  for (size_t num_shards : {1, 2, 4, 7}) {
+    ShardPartition p = PartitionByBoolHash(data, num_shards);
+    ASSERT_EQ(p.datasets.size(), num_shards);
+    ASSERT_EQ(p.global_tids.size(), num_shards);
+
+    // Every global tuple lands in exactly one shard, in ascending local
+    // order, and ShardOfTuple names that shard.
+    std::set<TupleId> seen;
+    for (size_t s = 0; s < num_shards; ++s) {
+      ASSERT_EQ(p.datasets[s].num_tuples(), p.global_tids[s].size());
+      ASSERT_TRUE(std::is_sorted(p.global_tids[s].begin(),
+                                 p.global_tids[s].end()));
+      for (size_t local = 0; local < p.global_tids[s].size(); ++local) {
+        TupleId tid = p.global_tids[s][local];
+        EXPECT_TRUE(seen.insert(tid).second) << "tuple assigned twice";
+        EXPECT_EQ(ShardOfTuple(data, tid, num_shards), s);
+        // The shard's copy carries the tuple's exact row.
+        for (int d = 0; d < data.num_bool(); ++d) {
+          EXPECT_EQ(p.datasets[s].BoolValue(local, d),
+                    data.BoolValue(tid, d));
+        }
+        for (int d = 0; d < data.num_pref(); ++d) {
+          EXPECT_EQ(p.datasets[s].PrefValue(local, d),
+                    data.PrefValue(tid, d));
+        }
+      }
+    }
+    EXPECT_EQ(seen.size(), data.num_tuples());
+
+    // Deterministic: a second partition is identical.
+    ShardPartition again = PartitionByBoolHash(data, num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      EXPECT_EQ(again.global_tids[s], p.global_tids[s]);
+    }
+  }
+}
+
+TEST(ShardMapTest, EqualBoolRowsColocate) {
+  Dataset data = MakeData(400, 9, PrefDistribution::kUniform,
+                          /*cardinality=*/4);
+  for (TupleId a = 0; a < data.num_tuples(); ++a) {
+    for (TupleId b = a + 1; b < std::min<TupleId>(a + 25, data.num_tuples());
+         ++b) {
+      std::span<const uint32_t> ra = data.BoolRow(a);
+      std::span<const uint32_t> rb = data.BoolRow(b);
+      if (std::equal(ra.begin(), ra.end(), rb.begin(), rb.end())) {
+        EXPECT_EQ(ShardOfTuple(data, a, 7), ShardOfTuple(data, b, 7));
+      }
+    }
+  }
+}
+
+TEST(ShardedWorkbenchTest, DifferentialUniform) {
+  ExpectShardingInvisible(MakeData(1500, 11), {1, 2, 4, 7}, 12, "uniform");
+}
+
+TEST(ShardedWorkbenchTest, DifferentialCorrelated) {
+  ExpectShardingInvisible(MakeData(1500, 12, PrefDistribution::kCorrelated),
+                          {2, 7}, 12, "correlated");
+}
+
+TEST(ShardedWorkbenchTest, DifferentialAntiCorrelated) {
+  // Anti-correlated data has large skylines — the worst case for the merge
+  // (big unions, heavy dominance filtering).
+  ExpectShardingInvisible(
+      MakeData(1200, 13, PrefDistribution::kAntiCorrelated), {2, 4}, 12,
+      "anti-correlated");
+}
+
+TEST(ShardedWorkbenchTest, RunBatchMatchesUnshardedAnswers) {
+  Dataset data = MakeData(1200, 17);
+  auto reference = Reference(data);
+  auto sharded = Sharded(data, 4);
+
+  auto linear = std::make_shared<LinearRanking>(
+      std::vector<double>{1.0, 1.0, 1.0});
+  std::vector<BatchQuery> batch;
+  for (uint32_t v = 0; v < 6; ++v) {
+    batch.push_back(BatchQuery::Skyline(PredicateSet{{0, v}}));
+    batch.push_back(BatchQuery::TopK(PredicateSet{{1, v}}, linear, 6));
+  }
+  SkylineQueryOptions band;
+  band.skyband_k = 2;
+  batch.push_back(BatchQuery::Skyline(PredicateSet{}, band));
+
+  BatchOutput out = sharded->RunBatch(batch, /*num_workers=*/3);
+  ASSERT_EQ(out.results.size(), batch.size());
+  EXPECT_EQ(out.failed, 0u);
+  EXPECT_EQ(out.latency.count, batch.size());
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const BatchQueryResult& r = out.results[i];
+    ASSERT_TRUE(r.status.ok()) << "query " << i << ": "
+                               << r.status.ToString();
+    QueryRequest request;
+    if (batch[i].kind == BatchQuery::Kind::kSkyline) {
+      request = QueryRequest::Skyline(batch[i].preds, batch[i].skyline);
+    } else {
+      request =
+          QueryRequest::TopK(batch[i].preds, batch[i].ranking, batch[i].k);
+    }
+    auto expect = reference->Run(request);
+    ASSERT_TRUE(expect.ok());
+    EXPECT_EQ(Canonical(r.response.tids, r.response.scores),
+              Canonical(expect->tids, expect->scores))
+        << "query " << i;
+    EXPECT_EQ(r.response.fanout_shards, sharded->live_shards());
+  }
+}
+
+TEST(ShardedWorkbenchTest, HotRequestServedFromL1WithoutFanout) {
+  Dataset data = MakeData(800, 21);
+  auto sharded = Sharded(data, 4, /*result_cache_mb=*/8);
+  ASSERT_GT(sharded->live_shards(), 1u);
+  Counter* scatter =
+      MetricsRegistry::Default().GetCounter("pcube_shard_queries_total");
+
+  QueryRequest request = QueryRequest::Skyline(PredicateSet{{0, 2}});
+  const uint64_t before = scatter->Value();
+  auto cold = sharded->Run(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->cache, CacheOutcome::kMiss);
+  EXPECT_EQ(cold->fanout_shards, sharded->live_shards());
+  // The miss scattered one sub-query per live shard.
+  EXPECT_EQ(scatter->Value() - before, sharded->live_shards());
+
+  const uint64_t after_cold = scatter->Value();
+  auto hot = sharded->Run(request);
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->cache, CacheOutcome::kHit);
+  // The whole point of coordinator-level caching: the hot request never
+  // reaches a shard.
+  EXPECT_EQ(hot->fanout_shards, 0u);
+  EXPECT_EQ(scatter->Value(), after_cold);
+  EXPECT_EQ(hot->tids, cold->tids);
+
+  // A forced plan hint bypasses the cache and fans out again.
+  QueryRequest forced = request;
+  forced.hint = PlanHint::kSignature;
+  auto bypass = sharded->Run(forced);
+  ASSERT_TRUE(bypass.ok());
+  EXPECT_EQ(bypass->cache, CacheOutcome::kBypass);
+  EXPECT_EQ(scatter->Value() - after_cold, sharded->live_shards());
+  EXPECT_EQ(bypass->tids, cold->tids);
+}
+
+TEST(ShardedWorkbenchTest, EmptyShardsAreSkippedNotFatal) {
+  // One boolean dimension with two values: at most two distinct rows, so
+  // at most two of the seven shards can be live.
+  SyntheticConfig config;
+  config.num_tuples = 300;
+  config.num_bool = 1;
+  config.num_pref = 3;
+  config.bool_cardinality = 2;
+  config.seed = 5;
+  Dataset data = GenerateSynthetic(config);
+
+  auto reference = Reference(data);
+  auto sharded = Sharded(data, 7);
+  EXPECT_EQ(sharded->num_shards(), 7u);
+  EXPECT_LE(sharded->live_shards(), 2u);
+  EXPECT_GE(sharded->live_shards(), 1u);
+  EXPECT_NE(sharded->DescribeShards().find("(empty)"), std::string::npos);
+
+  for (uint32_t v = 0; v < 2; ++v) {
+    QueryRequest request = QueryRequest::Skyline(PredicateSet{{0, v}});
+    auto expect = reference->Run(request);
+    auto got = sharded->Run(request);
+    ASSERT_TRUE(expect.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->tids, expect->tids);
+    EXPECT_EQ(got->fanout_shards, sharded->live_shards());
+  }
+}
+
+TEST(ShardedWorkbenchTest, TopKWithoutRankingIsInvalid) {
+  Dataset data = MakeData(200, 8);
+  auto sharded = Sharded(data, 2);
+  QueryRequest bad;
+  bad.kind = QueryRequest::Kind::kTopK;
+  bad.ranking = nullptr;
+  auto resp = sharded->Run(bad);
+  EXPECT_FALSE(resp.ok());
+}
+
+TEST(ShardedWorkbenchTest, EstimateAndMetricsCoverEveryShard) {
+  Dataset data = MakeData(900, 30);
+  auto sharded = Sharded(data, 4);
+
+  auto est = sharded->Estimate(PredicateSet{{0, 1}});
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est->signature_pages, 0u);
+
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  sharded->ExportMetrics(&registry);
+  EXPECT_EQ(registry.GetGauge("pcube_shard_count")->Value(), 4.0);
+  EXPECT_EQ(registry.GetGauge("pcube_shard_live")->Value(),
+            static_cast<double>(sharded->live_shards()));
+
+  std::string description = sharded->DescribeShards();
+  EXPECT_NE(description.find("boolean-row hash"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pcube

@@ -39,6 +39,12 @@
 //   --plan auto|signature|boolean   plan selection (default: auto, the cost
 //                                   model picks; see `explain`. A forced
 //                                   plan bypasses the result cache)
+//   --shards N                      answer through a scatter-gather
+//                                   coordinator over N in-process shards
+//                                   (boolean-row hash partition; sub-queries
+//                                   always run the signature engines, so
+//                                   --plan only controls cache bypass).
+//                                   `explain` prints the shard plan.
 //   --deadline-ms N                 per-query deadline; exceeding it fails
 //                                   the query with a Timeout status
 //   --metrics                       append a Prometheus-style text dump of
@@ -71,6 +77,7 @@
 #include "common/simd/simd.h"
 #include "data/csv.h"
 #include "data/generators.h"
+#include "shard/sharded_workbench.h"
 #include "workbench/planner.h"
 #include "workbench/workbench.h"
 
@@ -167,6 +174,40 @@ std::unique_ptr<Workbench> OpenDb(const Args& args) {
   return Unwrap(Workbench::Open(args.Require("db"), options));
 }
 
+/// The query commands' service handle. The file-backed Workbench is always
+/// opened (it owns the dictionaries and the global Dataset the output is
+/// printed from); with --shards N (N > 1) a scatter-gather coordinator is
+/// built over a copy of that relation and answers the queries instead —
+/// result tids are global either way.
+struct ServiceHandle {
+  std::unique_ptr<Workbench> wb;
+  std::unique_ptr<ShardedWorkbench> sharded;
+  QueryService* service = nullptr;
+};
+
+ServiceHandle OpenService(const Args& args) {
+  ServiceHandle h;
+  h.wb = OpenDb(args);
+  size_t shards = static_cast<size_t>(args.GetInt("shards", 1));
+  if (shards > 1) {
+    ShardedOptions options;
+    options.num_shards = shards;
+    if (args.Has("no-cache")) {
+      options.result_cache_mb = 0;
+      options.shard.fragment_cache_mb = 0;
+    } else if (args.Has("cache")) {
+      size_t mb = static_cast<size_t>(args.GetInt("cache", 16));
+      options.result_cache_mb = mb;
+      options.shard.fragment_cache_mb = mb;
+    }
+    h.sharded = Unwrap(ShardedWorkbench::Build(h.wb->data(), options));
+    h.service = h.sharded.get();
+  } else {
+    h.service = h.wb.get();
+  }
+  return h;
+}
+
 /// Resolves "name=value" predicates against the stored dictionaries; names
 /// may be dimension indices, values may be "#<code>".
 PredicateSet ParseWhere(const Workbench& wb, const std::string& where) {
@@ -258,7 +299,7 @@ PlanHint ParsePlanHint(const Args& args) {
 
 /// Shared epilogue of the query commands: the I/O line, the optional JSONL
 /// query-log record and the optional metrics dump.
-void FinishQuery(Workbench* wb, const QueryRequest& request,
+void FinishQuery(QueryService* service, const QueryRequest& request,
                  const QueryResponse& resp, const Args& args) {
   std::printf("disk: %llu page reads (%llu r-tree, %llu signature)",
               static_cast<unsigned long long>(resp.io.TotalReads()),
@@ -269,6 +310,9 @@ void FinishQuery(Workbench* wb, const QueryRequest& request,
   if (resp.cache != CacheOutcome::kNone) {
     std::printf("  [cache: %s]", CacheOutcomeName(resp.cache));
   }
+  if (resp.fanout_shards > 0) {
+    std::printf("  [shards: %u]", static_cast<unsigned>(resp.fanout_shards));
+  }
   std::printf("\n");
   if (args.Has("query-log")) {
     auto log = Unwrap(QueryLog::OpenFile(args.Get("query-log")));
@@ -276,7 +320,7 @@ void FinishQuery(Workbench* wb, const QueryRequest& request,
   }
   if (args.Has("metrics")) {
     MetricsRegistry& registry = MetricsRegistry::Default();
-    wb->ExportMetrics(&registry);
+    service->ExportMetrics(&registry);
     std::printf("\n%s", registry.RenderText().c_str());
   }
 }
@@ -373,8 +417,8 @@ int CmdInfo(const Args& args) {
 }
 
 int CmdSkyline(const Args& args) {
-  auto wb = OpenDb(args);
-  PredicateSet preds = ParseWhere(*wb, args.Get("where"));
+  ServiceHandle h = OpenService(args);
+  PredicateSet preds = ParseWhere(*h.wb, args.Get("where"));
   SkylineQueryOptions options;
   options.skyband_k = static_cast<size_t>(args.GetInt("band", 1));
   if (args.Has("origin")) {
@@ -385,8 +429,7 @@ int CmdSkyline(const Args& args) {
   QueryRequest request = QueryRequest::Skyline(preds, options);
   request.hint = ParsePlanHint(args);
   request.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
-  QueryPlanner planner(wb.get());
-  auto resp = Unwrap(planner.Run(request));
+  auto resp = Unwrap(h.service->Run(request));
   if (resp.degraded) {
     std::printf("degraded: %s; answered via boolean-first fallback\n",
                 resp.degraded_reason.c_str());
@@ -398,19 +441,19 @@ int CmdSkyline(const Args& args) {
                   : "boolean-first");
   size_t limit = static_cast<size_t>(args.GetInt("limit", 50));
   for (size_t i = 0; i < resp.tids.size() && i < limit; ++i) {
-    PrintTuple(*wb, resp.tids[i], 0, false);
+    PrintTuple(*h.wb, resp.tids[i], 0, false);
   }
   if (resp.tids.size() > limit) std::printf("  ... (--limit to see more)\n");
-  FinishQuery(wb.get(), request, resp, args);
+  FinishQuery(h.service, request, resp, args);
   return 0;
 }
 
 int CmdTopK(const Args& args) {
-  auto wb = OpenDb(args);
-  PredicateSet preds = ParseWhere(*wb, args.Get("where"));
+  ServiceHandle h = OpenService(args);
+  PredicateSet preds = ParseWhere(*h.wb, args.Get("where"));
   size_t k = static_cast<size_t>(args.GetInt("k", 10));
   std::unique_ptr<RankingFunction> f;
-  int dp = wb->data().num_pref();
+  int dp = h.wb->data().num_pref();
   if (args.Has("target")) {
     std::vector<double> target = ParseDoubles(args.Get("target"));
     std::vector<double> weights =
@@ -438,8 +481,7 @@ int CmdTopK(const Args& args) {
                          k);
   request.hint = ParsePlanHint(args);
   request.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
-  QueryPlanner planner(wb.get());
-  auto resp = Unwrap(planner.Run(request));
+  auto resp = Unwrap(h.service->Run(request));
   if (resp.degraded) {
     std::printf("degraded: %s; answered via boolean-first fallback\n",
                 resp.degraded_reason.c_str());
@@ -447,17 +489,16 @@ int CmdTopK(const Args& args) {
   std::printf("top %zu for %s\n", resp.tids.size(),
               preds.empty() ? "(no predicate)" : preds.ToString().c_str());
   for (size_t i = 0; i < resp.tids.size(); ++i) {
-    PrintTuple(*wb, resp.tids[i], resp.scores[i], true);
+    PrintTuple(*h.wb, resp.tids[i], resp.scores[i], true);
   }
-  FinishQuery(wb.get(), request, resp, args);
+  FinishQuery(h.service, request, resp, args);
   return 0;
 }
 
 int CmdExplain(const Args& args) {
-  auto wb = OpenDb(args);
-  PredicateSet preds = ParseWhere(*wb, args.Get("where"));
-  QueryPlanner planner(wb.get());
-  auto est = planner.Estimate(preds);
+  ServiceHandle h = OpenService(args);
+  PredicateSet preds = ParseWhere(*h.wb, args.Get("where"));
+  auto est = h.service->Estimate(preds);
   if (!est.ok()) Die(est.status());
   std::printf("query: %s\n",
               preds.empty() ? "(no predicate)" : preds.ToString().c_str());
@@ -472,6 +513,10 @@ int CmdExplain(const Args& args) {
                                                     : "boolean-first");
   std::printf("  simd kernels:              %s\n",
               simd::SimdLevelName(simd::ActiveSimdLevel()));
+  std::printf("shard plan (%zu shard%s):\n",
+              h.service->num_shards(),
+              h.service->num_shards() == 1 ? "" : "s");
+  std::printf("%s", h.service->DescribeShards().c_str());
   return 0;
 }
 
@@ -596,6 +641,10 @@ int Help() {
       "  --plan auto|signature|boolean  plan selection (default auto: the\n"
       "                                 cost model picks; a forced plan\n"
       "                                 bypasses the result cache)\n"
+      "  --shards N                     scatter-gather over N in-process\n"
+      "                                 shards (boolean-row hash partition;\n"
+      "                                 results identical to unsharded).\n"
+      "                                 `explain` prints the shard plan\n"
       "  --deadline-ms N                fail the query with Timeout beyond N\n"
       "  --metrics                      print a Prometheus-style dump of all\n"
       "                                 engine/cache/buffer-pool metrics\n"
