@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "data/generators.h"
@@ -117,6 +118,7 @@ int main() {
     double qps;
     uint64_t reads;
     LatencySummary latency;
+    double queue_depth_peak;
   };
   std::vector<Row> rows;
   // Answers of the 1-shard run — every later shard count must match them
@@ -140,19 +142,24 @@ int main() {
     QueryService& service = **sw;
 
     // Untimed warm-up pass so every shard count is measured against its
-    // steady faulting state.
+    // steady faulting state. The pool peak gauge is reset after the warm-up
+    // so the reported backlog high-water mark covers the measured pass only.
     (void)service.RunBatch(queries, workers);
+    Gauge* pool_peak = MetricsRegistry::Default().GetGauge(
+        "pcube_threadpool_queue_depth_peak");
+    pool_peak->Reset();
     BatchOutput out = service.RunBatch(queries, workers);
     PCUBE_CHECK_EQ(out.failed, 0u);
     rows.push_back({num_shards, out.seconds,
                     static_cast<double>(queries.size()) / out.seconds,
-                    out.io.TotalReads(), out.latency});
+                    out.io.TotalReads(), out.latency, pool_peak->Value()});
     std::printf(
         "  %zu shard(s): %7.2f qps  (%.3f s, %llu page reads, p95 %.1f ms, "
-        "%zu live)\n",
+        "queue peak %.0f, %zu live)\n",
         num_shards, rows.back().qps, out.seconds,
         static_cast<unsigned long long>(rows.back().reads),
-        out.latency.p95 * 1e3, (*sw)->live_shards());
+        out.latency.p95 * 1e3, rows.back().queue_depth_peak,
+        (*sw)->live_shards());
 
     if (baseline_tids.empty()) {
       for (const BatchQueryResult& r : out.results) {
@@ -186,6 +193,7 @@ int main() {
          << ", \"latency_p50\": " << r.latency.p50
          << ", \"latency_p95\": " << r.latency.p95
          << ", \"latency_p99\": " << r.latency.p99
+         << ", \"queue_depth_peak\": " << r.queue_depth_peak
          << ", \"speedup\": " << r.qps / base_qps
          << ", \"identical_to_baseline\": " << (mismatch ? "false" : "true")
          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";

@@ -140,6 +140,7 @@ int main() {
     uint64_t reads;
     uint64_t failed;
     LatencySummary latency;
+    double queue_depth_peak;
   };
   std::vector<Row> rows;
   std::vector<size_t> sweep = {1, 2, 4, 8};
@@ -152,21 +153,28 @@ int main() {
     PCUBE_CHECK(log.ok()) << log.status().ToString();
     query_log = std::move(*log);
   }
+  // The pool's peak-backlog gauge is monotone across pools; resetting it
+  // before each sweep point turns it into a per-run high-water mark.
+  Gauge* pool_peak = MetricsRegistry::Default().GetGauge(
+      "pcube_threadpool_queue_depth_peak");
   for (size_t i = 0; i < sweep.size(); ++i) {
     const size_t workers = sweep[i];
     const bool last = i + 1 == sweep.size();
+    pool_peak->Reset();
     BatchOutput out =
         service.RunBatch(queries, workers, last ? query_log.get() : nullptr);
     PCUBE_CHECK_EQ(out.failed, 0u);
     rows.push_back({workers, out.seconds,
                     static_cast<double>(queries.size()) / out.seconds,
-                    out.io.TotalReads(), out.failed, out.latency});
+                    out.io.TotalReads(), out.failed, out.latency,
+                    pool_peak->Value()});
     std::printf(
         "  %zu worker(s): %6.2f qps  (%.3f s, %llu page reads, "
-        "p50 %.1f ms, p95 %.1f ms, p99 %.1f ms)\n",
+        "p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, queue peak %.0f)\n",
         workers, rows.back().qps, out.seconds,
         static_cast<unsigned long long>(rows.back().reads),
-        out.latency.p50 * 1e3, out.latency.p95 * 1e3, out.latency.p99 * 1e3);
+        out.latency.p50 * 1e3, out.latency.p95 * 1e3, out.latency.p99 * 1e3,
+        rows.back().queue_depth_peak);
   }
 
   const double base_qps = rows.front().qps;
@@ -183,6 +191,7 @@ int main() {
          << ", \"latency_p95\": " << r.latency.p95
          << ", \"latency_p99\": " << r.latency.p99
          << ", \"latency_mean\": " << r.latency.mean
+         << ", \"queue_depth_peak\": " << r.queue_depth_peak
          << ", \"speedup\": " << r.qps / base_qps << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }

@@ -3,7 +3,7 @@
 #
 #   jobs   — optional leading integer, default $(nproc)
 #   phase  — any of: plain tsan asan ubsan tidy format throughput
-#            corruption cache shard simd simd-off
+#            corruption cache shard serve simd simd-off
 #            (default: all, in that order)
 #
 # Phases:
@@ -28,6 +28,11 @@
 #                (shard_test) plus a bench_shard smoke whose every shard
 #                count must answer byte-identically to the 1-shard
 #                baseline; emits BENCH_shard.json with QPS per shard count.
+#   serve      — network-server gate: a background `pcube serve` must answer
+#                a client-mode query identically to a local run, survive raw
+#                garbage bytes on its port, shut down cleanly on SIGTERM, and
+#                a bench_serve smoke must show overload being shed (non-zero
+#                exit when the 2x run sheds nothing); emits BENCH_serve.json.
 #   simd       — bench_micro kernel smoke (PCUBE_SIMD_SMOKE=1): emits
 #                BENCH_simd.json and, when AVX2 kernels are dispatched,
 #                fails below 2x verbatim-intersect / 1.5x batched-dominance
@@ -49,7 +54,7 @@ if [[ "${1:-}" =~ ^[0-9]+$ ]]; then
 fi
 
 ALL_PHASES=(plain tsan asan ubsan tidy format throughput corruption cache
-            shard simd simd-off)
+            shard serve simd simd-off)
 if [ "$#" -gt 0 ]; then
   PHASES=("$@")
   for phase in "${PHASES[@]}"; do
@@ -286,6 +291,85 @@ if want shard; then
   mkdir -p build/artifacts
   cp "$SHARD_DIR/BENCH_shard.json" build/artifacts/
   echo "ci.sh: shard gate passed"
+fi
+
+if want serve; then
+  echo "=== serve gate ==="
+  ensure_plain_build
+  SERVE_DIR=build/serve-gate
+  rm -rf "$SERVE_DIR"
+  mkdir -p "$SERVE_DIR"
+  PCUBE=build/tools/pcube
+  "$PCUBE" generate --rows 3000 --bool 3 --pref 2 --card 8 --seed 5 \
+    --out "$SERVE_DIR/data.csv" >/dev/null
+  "$PCUBE" build --csv "$SERVE_DIR/data.csv" --spec bbbpp --header \
+    --db "$SERVE_DIR/serve.pcube" >/dev/null
+  # Reference answer from a local (in-process) run of the same query.
+  "$PCUBE" skyline --db "$SERVE_DIR/serve.pcube" --where "0=#3" \
+    --limit 100000 | awk '/^  #/ {print $1}' | sort > "$SERVE_DIR/reference.txt"
+  [ -s "$SERVE_DIR/reference.txt" ] || {
+    echo "ci.sh: serve gate reference query returned nothing" >&2; exit 1; }
+
+  # Background server on an ephemeral port (parsed from its banner).
+  "$PCUBE" serve --db "$SERVE_DIR/serve.pcube" --port 0 \
+    > "$SERVE_DIR/server.log" 2>&1 &
+  SERVE_PID=$!
+  trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+  PORT=""
+  for _ in $(seq 50); do
+    PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+           "$SERVE_DIR/server.log")
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+      echo "ci.sh: pcube serve died on startup" >&2
+      cat "$SERVE_DIR/server.log" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "ci.sh: no port in serve banner" >&2; exit 1; }
+
+  # Client smoke: the remote answer must equal the local reference.
+  "$PCUBE" query --connect "127.0.0.1:$PORT" --where "0=#3" \
+    --limit 100000 | awk '/^  #/ {print $1}' | sort > "$SERVE_DIR/remote.txt"
+  diff -u "$SERVE_DIR/reference.txt" "$SERVE_DIR/remote.txt" || {
+    echo "ci.sh: remote answer differs from the local run" >&2
+    exit 1
+  }
+
+  # Malformed-frame gate: raw garbage on the socket must not take the
+  # server down or poison later, well-formed queries.
+  head -c 64 /dev/urandom > "/dev/tcp/127.0.0.1/$PORT" || true
+  printf 'not a pcube frame' > "/dev/tcp/127.0.0.1/$PORT" || true
+  kill -0 "$SERVE_PID" 2>/dev/null || {
+    echo "ci.sh: server died on malformed input" >&2; exit 1; }
+  "$PCUBE" query --connect "127.0.0.1:$PORT" --where "0=#3" \
+    --limit 100000 | awk '/^  #/ {print $1}' | sort > "$SERVE_DIR/after_garbage.txt"
+  diff -u "$SERVE_DIR/reference.txt" "$SERVE_DIR/after_garbage.txt" || {
+    echo "ci.sh: answers changed after malformed frames" >&2
+    exit 1
+  }
+
+  # Clean shutdown on SIGTERM.
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID" || {
+    echo "ci.sh: pcube serve exited non-zero on SIGTERM" >&2; exit 1; }
+  trap - EXIT
+  grep -q 'shutting down' "$SERVE_DIR/server.log" || {
+    echo "ci.sh: serve shutdown banner missing" >&2; exit 1; }
+
+  # Overload gate: bench_serve exits non-zero itself when the 2x offered
+  # load is not shed or admitted traffic sees hard failures.
+  (cd "$SERVE_DIR" && PCUBE_SERVE_SMOKE=1 ../bench/bench_serve)
+  for field in qps shed_rate queue_wait_p50 queue_wait_p95 queue_wait_p99; do
+    if ! grep -q "\"$field\"" "$SERVE_DIR/BENCH_serve.json"; then
+      echo "ci.sh: BENCH_serve.json is missing $field" >&2
+      exit 1
+    fi
+  done
+  mkdir -p build/artifacts
+  cp "$SERVE_DIR/BENCH_serve.json" build/artifacts/
+  echo "ci.sh: serve gate passed"
 fi
 
 if want simd; then

@@ -24,6 +24,7 @@ enum class StatusCode : int {
   kNotSupported,
   kInternal,
   kTimeout,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a StatusCode ("OK", "Invalid argument"...).
@@ -75,6 +76,12 @@ class [[nodiscard]] Status {
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
+  /// The load-shedding status: a limit (queue capacity, tenant quota,
+  /// projected wait vs. deadline) rejected the work BEFORE it ran. Distinct
+  /// from Timeout, which means the work started and its budget expired.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -85,6 +92,9 @@ class [[nodiscard]] Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include "common/metrics.h"
+
 namespace pcube {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -33,6 +35,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
+    NoteDequeued();
     task();
     {
       MutexLock lock(&mu_);
@@ -47,6 +50,33 @@ void ThreadPool::Wait() {
   idle_.Wait(&mu_, [this]() REQUIRES(mu_) {
     return queue_.empty() && active_ == 0;
   });
+}
+
+void ThreadPool::NoteEnqueued() {
+  size_t depth = depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !peak_.compare_exchange_weak(peak, depth,
+                                      std::memory_order_relaxed)) {
+  }
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.GetGauge("pcube_threadpool_queue_depth")
+      ->Set(static_cast<double>(depth));
+  // Monotone max across every pool. The read-then-set is racy between
+  // pools, but a metrics gauge tolerates a momentarily stale maximum — the
+  // same contract every relaxed metric in the registry carries.
+  Gauge* registry_peak =
+      registry.GetGauge("pcube_threadpool_queue_depth_peak");
+  if (static_cast<double>(depth) > registry_peak->Value()) {
+    registry_peak->Set(static_cast<double>(depth));
+  }
+}
+
+void ThreadPool::NoteDequeued() {
+  size_t depth = depth_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  MetricsRegistry::Default()
+      .GetGauge("pcube_threadpool_queue_depth")
+      ->Set(static_cast<double>(depth));
 }
 
 }  // namespace pcube

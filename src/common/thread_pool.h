@@ -10,6 +10,7 @@
 // submits from the driver thread.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <future>
@@ -47,6 +48,7 @@ class ThreadPool {
       MutexLock lock(&mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
+    NoteEnqueued();
     wake_.Signal();
     return future;
   }
@@ -56,8 +58,23 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks submitted but not yet picked up by a worker — the backlog the
+  /// admission controller's backpressure watches. Momentary view (relaxed
+  /// atomic), exact once submitters quiesce.
+  size_t queue_depth() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of queue_depth() over this pool's lifetime.
+  size_t queue_peak() const { return peak_.load(std::memory_order_relaxed); }
+
  private:
   void WorkerLoop() EXCLUDES(mu_);
+  /// Depth accounting + the `pcube_threadpool_queue_depth` gauge and
+  /// `pcube_threadpool_queue_depth_peak` max-gauge in the default registry
+  /// (shared by every pool: depth is last-writer-wins, peak is the max over
+  /// all pools since the last ResetAll).
+  void NoteEnqueued();
+  void NoteDequeued();
 
   Mutex mu_;
   CondVar wake_;  // workers: queue non-empty or stopping
@@ -65,6 +82,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   size_t active_ GUARDED_BY(mu_) = 0;  // tasks currently executing
   bool stop_ GUARDED_BY(mu_) = false;
+  std::atomic<size_t> depth_{0};  // queued, not yet executing
+  std::atomic<size_t> peak_{0};   // lifetime max of depth_
   std::vector<std::thread> workers_;
 };
 

@@ -84,6 +84,8 @@ class LinearRanking : public RankingFunction {
     return s;
   }
 
+  const std::vector<double>& weights() const { return weights_; }
+
  private:
   std::vector<double> weights_;
 };
@@ -126,6 +128,9 @@ class WeightedL2Ranking : public RankingFunction {
     ranking_detail::AppendDoubleList(weights_, &s);
     return s;
   }
+
+  const std::vector<double>& target() const { return target_; }
+  const std::vector<double>& weights() const { return weights_; }
 
  private:
   std::vector<double> target_;
@@ -170,6 +175,10 @@ class MinkowskiRanking : public RankingFunction {
     ranking_detail::AppendDoubleList(weights_, &s);
     return s;
   }
+
+  const std::vector<double>& target() const { return target_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double p() const { return p_; }
 
  private:
   std::vector<double> target_;

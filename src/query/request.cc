@@ -122,18 +122,20 @@ const char* CacheOutcomeName(CacheOutcome outcome) {
 }
 
 std::string QueryLogRecord(const QueryRequest& request,
-                           const QueryResponse& response) {
-  char buf[640];
+                           const QueryResponse& response,
+                           const std::string& tenant) {
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"trace_id\":%llu,\"kind\":\"%s\",\"preds\":\"%s\",\"k\":%llu,"
+      "{\"trace_id\":%llu,\"tenant\":\"%s\",\"kind\":\"%s\",\"preds\":\"%s\","
+      "\"k\":%llu,"
       "\"plan\":\"%s\",\"cache\":\"%s\",\"shards\":%u,\"degraded\":%s,"
       "\"seconds\":%.9g,\"results\":%llu,"
       "\"io_reads\":%llu,\"counters\":{\"heap_peak\":%llu,"
       "\"nodes_expanded\":%llu,\"pruned_boolean\":%llu,"
       "\"pruned_preference\":%llu,\"verified\":%llu,\"sig_seconds\":%.9g},"
       "\"spans\":",
-      static_cast<unsigned long long>(response.trace_id()),
+      static_cast<unsigned long long>(response.trace_id()), tenant.c_str(),
       request.kind == QueryRequest::Kind::kSkyline ? "skyline" : "topk",
       request.preds.ToString().c_str(),
       static_cast<unsigned long long>(

@@ -158,8 +158,12 @@ struct QueryResponse {
 
 /// One query-log line: a JSON object (no trailing newline) with the trace
 /// id, query shape, chosen plan, result size, I/O, engine counters and
-/// per-stage spans. Schema documented in DESIGN.md §8.
+/// per-stage spans. Schema documented in DESIGN.md §8. `tenant` attributes
+/// the record to a network-server tenant (empty outside the server, logged
+/// as "" — the field is always present so log consumers need no schema
+/// branch).
 std::string QueryLogRecord(const QueryRequest& request,
-                           const QueryResponse& response);
+                           const QueryResponse& response,
+                           const std::string& tenant = std::string());
 
 }  // namespace pcube

@@ -1,0 +1,148 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+namespace pcube {
+
+namespace {
+constexpr double kEwmaAlpha = 0.2;
+
+double SecondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         MetricsRegistry* registry)
+    : options_(options), registry_(registry) {
+  shed_total_ = registry->GetCounter("pcube_server_shed_total");
+  shed_quota_ = registry->GetCounter("pcube_server_shed_total{reason=\"quota\"}");
+  shed_queue_full_ =
+      registry->GetCounter("pcube_server_shed_total{reason=\"queue_full\"}");
+  shed_projected_wait_ = registry->GetCounter(
+      "pcube_server_shed_total{reason=\"projected_wait\"}");
+  in_flight_gauge_ = registry->GetGauge("pcube_server_inflight");
+  queue_wait_ = registry->GetHistogram("pcube_server_queue_wait_seconds");
+}
+
+bool AdmissionController::TakeToken(
+    const std::string& tenant, std::chrono::steady_clock::time_point now) {
+  const double burst = options_.tenant_burst > 0
+                           ? options_.tenant_burst
+                           : std::max(1.0, options_.tenant_rate);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    // A fresh tenant starts with a full burst. The table is bounded; a
+    // client churning through tenant ids is shed once it is full (tenants
+    // the operator cares about were seen long before the 4096th id).
+    if (buckets_.size() >= options_.max_tenants) return false;
+    it = buckets_.emplace(tenant, Bucket{burst, now}).first;
+  } else {
+    Bucket& b = it->second;
+    b.tokens = std::min(
+        burst, b.tokens + options_.tenant_rate * SecondsBetween(b.last, now));
+    b.last = now;
+  }
+  if (it->second.tokens < 1.0) return false;
+  it->second.tokens -= 1.0;
+  return true;
+}
+
+void AdmissionController::Shed(const char* reason) {
+  shed_total_->Increment();
+  if (reason == std::string_view("quota")) {
+    shed_quota_->Increment();
+  } else if (reason == std::string_view("queue_full")) {
+    shed_queue_full_->Increment();
+  } else {
+    shed_projected_wait_->Increment();
+  }
+}
+
+Status AdmissionController::Admit(const std::string& tenant,
+                                  uint64_t deadline_ms, Ticket* ticket) {
+  const auto now = std::chrono::steady_clock::now();
+  // Per-tenant request accounting happens on every admission attempt, shed
+  // or not: the metric answers "who is sending load", not "who got served".
+  registry_->GetCounter("pcube_server_requests_total{tenant=\"" + tenant +
+                        "\"}")->Increment();
+  MutexLock lock(&mu_);
+  if (options_.tenant_rate > 0 && !TakeToken(tenant, now)) {
+    Shed("quota");
+    return Status::ResourceExhausted("tenant '" + tenant +
+                                     "' is over its request quota");
+  }
+  if (in_flight_ >= options_.queue_cap) {
+    Shed("queue_full");
+    return Status::ResourceExhausted("server queue is full");
+  }
+  if (deadline_ms > 0 && ewma_exec_seconds_ > 0) {
+    // The new request drains after everything already admitted: backlog
+    // positions ahead of it divided by the executor width, each costing one
+    // EWMA execution. Shedding on a predictable miss beats timing out.
+    const size_t workers = std::max<size_t>(1, options_.workers);
+    const double projected_wait_ms = 1e3 * ewma_exec_seconds_ *
+                                     (static_cast<double>(in_flight_) /
+                                      static_cast<double>(workers));
+    if (projected_wait_ms > static_cast<double>(deadline_ms)) {
+      Shed("projected_wait");
+      return Status::ResourceExhausted(
+          "projected queue wait exceeds the request deadline");
+    }
+  }
+  ++in_flight_;
+  in_flight_peak_ = std::max(in_flight_peak_, in_flight_);
+  in_flight_gauge_->Set(static_cast<double>(in_flight_));
+  ticket->admitted_at = now;
+  return Status::OK();
+}
+
+Status AdmissionController::StartExecution(const Ticket& ticket,
+                                           uint64_t deadline_ms,
+                                           uint64_t* remaining_ms,
+                                           double* queue_wait_seconds) {
+  const auto now = std::chrono::steady_clock::now();
+  const double wait = SecondsBetween(ticket.admitted_at, now);
+  queue_wait_->Observe(wait);
+  *queue_wait_seconds = wait;
+  *remaining_ms = deadline_ms;
+  if (deadline_ms > 0) {
+    const uint64_t waited_ms = static_cast<uint64_t>(wait * 1e3);
+    if (waited_ms >= deadline_ms) {
+      Finish(/*executed=*/false, 0);
+      return Status::Timeout("deadline exhausted while queued");
+    }
+    *remaining_ms = deadline_ms - waited_ms;
+  }
+  return Status::OK();
+}
+
+void AdmissionController::Finish(bool executed, double exec_seconds) {
+  MutexLock lock(&mu_);
+  if (in_flight_ > 0) --in_flight_;
+  in_flight_gauge_->Set(static_cast<double>(in_flight_));
+  if (executed && exec_seconds >= 0) {
+    ewma_exec_seconds_ = ewma_exec_seconds_ == 0
+                             ? exec_seconds
+                             : kEwmaAlpha * exec_seconds +
+                                   (1 - kEwmaAlpha) * ewma_exec_seconds_;
+  }
+}
+
+size_t AdmissionController::in_flight() const {
+  MutexLock lock(&mu_);
+  return in_flight_;
+}
+
+size_t AdmissionController::in_flight_peak() const {
+  MutexLock lock(&mu_);
+  return in_flight_peak_;
+}
+
+double AdmissionController::ewma_exec_seconds() const {
+  MutexLock lock(&mu_);
+  return ewma_exec_seconds_;
+}
+
+}  // namespace pcube

@@ -1,0 +1,136 @@
+// Multi-tenant admission control for `pcube serve` (DESIGN.md §14): every
+// request passes through Admit() BEFORE any work is queued, and the
+// controller sheds load early — with Status::ResourceExhausted — rather
+// than letting an overloaded server queue unboundedly and time everything
+// out. Three independent gates, checked in order:
+//
+//   1. tenant quota   — a token bucket per tenant (rate tokens/sec, burst
+//                       capacity). A tenant that exceeds its rate is shed
+//                       no matter how idle the server is, so one chatty
+//                       client cannot starve the rest.
+//   2. queue capacity — a hard cap on admitted-but-unfinished requests.
+//                       This bounds the server's queue memory and worst-case
+//                       drain time under any load.
+//   3. projected wait — admitted backlog / workers x EWMA execution time.
+//                       When the request carries a deadline and would
+//                       PREDICTABLY miss it just waiting in line, shedding
+//                       now is strictly better than timing out later: the
+//                       client learns in microseconds instead of after
+//                       deadline_ms, and the server does zero wasted work.
+//
+// Admitted requests get their remaining budget recomputed when a worker
+// picks them up (StartExecution): time-in-queue is charged against
+// deadline_ms, so the engine-level deadline honours the budget END TO END
+// instead of restarting the clock at execution. A budget fully consumed in
+// the queue is a Timeout (the shed-vs-timeout decision table is in
+// DESIGN.md §14.3).
+//
+// Thread-safety: all entry points may be called from any number of
+// connection and worker threads; state is a single mutex plus atomics for
+// the test-visible peaks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace pcube {
+
+/// Knobs of the admission controller.
+struct AdmissionOptions {
+  /// Max admitted-but-unfinished requests (queued + executing). Admissions
+  /// beyond this are shed with reason "queue_full".
+  size_t queue_cap = 64;
+  /// Executor parallelism used by the projected-wait model (the server
+  /// fills this in from its worker-pool size).
+  size_t workers = 1;
+  /// Per-tenant sustained rate in requests/second; 0 disables quotas.
+  double tenant_rate = 0;
+  /// Per-tenant burst capacity in requests; 0 means max(1, tenant_rate).
+  double tenant_burst = 0;
+  /// Hard bound on the tenant-bucket table (a defensive cap, not a quota:
+  /// the tenant id is wire-controlled, so the table must not grow without
+  /// limit under a tenant-churning client).
+  size_t max_tenants = 4096;
+};
+
+/// Token-bucket + bounded-queue + projected-wait load shedder.
+class AdmissionController {
+ public:
+  /// Metrics go to `registry` (never null in the server; tests may pass a
+  /// private registry to observe counts in isolation).
+  AdmissionController(AdmissionOptions options, MetricsRegistry* registry);
+
+  /// Handed out by Admit; carries the admission timestamp that
+  /// StartExecution charges queue time against.
+  struct Ticket {
+    std::chrono::steady_clock::time_point admitted_at;
+  };
+
+  /// Runs the three gates. OK = the caller MUST eventually call
+  /// StartExecution + Finish (or Finish(false, 0) if it drops the work).
+  /// Non-OK = ResourceExhausted with the gate's reason; nothing to release.
+  Status Admit(const std::string& tenant, uint64_t deadline_ms, Ticket* ticket)
+      EXCLUDES(mu_);
+
+  /// Called on the worker when execution begins. Observes the queue-wait
+  /// histogram and shrinks the budget: `*remaining_ms` = deadline_ms minus
+  /// time-in-queue (0 stays 0 = unlimited). Returns Timeout — and releases
+  /// the admission slot — when the budget was consumed entirely in the
+  /// queue; the caller must NOT execute or call Finish in that case.
+  Status StartExecution(const Ticket& ticket, uint64_t deadline_ms,
+                        uint64_t* remaining_ms, double* queue_wait_seconds)
+      EXCLUDES(mu_);
+
+  /// Releases the admission slot. `executed` distinguishes a completed
+  /// execution (feeds `exec_seconds` into the EWMA the projected-wait gate
+  /// uses) from abandoned work (EWMA untouched).
+  void Finish(bool executed, double exec_seconds) EXCLUDES(mu_);
+
+  /// Admitted-but-unfinished requests right now / lifetime peak.
+  size_t in_flight() const EXCLUDES(mu_);
+  size_t in_flight_peak() const EXCLUDES(mu_);
+  /// Current EWMA of execution seconds (0 until the first completion).
+  double ewma_exec_seconds() const EXCLUDES(mu_);
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    std::chrono::steady_clock::time_point last;
+  };
+
+  /// Refills and charges `tenant`'s bucket; false = out of tokens.
+  bool TakeToken(const std::string& tenant,
+                 std::chrono::steady_clock::time_point now) REQUIRES(mu_);
+
+  void Shed(const char* reason);
+
+  const AdmissionOptions options_;
+
+  // Registration happens once in the constructor; hot paths use pointers.
+  Counter* shed_total_;
+  Counter* shed_quota_;
+  Counter* shed_queue_full_;
+  Counter* shed_projected_wait_;
+  Gauge* in_flight_gauge_;
+  Histogram* queue_wait_;
+  MetricsRegistry* registry_;
+
+  mutable Mutex mu_;
+  std::map<std::string, Bucket> buckets_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  size_t in_flight_peak_ GUARDED_BY(mu_) = 0;
+  /// EWMA (alpha = 0.2) of completed execution times; 0 = no samples yet,
+  /// which deliberately disables the projected-wait gate until the server
+  /// has evidence of how expensive queries actually are.
+  double ewma_exec_seconds_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace pcube

@@ -1,0 +1,115 @@
+#include "server/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "server/protocol.h"
+
+namespace pcube {
+
+Result<std::unique_ptr<PCubeClient>> PCubeClient::Connect(
+    const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::IoError(std::string("resolve ") + host + ": " +
+                           gai_strerror(rc));
+  }
+  Status last = Status::IoError("no addresses for " + host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    // The query frame is one small send; don't let Nagle hold it hostage
+    // to the previous response's ACK.
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(res);
+      return std::unique_ptr<PCubeClient>(new PCubeClient(fd));
+    }
+    last = Status::IoError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+PCubeClient::~PCubeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<QueryResponse> PCubeClient::Run(const QueryRequest& request,
+                                       const std::string& tenant,
+                                       ServerStats* stats) {
+  wire::QueryEnvelope envelope;
+  envelope.tenant = tenant;
+  envelope.request = request;
+  Result<std::string> payload = wire::EncodeQuery(envelope);
+  if (!payload.ok()) return payload.status();
+  PCUBE_RETURN_NOT_OK(
+      wire::WriteFrame(fd_, wire::FrameType::kQuery, payload.value()));
+
+  // The stream: kResultHeader, kResultChunk*, kDone — or kError anywhere.
+  wire::FrameHeader header;
+  std::string body;
+  PCUBE_RETURN_NOT_OK(wire::ReadFrame(fd_, &header, &body));
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(body.data());
+  if (header.type == wire::FrameType::kError) {
+    return wire::DecodeError(bytes, body.size());
+  }
+  if (header.type != wire::FrameType::kResultHeader) {
+    return Status::Corruption("expected a result header frame");
+  }
+  wire::ResultHeader rh;
+  PCUBE_RETURN_NOT_OK(wire::DecodeResultHeader(bytes, body.size(), &rh));
+
+  QueryResponse resp;
+  resp.tids.reserve(rh.result_count);
+  if (rh.has_scores) resp.scores.reserve(rh.result_count);
+  while (true) {
+    PCUBE_RETURN_NOT_OK(wire::ReadFrame(fd_, &header, &body));
+    bytes = reinterpret_cast<const uint8_t*>(body.data());
+    if (header.type == wire::FrameType::kError) {
+      return wire::DecodeError(bytes, body.size());
+    }
+    if (header.type == wire::FrameType::kDone) break;
+    if (header.type != wire::FrameType::kResultChunk) {
+      return Status::Corruption("expected a result chunk frame");
+    }
+    PCUBE_RETURN_NOT_OK(wire::DecodeResultChunk(
+        bytes, body.size(), rh.has_scores, &resp.tids, &resp.scores));
+    if (resp.tids.size() > rh.result_count) {
+      return Status::Corruption("result stream longer than announced");
+    }
+  }
+  if (resp.tids.size() != rh.result_count) {
+    return Status::Corruption("result stream shorter than announced");
+  }
+
+  resp.counters = rh.counters;
+  resp.estimate.choice =
+      rh.plan == 0 ? PlanChoice::kSignature : PlanChoice::kBooleanFirst;
+  resp.cache = static_cast<CacheOutcome>(rh.cache);
+  resp.degraded = rh.degraded;
+  resp.fanout_shards = rh.fanout_shards;
+  resp.seconds = rh.seconds;
+  if (stats != nullptr) {
+    stats->trace_id = rh.trace_id;
+    stats->queue_wait_seconds = rh.queue_wait_seconds;
+    stats->io_reads = rh.io_reads;
+  }
+  return resp;
+}
+
+}  // namespace pcube

@@ -339,6 +339,11 @@ BatchOutput ShardedWorkbench::RunBatch(const std::vector<BatchQuery>& queries,
     size_t index;
     bool use_cache;
     ResultCache::Stamps stamps;
+    /// Absolute deadline fixed on the DRIVER thread when the query enters
+    /// the batch, so time a sub-query spends waiting for a pool worker
+    /// counts against the caller's budget instead of silently re-granting
+    /// the full deadline_ms at task start.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
   };
   std::vector<ColdQuery> cold;
   for (size_t i = 0; i < queries.size(); ++i) {
@@ -383,6 +388,10 @@ BatchOutput ShardedWorkbench::RunBatch(const std::vector<BatchQuery>& queries,
     c.index = i;
     c.use_cache = use_cache;
     if (use_cache) c.stamps = cache->SnapshotStamps(q.preds);
+    if (q.deadline_ms > 0) {
+      c.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(q.deadline_ms);
+    }
     cold.push_back(std::move(c));
   }
 
@@ -395,16 +404,11 @@ BatchOutput ShardedWorkbench::RunBatch(const std::vector<BatchQuery>& queries,
   for (size_t c = 0; c < cold.size(); ++c) {
     subs[c].resize(shards_.size());
     const BatchQuery& q = queries[cold[c].index];
+    const std::optional<std::chrono::steady_clock::time_point>& deadline =
+        cold[c].deadline;
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (shards_[s] == nullptr) continue;
-      futures.push_back(pool.Submit([this, &q, c, s, &subs] {
-        // The deadline clock starts when the sub-query starts, matching
-        // the per-task semantics of BatchExecutor::RunOne.
-        std::optional<std::chrono::steady_clock::time_point> deadline;
-        if (q.deadline_ms > 0) {
-          deadline = std::chrono::steady_clock::now() +
-                     std::chrono::milliseconds(q.deadline_ms);
-        }
+      futures.push_back(pool.Submit([this, &q, c, s, &subs, &deadline] {
         subs[c][s] = RunShardQuery(s, q, deadline);
       }));
     }

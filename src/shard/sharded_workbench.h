@@ -74,6 +74,12 @@ class ShardedWorkbench : public QueryService {
   /// the cache, matching the planner's contract.
   Result<QueryResponse> Run(const QueryRequest& request) override;
 
+  /// Run() is already safe for concurrent callers (see the thread-safety
+  /// note above), so the shared entry point is the same path.
+  Result<QueryResponse> RunShared(const QueryRequest& request) override {
+    return Run(request);
+  }
+
   /// Batch variant: per-query L1 on the driver thread, then one
   /// (query x shard) task grid over a fresh pool of `num_workers` threads.
   /// Unlike BatchExecutor, merged results carry no engine state —

@@ -37,7 +37,7 @@ void ReportQueryMetrics(const BatchQuery& query, const QueryResponse& resp,
       ->Set(static_cast<double>(resp.counters.heap_peak));
 }
 
-BatchQueryResult BatchExecutor::RunOne(const BatchQuery& query) const {
+BatchQueryResult BatchExecutor::ExecuteOne(const BatchQuery& query) const {
   BatchQueryResult result;
   // Batches always execute the signature plan over the shared cube.
   result.response.estimate.choice = PlanChoice::kSignature;
@@ -194,7 +194,7 @@ BatchOutput BatchExecutor::Execute(const std::vector<BatchQuery>& queries) {
   futures.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     futures.push_back(pool_->Submit([this, &queries, &out, i] {
-      out.results[i] = RunOne(queries[i]);
+      out.results[i] = ExecuteOne(queries[i]);
       const BatchQueryResult& r = out.results[i];
       ReportQueryMetrics(queries[i], r.response, r.status);
       if (query_log_ != nullptr && r.status.ok()) {

@@ -101,9 +101,15 @@ class BatchExecutor {
   /// per-query status, never by aborting the batch.
   BatchOutput Execute(const std::vector<BatchQuery>& queries);
 
- private:
-  BatchQueryResult RunOne(const BatchQuery& query) const;
+  /// Runs ONE query on the calling thread: L1 lookup, private probe +
+  /// signature engine, per-thread I/O attribution — exactly what one batch
+  /// worker does. Thread-safe (the shared tree/cube/pool/caches all are),
+  /// so concurrent callers — the network server's workers — use this
+  /// without a pool. The executor may have been built with a null pool when
+  /// only this entry point is used.
+  BatchQueryResult ExecuteOne(const BatchQuery& query) const;
 
+ private:
   const RStarTree* tree_;
   const PCube* cube_;
   ThreadPool* pool_;

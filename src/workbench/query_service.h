@@ -26,6 +26,14 @@ class QueryService {
   /// fan-out), execution, metrics. The single-query entry point.
   virtual Result<QueryResponse> Run(const QueryRequest& request) = 0;
 
+  /// Thread-safe single-query entry point for concurrent callers (the
+  /// network server's worker pool). Answers are byte-identical to Run(),
+  /// but the execution contract matches RunBatch: the signature engines
+  /// always run (plan hints only gate cache use), measurements are warm
+  /// (no cold-start buffer flush), and there is no boolean-first
+  /// degradation on storage damage. Safe from any number of threads.
+  virtual Result<QueryResponse> RunShared(const QueryRequest& request) = 0;
+
   /// Answers `queries` concurrently on `num_workers` threads; results come
   /// back in input order with merged I/O and latency quantiles.
   /// `query_log`, when non-null, receives one JSONL record per query.

@@ -151,6 +151,11 @@ void Workbench::SetUpCaches(const WorkbenchOptions& options) {
         options.result_cache_mb << 20, &epoch_, options.enable_containment);
   }
   if (cube_ != nullptr) cube_->AttachCaches(&epoch_, fragment_cache_.get());
+  if (cube_ != nullptr && tree_ != nullptr) {
+    shared_executor_ = std::make_unique<BatchExecutor>(
+        tree_.get(), cube_.get(), /*pool=*/nullptr, /*query_log=*/nullptr,
+        result_cache_.get(), &data_);
+  }
 }
 
 Result<std::unique_ptr<Workbench>> Workbench::Open(
@@ -241,6 +246,16 @@ Status Workbench::ColdStart() {
 Result<QueryResponse> Workbench::Run(const QueryRequest& request) {
   QueryPlanner planner(this);
   return planner.Run(request);
+}
+
+Result<QueryResponse> Workbench::RunShared(const QueryRequest& request) {
+  if (shared_executor_ == nullptr) {
+    return Status::NotSupported("instance was built without a cube");
+  }
+  BatchQueryResult result = shared_executor_->ExecuteOne(request);
+  ReportQueryMetrics(request, result.response, result.status);
+  if (!result.status.ok()) return result.status;
+  return std::move(result.response);
 }
 
 Result<PlanEstimate> Workbench::Estimate(const PredicateSet& preds) {

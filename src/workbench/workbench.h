@@ -144,6 +144,13 @@ class Workbench : public QueryService {
   /// execution, cache publish. See workbench/planner.h for the contract.
   Result<QueryResponse> Run(const QueryRequest& request) override;
 
+  /// Thread-safe single-query entry (QueryService::RunShared): executes on
+  /// the calling thread with RunBatch's contract — signature engines, warm
+  /// measurements, L1 consulted, no degradation — via a long-lived
+  /// BatchExecutor over this instance's shared structures. The instance
+  /// must not be mutated while shared queries run.
+  Result<QueryResponse> RunShared(const QueryRequest& request) override;
+
   /// Index-only cost estimates for both plans (QueryPlanner::Estimate).
   Result<PlanEstimate> Estimate(const PredicateSet& preds) override;
 
@@ -208,6 +215,9 @@ class Workbench : public QueryService {
   DataEpoch epoch_;
   std::unique_ptr<FragmentCache> fragment_cache_;
   std::unique_ptr<ResultCache> result_cache_;
+  /// Poolless executor behind RunShared (created with the caches; null when
+  /// the instance was built without a cube).
+  std::unique_ptr<BatchExecutor> shared_executor_;
   PageId catalog_root_ = kInvalidPageId;
   RTreeOptions rtree_options_;
   std::vector<std::vector<std::string>> dictionaries_;

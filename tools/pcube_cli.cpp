@@ -35,6 +35,22 @@
 //       Deliberately flip one byte per targeted page in the raw file
 //       (testing tool; `verify` and checksummed reads must catch it).
 //
+//   pcube serve --db data.pcube [--shards N] [--port P] [--workers N]
+//               [--queue-cap N] [--tenant-rate R] [--tenant-burst B]
+//               [--max-conns N] [--query-log FILE]
+//       Serve the database over TCP (127.0.0.1 only) with multi-tenant
+//       admission control: per-tenant token-bucket quotas, a bounded
+//       request queue and early load shedding (DESIGN.md §14). Runs until
+//       SIGINT/SIGTERM.
+//
+//   pcube query --connect HOST:PORT [--tenant T] [--deadline-ms N]
+//               [--where "0=#3,..."] [--limit N]
+//               (--k N (--weights w,.. | --target t,.. [--tweights w,..])
+//                | [--band K] [--origin x,..])
+//       Client mode: send one query to a running `pcube serve` and print
+//       the streamed answer. No database file is opened, so predicates use
+//       raw dimension indices and "#code" values.
+//
 // Both query commands accept:
 //   --plan auto|signature|boolean   plan selection (default: auto, the cost
 //                                   model picks; see `explain`. A forced
@@ -65,6 +81,7 @@
 //
 // Predicate values use the stored dictionary when the database came from a
 // CSV import ("color=red"); raw codes also work ("color=#3" or "2=#3").
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -72,11 +89,14 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/random.h"
 #include "common/simd/simd.h"
 #include "data/csv.h"
 #include "data/generators.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "shard/sharded_workbench.h"
 #include "workbench/planner.h"
 #include "workbench/workbench.h"
@@ -610,10 +630,154 @@ int CmdCorrupt(const Args& args) {
   return 0;
 }
 
+// ----------------------------------------------------------- serve / query
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int CmdServe(const Args& args) {
+  ServiceHandle h = OpenService(args);
+  std::unique_ptr<QueryLog> log;
+  if (args.Has("query-log")) {
+    log = Unwrap(QueryLog::OpenFile(args.Get("query-log")));
+  }
+  ServerOptions options;
+  options.port = static_cast<uint16_t>(args.GetInt("port", 7333));
+  options.workers = static_cast<size_t>(args.GetInt("workers", 0));
+  options.max_connections = static_cast<size_t>(args.GetInt("max-conns", 64));
+  options.admission.queue_cap =
+      static_cast<size_t>(args.GetInt("queue-cap", 64));
+  options.admission.tenant_rate =
+      std::strtod(args.Get("tenant-rate", "0").c_str(), nullptr);
+  options.admission.tenant_burst =
+      std::strtod(args.Get("tenant-burst", "0").c_str(), nullptr);
+
+  PCubeServer server(h.service, options, log.get());
+  if (Status st = server.Start(); !st.ok()) Die(st);
+  std::printf("pcube serve: listening on 127.0.0.1:%u "
+              "(%zu shard%s, queue cap %zu, tenant rate %s)\n",
+              static_cast<unsigned>(server.port()), h.service->num_shards(),
+              h.service->num_shards() == 1 ? "" : "s",
+              options.admission.queue_cap,
+              options.admission.tenant_rate > 0
+                  ? args.Get("tenant-rate").c_str()
+                  : "unlimited");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("pcube serve: shutting down (served %llu request(s))\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  server.Stop();
+  return 0;
+}
+
+/// Client-mode predicates: no database (hence no dictionary), so columns
+/// are dimension indices and values are "#code" or bare numeric codes.
+PredicateSet ParseWhereRaw(const std::string& where) {
+  PredicateSet preds;
+  if (where.empty()) return preds;
+  for (const std::string& term : SplitList(where)) {
+    const size_t eq = term.find('=');
+    bool ok = eq != std::string::npos;
+    int dim = 0;
+    uint32_t code = 0;
+    if (ok) {
+      char* end = nullptr;
+      dim = static_cast<int>(std::strtol(term.c_str(), &end, 10));
+      ok = end == term.c_str() + eq && dim >= 0;
+      std::string value = term.substr(eq + 1);
+      if (!value.empty() && value[0] == '#') value.erase(0, 1);
+      char* vend = nullptr;
+      code = static_cast<uint32_t>(std::strtoul(value.c_str(), &vend, 10));
+      ok = ok && !value.empty() && vend == value.c_str() + value.size();
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "bad predicate '%s' (client mode wants dim=#code)\n",
+                   term.c_str());
+      std::exit(2);
+    }
+    preds.Add({dim, code});
+  }
+  return preds;
+}
+
+int CmdQuery(const Args& args) {
+  const std::string connect = args.Require("connect");
+  const size_t colon = connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect wants HOST:PORT\n");
+    return 2;
+  }
+  const std::string host = connect.substr(0, colon);
+  const uint16_t port = static_cast<uint16_t>(
+      std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
+
+  PredicateSet preds = ParseWhereRaw(args.Get("where"));
+  QueryRequest request;
+  if (args.Has("k")) {
+    const size_t k = static_cast<size_t>(args.GetInt("k", 10));
+    std::shared_ptr<const RankingFunction> f;
+    if (args.Has("target")) {
+      std::vector<double> target = ParseDoubles(args.Get("target"));
+      std::vector<double> weights =
+          args.Has("tweights") ? ParseDoubles(args.Get("tweights"))
+                               : std::vector<double>(target.size(), 1.0);
+      f = std::make_shared<WeightedL2Ranking>(std::move(target),
+                                              std::move(weights));
+    } else if (args.Has("weights")) {
+      f = std::make_shared<LinearRanking>(ParseDoubles(args.Get("weights")));
+    } else {
+      std::fprintf(stderr,
+                   "client-mode top-k needs --weights or --target (the "
+                   "preference dimensionality is not known locally)\n");
+      return 2;
+    }
+    request = QueryRequest::TopK(std::move(preds), std::move(f), k);
+  } else {
+    SkylineQueryOptions options;
+    options.skyband_k = static_cast<size_t>(args.GetInt("band", 1));
+    if (args.Has("origin")) {
+      for (double v : ParseDoubles(args.Get("origin"))) {
+        options.origin.push_back(static_cast<float>(v));
+      }
+    }
+    request = QueryRequest::Skyline(std::move(preds), options);
+  }
+  request.deadline_ms = static_cast<uint64_t>(args.GetInt("deadline-ms", 0));
+
+  auto client = Unwrap(PCubeClient::Connect(host, port));
+  PCubeClient::ServerStats stats;
+  auto resp = Unwrap(client->Run(request, args.Get("tenant", "default"),
+                                 &stats));
+  std::printf("%zu result(s) [%s plan, cache: %s, server %.3f ms, "
+              "queue wait %.3f ms, %llu page reads, trace %llu]\n",
+              resp.tids.size(),
+              resp.estimate.choice == PlanChoice::kSignature
+                  ? "signature"
+                  : "boolean-first",
+              CacheOutcomeName(resp.cache), resp.seconds * 1e3,
+              stats.queue_wait_seconds * 1e3,
+              static_cast<unsigned long long>(stats.io_reads),
+              static_cast<unsigned long long>(stats.trace_id));
+  const size_t limit = static_cast<size_t>(args.GetInt("limit", 50));
+  for (size_t i = 0; i < resp.tids.size() && i < limit; ++i) {
+    std::printf("  #%llu", static_cast<unsigned long long>(resp.tids[i]));
+    if (!resp.scores.empty()) std::printf("  (score %.6f)", resp.scores[i]);
+    std::printf("\n");
+  }
+  if (resp.tids.size() > limit) std::printf("  ... (--limit to see more)\n");
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: pcube <generate|build|info|explain|skyline|topk"
-               "|verify|corrupt> [--options]\n"
+               "|verify|corrupt|serve|query> [--options]\n"
                "run `pcube --help` for the full option list\n");
   return 2;
 }
@@ -636,6 +800,17 @@ int Help() {
       "  verify   --db F               full integrity walk (exit 1 on damage)\n"
       "  corrupt  --db F [--kind signature|rtree|table|catalog]\n"
       "           [--page N] [--offset K]   flip bytes (testing tool)\n"
+      "  serve    --db F [--shards N] [--port P] [--workers N]\n"
+      "           [--queue-cap N] [--tenant-rate R] [--tenant-burst B]\n"
+      "           [--max-conns N] [--query-log FILE]\n"
+      "                                serve the database over TCP\n"
+      "                                (127.0.0.1 only) with per-tenant\n"
+      "                                admission control and load shedding\n"
+      "  query    --connect HOST:PORT [--tenant T] [--deadline-ms N]\n"
+      "           [--where \"0=#3,..\"] [--limit N]\n"
+      "           (--k N (--weights W,.. | --target T,.. [--tweights W,..])\n"
+      "            | [--band K] [--origin X,..])\n"
+      "                                send one query to a running server\n"
       "\n"
       "query options (skyline, topk):\n"
       "  --plan auto|signature|boolean  plan selection (default auto: the\n"
@@ -681,5 +856,7 @@ int main(int argc, char** argv) {
   if (cmd == "topk") return CmdTopK(args);
   if (cmd == "verify") return CmdVerify(args);
   if (cmd == "corrupt") return CmdCorrupt(args);
+  if (cmd == "serve") return CmdServe(args);
+  if (cmd == "query") return CmdQuery(args);
   return Usage();
 }
