@@ -25,6 +25,12 @@ Dataset NewTuples(int count) {
   return GenerateSynthetic(config);
 }
 
+WriteBatch::Row MakeRow(const Dataset& data, TupleId t) {
+  auto bools = data.BoolRow(t);
+  auto prefs = data.PrefPoint(t);
+  return {{bools.begin(), bools.end()}, {prefs.begin(), prefs.end()}};
+}
+
 void BM_IncrementalPerTuple(benchmark::State& state) {
   uint64_t n = TupleSweep()[1];
   int inserts = static_cast<int>(state.range(0));
@@ -33,12 +39,10 @@ void BM_IncrementalPerTuple(benchmark::State& state) {
     Dataset extra = NewTuples(inserts);
     Timer t;
     for (TupleId i = 0; i < extra.num_tuples(); ++i) {
-      PathChangeSet changes;
-      TupleId tid = wb->mutable_data()->Append(extra.BoolRow(i),
-                                               extra.PrefPoint(i));
-      PCUBE_CHECK_OK(wb->tree()->Insert(extra.PrefPoint(i), tid, &changes));
-      Status st = wb->cube()->ApplyChanges(wb->data(), changes);
-      if (!st.ok()) PCUBE_CHECK_OK(wb->cube()->Rebuild(wb->data(), *wb->tree()));
+      WriteBatch batch;  // one tuple per Apply: the paper's non-batched mode
+      batch.inserts.push_back(MakeRow(extra, i));
+      auto applied = wb->Apply(batch);
+      PCUBE_CHECK(applied.ok()) << applied.status().ToString();
     }
     state.SetIterationTime(t.ElapsedSeconds());
     state.counters["per_tuple_ms"] = t.ElapsedSeconds() * 1e3 / inserts;
@@ -52,17 +56,14 @@ void BM_IncrementalBatch(benchmark::State& state) {
     auto wb = FreshWorkbench(n);
     Dataset extra = NewTuples(inserts);
     Timer t;
-    PathChangeSet changes;
+    WriteBatch batch;  // all tuples in one Apply: batched maintenance
     for (TupleId i = 0; i < extra.num_tuples(); ++i) {
-      TupleId tid = wb->mutable_data()->Append(extra.BoolRow(i),
-                                               extra.PrefPoint(i));
-      PCUBE_CHECK_OK(wb->tree()->Insert(extra.PrefPoint(i), tid, &changes));
+      batch.inserts.push_back(MakeRow(extra, i));
     }
-    Status st = wb->cube()->ApplyChanges(wb->data(), changes);
-    if (!st.ok()) PCUBE_CHECK_OK(wb->cube()->Rebuild(wb->data(), *wb->tree()));
+    auto applied = wb->Apply(batch);
+    PCUBE_CHECK(applied.ok()) << applied.status().ToString();
     state.SetIterationTime(t.ElapsedSeconds());
     state.counters["per_tuple_ms"] = t.ElapsedSeconds() * 1e3 / inserts;
-    state.counters["cells_touched"] = static_cast<double>(changes.changes.size());
   }
 }
 
@@ -73,12 +74,13 @@ void BM_Recompute(benchmark::State& state) {
     auto wb = FreshWorkbench(n);
     Dataset extra = NewTuples(inserts);
     Timer t;
+    WriteBatch batch;
     for (TupleId i = 0; i < extra.num_tuples(); ++i) {
-      TupleId tid = wb->mutable_data()->Append(extra.BoolRow(i),
-                                               extra.PrefPoint(i));
-      PCUBE_CHECK_OK(wb->tree()->Insert(extra.PrefPoint(i), tid, nullptr));
+      batch.inserts.push_back(MakeRow(extra, i));
     }
-    PCUBE_CHECK_OK(wb->cube()->Rebuild(wb->data(), *wb->tree()));
+    auto applied = wb->Apply(batch);
+    PCUBE_CHECK(applied.ok()) << applied.status().ToString();
+    PCUBE_CHECK_OK(wb->RebuildCube());  // force the full-recompute arm
     state.SetIterationTime(t.ElapsedSeconds());
     state.counters["per_tuple_ms"] = t.ElapsedSeconds() * 1e3 / inserts;
   }

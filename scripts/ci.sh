@@ -3,7 +3,7 @@
 #
 #   jobs   — optional leading integer, default $(nproc)
 #   phase  — any of: plain tsan asan ubsan tidy format throughput
-#            corruption cache shard serve simd simd-off
+#            corruption cache shard serve ingest simd simd-off
 #            (default: all, in that order)
 #
 # Phases:
@@ -33,6 +33,14 @@
 #                garbage bytes on its port, shut down cleanly on SIGTERM, and
 #                a bench_serve smoke must show overload being shed (non-zero
 #                exit when the 2x run sheds nothing); emits BENCH_serve.json.
+#   ingest     — write-path gate: the SIGKILL crash-recovery test (reopen
+#                must replay the WAL and match a never-crashed reference),
+#                a CLI round trip (pcube ingest streams rows through the
+#                WAL, verify inspects the sidecar, corrupt --wal tears it
+#                and verify must call the torn tail out), and a
+#                bench_ingest smoke (sustained ingest concurrent with
+#                queries; non-zero exit when commits fail, rows go missing
+#                or group commit never coalesces); emits BENCH_ingest.json.
 #   simd       — bench_micro kernel smoke (PCUBE_SIMD_SMOKE=1): emits
 #                BENCH_simd.json and, when AVX2 kernels are dispatched,
 #                fails below 2x verbatim-intersect / 1.5x batched-dominance
@@ -54,7 +62,7 @@ if [[ "${1:-}" =~ ^[0-9]+$ ]]; then
 fi
 
 ALL_PHASES=(plain tsan asan ubsan tidy format throughput corruption cache
-            shard serve simd simd-off)
+            shard serve ingest simd simd-off)
 if [ "$#" -gt 0 ]; then
   PHASES=("$@")
   for phase in "${PHASES[@]}"; do
@@ -370,6 +378,72 @@ if want serve; then
   mkdir -p build/artifacts
   cp "$SERVE_DIR/BENCH_serve.json" build/artifacts/
   echo "ci.sh: serve gate passed"
+fi
+
+if want ingest; then
+  echo "=== ingest gate ==="
+  ensure_plain_build
+  cmake --build build -j "$JOBS" --target bench_ingest
+  # Crash-recovery gate: a child is SIGKILLed mid-commit; the reopen must
+  # replay the WAL, verify clean, and answer exactly like a never-crashed
+  # reference that applied the recovered prefix of batches.
+  ctest --test-dir build --output-on-failure -R '^crash_recovery_test$'
+
+  INGEST_DIR=build/ingest-gate
+  rm -rf "$INGEST_DIR"
+  mkdir -p "$INGEST_DIR"
+  PCUBE=build/tools/pcube
+
+  # CLI write-path round trip: stream rows through the WAL, verify the
+  # sidecar, then tear the log — verify must report the torn tail (crash
+  # residue degrades, it does not fail) and the healed database must answer.
+  "$PCUBE" generate --rows 2000 --bool 2 --pref 2 --card 6 --seed 9 \
+    --out "$INGEST_DIR/base.csv" >/dev/null
+  "$PCUBE" build --csv "$INGEST_DIR/base.csv" --spec bbpp --header \
+    --db "$INGEST_DIR/ingest.pcube" >/dev/null
+  "$PCUBE" generate --rows 500 --bool 2 --pref 2 --card 6 --seed 10 \
+    --out "$INGEST_DIR/extra.csv" >/dev/null
+  "$PCUBE" ingest --db "$INGEST_DIR/ingest.pcube" --csv "$INGEST_DIR/extra.csv" \
+    --spec bbpp --header --batch 128 > "$INGEST_DIR/ingest.log"
+  grep -q '^ingested 500 row' "$INGEST_DIR/ingest.log" || {
+    echo "ci.sh: pcube ingest did not acknowledge 500 rows" >&2; exit 1; }
+  "$PCUBE" verify --db "$INGEST_DIR/ingest.pcube" > "$INGEST_DIR/verify.log" || {
+    echo "ci.sh: verify failed after ingest" >&2; exit 1; }
+  grep -q '^wal: ' "$INGEST_DIR/verify.log" || {
+    echo "ci.sh: verify did not inspect the WAL sidecar" >&2; exit 1; }
+  # The verify above recovered and checkpointed, emptying the log. Refill it
+  # so the corruption below lands inside a live record, not a zeroed region.
+  "$PCUBE" ingest --db "$INGEST_DIR/ingest.pcube" --csv "$INGEST_DIR/extra.csv" \
+    --spec bbpp --header --batch 128 > "$INGEST_DIR/ingest2.log"
+  "$PCUBE" corrupt --db "$INGEST_DIR/ingest.pcube" --wal >/dev/null
+  "$PCUBE" verify --db "$INGEST_DIR/ingest.pcube" \
+    > "$INGEST_DIR/verify_torn.log" || {
+    echo "ci.sh: a torn WAL tail must degrade, not fail, verify" >&2; exit 1; }
+  grep -q 'torn tail' "$INGEST_DIR/verify_torn.log" || {
+    echo "ci.sh: verify missed the torn WAL tail" >&2; exit 1; }
+  "$PCUBE" skyline --db "$INGEST_DIR/ingest.pcube" --where "0=#3" --limit 10 \
+    >/dev/null || {
+    echo "ci.sh: query failed after the WAL heal" >&2; exit 1; }
+
+  # bench_ingest smoke: sustained WriteBatch ingest with real fsyncs, alone
+  # and concurrent with query traffic. The binary is its own gate.
+  (cd "$INGEST_DIR" &&
+   PCUBE_INGEST_ROWS=2000 \
+   PCUBE_INGEST_BATCHES=25 \
+   PCUBE_INGEST_BATCH_ROWS=16 \
+   PCUBE_INGEST_WRITERS=2 \
+   PCUBE_INGEST_READERS=1 \
+   ../bench/bench_ingest)
+  for field in inserts_per_sec commit_p50_ms commit_p95_ms commit_p99_ms \
+               mean_group_size; do
+    if ! grep -q "\"$field\"" "$INGEST_DIR/BENCH_ingest.json"; then
+      echo "ci.sh: BENCH_ingest.json is missing $field" >&2
+      exit 1
+    fi
+  done
+  mkdir -p build/artifacts
+  cp "$INGEST_DIR/BENCH_ingest.json" build/artifacts/
+  echo "ci.sh: ingest gate passed"
 fi
 
 if want simd; then

@@ -21,7 +21,7 @@ Result<std::vector<TupleData>> BooleanFirstExecutor::Select(
   if (preds.empty()) {
     out->used_table_scan = true;
     Status st = table_->Scan([&](const TupleData& row) {
-      rows.push_back(row);
+      if (Live(row.tid)) rows.push_back(row);
       return true;
     });
     if (!st.ok()) return st;
@@ -47,7 +47,7 @@ Result<std::vector<TupleData>> BooleanFirstExecutor::Select(
   if (scan_cost <= index_cost) {
     out->used_table_scan = true;
     Status st = table_->Scan([&](const TupleData& row) {
-      if (MatchesRow(row, preds)) rows.push_back(row);
+      if (Live(row.tid) && MatchesRow(row, preds)) rows.push_back(row);
       return true;
     });
     if (!st.ok()) return st;
@@ -58,6 +58,7 @@ Result<std::vector<TupleData>> BooleanFirstExecutor::Select(
   auto tids = (*indices_)[best->dim].Lookup(best->value);
   if (!tids.ok()) return tids.status();
   for (TupleId tid : *tids) {
+    if (!Live(tid)) continue;
     auto row = table_->GetTuple(tid, IoCategory::kHeapFile);
     if (!row.ok()) return row.status();
     if (MatchesRow(*row, preds)) rows.push_back(std::move(*row));

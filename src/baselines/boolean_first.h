@@ -5,6 +5,7 @@
 // measured against in Figs. 8-14.
 #pragma once
 
+#include <unordered_set>
 #include <vector>
 
 #include "cube/cell.h"
@@ -28,10 +29,13 @@ struct BooleanFirstOutput {
 class BooleanFirstExecutor {
  public:
   /// `indices` holds one BooleanIndex per boolean dimension (dimension d at
-  /// position d). Both referees must outlive the executor.
+  /// position d). `tombstones`, when non-null, lists tuples deleted through
+  /// the write path but still present in the heap file and indices — Select
+  /// filters them out. All referees must outlive the executor.
   BooleanFirstExecutor(const std::vector<BooleanIndex>* indices,
-                       const TableStore* table)
-      : indices_(indices), table_(table) {}
+                       const TableStore* table,
+                       const std::unordered_set<TupleId>* tombstones = nullptr)
+      : indices_(indices), table_(table), tombstones_(tombstones) {}
 
   /// Skyline over the selected subset (pref_dims empty = all dimensions).
   Result<BooleanFirstOutput> Skyline(const PredicateSet& preds,
@@ -47,8 +51,14 @@ class BooleanFirstExecutor {
   Result<std::vector<TupleData>> Select(const PredicateSet& preds,
                                         BooleanFirstOutput* out);
 
+  /// True when `tid` has not been deleted.
+  bool Live(TupleId tid) const {
+    return tombstones_ == nullptr || tombstones_->count(tid) == 0;
+  }
+
   const std::vector<BooleanIndex>* indices_;
   const TableStore* table_;
+  const std::unordered_set<TupleId>* tombstones_;
 };
 
 }  // namespace pcube

@@ -57,6 +57,7 @@ Status PCube::BuildAllCuboids(const Dataset& data, const PathTable& paths) {
       std::map<std::vector<uint32_t>, Signature> cells;
       std::vector<uint32_t> key(dims.size());
       for (TupleId t = 0; t < data.num_tuples(); ++t) {
+        if (!paths.contains(t)) continue;  // tombstoned: not in the tree
         for (size_t i = 0; i < dims.size(); ++i) {
           key[i] = data.BoolValue(t, dims[i]);
         }

@@ -73,15 +73,6 @@ class PCube {
   Result<std::unique_ptr<BooleanProbe>> MakeBloomProbe(
       const PredicateSet& preds) const;
 
-  /// Incremental maintenance (paper §IV.B.3): applies the path changes of
-  /// one insert/delete batch to every affected cell's stored signature.
-  /// Fails with NotSupported when the batch included a root split — callers
-  /// should Rebuild() (every path changed).
-  Status ApplyChanges(const Dataset& data, const PathChangeSet& changes);
-
-  /// Recomputes every materialised signature from the tree's current state.
-  Status Rebuild(const Dataset& data, const RStarTree& tree);
-
   /// Attaches the cache layer (both optional, owned by the Workbench and
   /// outliving the cube). When set, MakeProbe hands the fragment cache to
   /// every cursor, and ApplyChanges/Rebuild bump `epoch` so stale cache
@@ -101,6 +92,20 @@ class PCube {
   uint64_t MaterializedPages() const;
 
  private:
+  /// The write path's applier (workbench/write_path.h) is the only caller
+  /// of the maintenance mutators below: every mutation must flow through
+  /// QueryService::Apply so the WAL + epoch-stamping contract holds.
+  friend class WriteApplier;
+
+  /// Incremental maintenance (paper §IV.B.3): applies the path changes of
+  /// one insert/delete batch to every affected cell's stored signature.
+  /// Fails with NotSupported when the batch included a root split — callers
+  /// should Rebuild() (every path changed).
+  Status ApplyChanges(const Dataset& data, const PathChangeSet& changes);
+
+  /// Recomputes every materialised signature from the tree's current state.
+  Status Rebuild(const Dataset& data, const RStarTree& tree);
+
   PCube(std::unique_ptr<SignatureStore> store, uint32_t fanout, int levels,
         PCubeOptions options)
       : store_(std::move(store)),

@@ -23,6 +23,7 @@ std::vector<Signature> BuildAtomicCuboidSignatures(const Dataset& data,
   sigs.reserve(card);
   for (uint32_t v = 0; v < card; ++v) sigs.emplace_back(fanout, levels);
   for (TupleId t = 0; t < data.num_tuples(); ++t) {
+    if (!paths.contains(t)) continue;  // tombstoned: not in the tree
     sigs[data.BoolValue(t, dim)].SetPath(paths.path(t));
   }
   return sigs;
@@ -33,6 +34,7 @@ Signature BuildCellSignature(const Dataset& data, const PathTable& paths,
                              int levels) {
   Signature sig(fanout, levels);
   for (TupleId t = 0; t < data.num_tuples(); ++t) {
+    if (!paths.contains(t)) continue;  // tombstoned: not in the tree
     if (preds.Matches(data, t)) sig.SetPath(paths.path(t));
   }
   return sig;

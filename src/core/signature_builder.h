@@ -26,6 +26,13 @@ class PathTable {
   }
   size_t size() const { return paths_.size(); }
 
+  /// False when the tuple has no path — it is not in the tree (deleted).
+  /// Rebuild loops over the full tid range must skip such tuples; their
+  /// bits belong to no cell.
+  bool contains(TupleId t) const {
+    return t < paths_.size() && !paths_[t].empty();
+  }
+
   void Set(TupleId t, Path p) {
     if (t >= paths_.size()) paths_.resize(t + 1);
     paths_[t] = std::move(p);

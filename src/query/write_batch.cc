@@ -1,0 +1,157 @@
+#include "query/write_batch.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bit_util.h"
+
+namespace pcube {
+
+namespace {
+
+// Encoding (little-endian):
+//   u8  ack
+//   u16 num_bool | u16 num_pref
+//   u32 num_inserts | u32 num_deletes
+//   inserts: num_inserts x (num_bool x u32, num_pref x f32)
+//   deletes: num_deletes x u64
+constexpr size_t kBatchHeaderBytes = 1 + 2 + 2 + 4 + 4;
+
+template <typename T>
+void AppendLE(std::string* out, T v) {
+  uint8_t buf[sizeof(T)];
+  bit_util::StoreLE(buf, v);
+  out->append(reinterpret_cast<const char*>(buf), sizeof(T));
+}
+
+}  // namespace
+
+Status ValidateWriteBatch(const WriteBatch& batch, const Schema& schema) {
+  if (batch.num_rows() == 0) {
+    return Status::InvalidArgument("empty write batch");
+  }
+  if (batch.num_rows() > kMaxBatchRows) {
+    return Status::InvalidArgument("write batch exceeds " +
+                                   std::to_string(kMaxBatchRows) + " rows");
+  }
+  for (const WriteBatch::Row& row : batch.inserts) {
+    if (row.bools.size() != static_cast<size_t>(schema.num_bool) ||
+        row.prefs.size() != static_cast<size_t>(schema.num_pref)) {
+      return Status::InvalidArgument("insert row does not match the schema");
+    }
+    for (int d = 0; d < schema.num_bool; ++d) {
+      if (row.bools[d] >= schema.bool_cardinality[d]) {
+        return Status::InvalidArgument(
+            "bool value " + std::to_string(row.bools[d]) +
+            " out of range for dimension " + std::to_string(d));
+      }
+    }
+    for (float v : row.prefs) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("preference coordinate is not finite");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> EncodeWriteBatch(const WriteBatch& batch) {
+  if (batch.num_rows() > kMaxBatchRows) {
+    return Status::InvalidArgument("write batch exceeds the row cap");
+  }
+  size_t num_bool = 0, num_pref = 0;
+  if (!batch.inserts.empty()) {
+    num_bool = batch.inserts[0].bools.size();
+    num_pref = batch.inserts[0].prefs.size();
+  }
+  if (num_bool > kMaxBatchDims || num_pref > kMaxBatchDims) {
+    return Status::InvalidArgument("write batch exceeds the dimension cap");
+  }
+  std::string out;
+  out.reserve(kBatchHeaderBytes +
+              batch.inserts.size() * 4 * (num_bool + num_pref) +
+              batch.deletes.size() * 8);
+  AppendLE<uint8_t>(&out, static_cast<uint8_t>(batch.ack));
+  AppendLE<uint16_t>(&out, static_cast<uint16_t>(num_bool));
+  AppendLE<uint16_t>(&out, static_cast<uint16_t>(num_pref));
+  AppendLE<uint32_t>(&out, static_cast<uint32_t>(batch.inserts.size()));
+  AppendLE<uint32_t>(&out, static_cast<uint32_t>(batch.deletes.size()));
+  for (const WriteBatch::Row& row : batch.inserts) {
+    if (row.bools.size() != num_bool || row.prefs.size() != num_pref) {
+      return Status::InvalidArgument("ragged insert rows in write batch");
+    }
+    for (uint32_t v : row.bools) AppendLE(&out, v);
+    for (float v : row.prefs) {
+      uint32_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      AppendLE(&out, bits);
+    }
+  }
+  for (TupleId tid : batch.deletes) AppendLE<uint64_t>(&out, tid);
+  return out;
+}
+
+Status DecodeWriteBatch(const uint8_t* data, size_t size, WriteBatch* out) {
+  *out = WriteBatch();
+  if (size < kBatchHeaderBytes) {
+    return Status::Corruption("write batch truncated");
+  }
+  const uint8_t* p = data;
+  uint8_t ack = *p++;
+  if (ack > static_cast<uint8_t>(WriteBatch::Ack::kDurable)) {
+    return Status::Corruption("unknown write batch ack mode");
+  }
+  out->ack = static_cast<WriteBatch::Ack>(ack);
+  uint16_t num_bool = bit_util::LoadLE<uint16_t>(p);
+  p += 2;
+  uint16_t num_pref = bit_util::LoadLE<uint16_t>(p);
+  p += 2;
+  uint32_t num_inserts = bit_util::LoadLE<uint32_t>(p);
+  p += 4;
+  uint32_t num_deletes = bit_util::LoadLE<uint32_t>(p);
+  p += 4;
+  if (num_bool > kMaxBatchDims || num_pref > kMaxBatchDims) {
+    return Status::Corruption("write batch dimension count exceeds cap");
+  }
+  if (static_cast<uint64_t>(num_inserts) + num_deletes > kMaxBatchRows) {
+    return Status::Corruption("write batch row count exceeds cap");
+  }
+  const size_t row_bytes = 4 * (static_cast<size_t>(num_bool) + num_pref);
+  const size_t need = kBatchHeaderBytes + num_inserts * row_bytes +
+                      static_cast<size_t>(num_deletes) * 8;
+  if (size != need) {
+    return Status::Corruption("write batch length mismatch");
+  }
+  out->inserts.reserve(num_inserts);
+  for (uint32_t i = 0; i < num_inserts; ++i) {
+    WriteBatch::Row row;
+    row.bools.reserve(num_bool);
+    row.prefs.reserve(num_pref);
+    for (uint16_t d = 0; d < num_bool; ++d) {
+      row.bools.push_back(bit_util::LoadLE<uint32_t>(p));
+      p += 4;
+    }
+    for (uint16_t d = 0; d < num_pref; ++d) {
+      uint32_t bits = bit_util::LoadLE<uint32_t>(p);
+      p += 4;
+      float v;
+      std::memcpy(&v, &bits, sizeof(v));
+      if (!std::isfinite(v)) {
+        return Status::Corruption("write batch preference is not finite");
+      }
+      row.prefs.push_back(v);
+    }
+    out->inserts.push_back(std::move(row));
+  }
+  out->deletes.reserve(num_deletes);
+  for (uint32_t i = 0; i < num_deletes; ++i) {
+    out->deletes.push_back(bit_util::LoadLE<uint64_t>(p));
+    p += 8;
+  }
+  if (p != data + size) {
+    return Status::Corruption("write batch has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace pcube

@@ -112,4 +112,138 @@ Result<QueryResponse> PCubeClient::Run(const QueryRequest& request,
   return resp;
 }
 
+namespace {
+
+/// One kWrite round trip: frame out, ack (or error) back.
+Result<WriteResult> SendWrite(int fd, const std::string& tenant,
+                              const WriteBatch& batch) {
+  wire::WriteEnvelope envelope;
+  envelope.tenant = tenant;
+  envelope.batch = batch;
+  Result<std::string> payload = wire::EncodeWrite(envelope);
+  if (!payload.ok()) return payload.status();
+  PCUBE_RETURN_NOT_OK(
+      wire::WriteFrame(fd, wire::FrameType::kWrite, payload.value()));
+  wire::FrameHeader header;
+  std::string body;
+  PCUBE_RETURN_NOT_OK(wire::ReadFrame(fd, &header, &body));
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(body.data());
+  if (header.type == wire::FrameType::kError) {
+    return wire::DecodeError(bytes, body.size());
+  }
+  if (header.type != wire::FrameType::kWriteAck) {
+    return Status::Corruption("expected a write ack frame");
+  }
+  WriteResult result;
+  PCUBE_RETURN_NOT_OK(wire::DecodeWriteAck(bytes, body.size(), &result));
+  return result;
+}
+
+}  // namespace
+
+Result<WriteResult> PCubeClient::Write(const WriteBatch& batch,
+                                       const std::string& tenant) {
+  // Fast path: the whole batch fits one frame (EncodeWrite enforces the
+  // cap), so it commits atomically on the server.
+  {
+    wire::WriteEnvelope probe;
+    probe.tenant = tenant;
+    probe.batch = batch;
+    Result<std::string> encoded = wire::EncodeWrite(probe);
+    if (encoded.ok()) {
+      PCUBE_RETURN_NOT_OK(
+          wire::WriteFrame(fd_, wire::FrameType::kWrite, encoded.value()));
+      wire::FrameHeader header;
+      std::string body;
+      PCUBE_RETURN_NOT_OK(wire::ReadFrame(fd_, &header, &body));
+      const uint8_t* bytes = reinterpret_cast<const uint8_t*>(body.data());
+      if (header.type == wire::FrameType::kError) {
+        return wire::DecodeError(bytes, body.size());
+      }
+      if (header.type != wire::FrameType::kWriteAck) {
+        return Status::Corruption("expected a write ack frame");
+      }
+      WriteResult result;
+      PCUBE_RETURN_NOT_OK(wire::DecodeWriteAck(bytes, body.size(), &result));
+      return result;
+    }
+    if (!encoded.status().IsInvalidArgument()) return encoded.status();
+    // Oversized for one frame: fall through to the slicing path.
+  }
+
+  // Slice inserts first, then deletes — the order a single Apply applies
+  // them in — shrinking the slice until it encodes under the frame cap.
+  WriteResult merged;
+  bool merged_any = false;
+  bool merged_first_tid = false;
+  size_t rows_landed = 0;
+  auto apply_slice = [&](WriteBatch&& slice,
+                         bool carries_inserts) -> Result<size_t> {
+    size_t rows = slice.num_rows();
+    while (true) {
+      wire::WriteEnvelope probe;
+      probe.tenant = tenant;
+      probe.batch = slice;
+      if (wire::EncodeWrite(probe).ok()) break;
+      if (rows <= 1) {
+        return Status::InvalidArgument(
+            "write batch row too large for one frame");
+      }
+      rows = (rows + 1) / 2;
+      if (carries_inserts) {
+        slice.inserts.resize(rows);
+      } else {
+        slice.deletes.resize(rows);
+      }
+    }
+    Result<WriteResult> ack = SendWrite(fd_, tenant, slice);
+    if (!ack.ok()) {
+      return Status(ack.status().code(),
+                    ack.status().message() + " (partial write: " +
+                        std::to_string(rows_landed) + " rows already applied)");
+    }
+    merged.lsn = ack.value().lsn;
+    merged.epoch = ack.value().epoch;
+    merged.commit_seconds += ack.value().commit_seconds;
+    merged.group_size = std::max(merged.group_size, ack.value().group_size);
+    merged.durable = merged_any ? (merged.durable && ack.value().durable)
+                                : ack.value().durable;
+    if (carries_inserts && !merged_first_tid) {
+      merged.first_tid = ack.value().first_tid;
+      merged_first_tid = true;
+    }
+    merged_any = true;
+    rows_landed += rows;
+    return rows;
+  };
+
+  size_t next_insert = 0;
+  while (next_insert < batch.inserts.size()) {
+    WriteBatch slice;
+    slice.ack = batch.ack;
+    slice.inserts.assign(batch.inserts.begin() + next_insert,
+                         batch.inserts.end());
+    Result<size_t> sent = apply_slice(std::move(slice), /*carries_inserts=*/true);
+    if (!sent.ok()) return sent.status();
+    next_insert += sent.value();
+  }
+  size_t next_delete = 0;
+  while (next_delete < batch.deletes.size()) {
+    WriteBatch slice;
+    slice.ack = batch.ack;
+    slice.deletes.assign(batch.deletes.begin() + next_delete,
+                         batch.deletes.end());
+    Result<size_t> sent =
+        apply_slice(std::move(slice), /*carries_inserts=*/false);
+    if (!sent.ok()) return sent.status();
+    next_delete += sent.value();
+  }
+  if (!merged_any) {
+    // An empty batch never reaches the slicing path (it encodes tiny), but
+    // keep the contract total.
+    return Status::InvalidArgument("empty write batch");
+  }
+  return merged;
+}
+
 }  // namespace pcube

@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "query/request.h"
+#include "query/write_batch.h"
 
 namespace pcube {
 
@@ -49,6 +50,17 @@ class PCubeClient {
   Result<QueryResponse> Run(const QueryRequest& request,
                             const std::string& tenant,
                             ServerStats* stats = nullptr);
+
+  /// Sends `batch` under `tenant` and blocks for the server's ack. Batches
+  /// whose encoding exceeds the frame cap are split transparently: inserts
+  /// first, then deletes (the order a single Apply uses), each slice sized
+  /// to fit one kWrite frame and acked individually at the batch's Ack
+  /// level. The returned WriteResult is the merge: `lsn`/`epoch` from the
+  /// last slice, `first_tid` from the first slice carrying inserts,
+  /// `commit_seconds` summed, `durable` only if every slice was. NOT atomic
+  /// across slices — a failure mid-split leaves earlier slices applied (the
+  /// returned error says how many rows landed).
+  Result<WriteResult> Write(const WriteBatch& batch, const std::string& tenant);
 
  private:
   explicit PCubeClient(int fd) : fd_(fd) {}

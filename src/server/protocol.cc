@@ -417,6 +417,70 @@ Status DecodeQuery(const uint8_t* data, size_t size, QueryEnvelope* out) {
   return Status::OK();
 }
 
+Result<std::string> EncodeWrite(const WriteEnvelope& envelope) {
+  if (!ValidTenant(envelope.tenant)) {
+    return Status::InvalidArgument("tenant must match [A-Za-z0-9_.-]{0,64}");
+  }
+  auto batch = EncodeWriteBatch(envelope.batch);
+  if (!batch.ok()) return batch.status();
+  std::string payload;
+  Writer w(&payload);
+  w.U8(static_cast<uint8_t>(envelope.tenant.size()));
+  w.Bytes(envelope.tenant);
+  w.Bytes(*batch);
+  if (payload.size() > kMaxPayload) {
+    return Status::InvalidArgument(
+        "write batch does not fit in one frame; split it");
+  }
+  return payload;
+}
+
+Status DecodeWrite(const uint8_t* data, size_t size, WriteEnvelope* out) {
+  Reader r(data, size);
+  uint8_t tenant_len;
+  PCUBE_RETURN_NOT_OK(r.U8(&tenant_len));
+  if (tenant_len > kMaxTenantBytes) {
+    return Status::InvalidArgument("tenant id too long");
+  }
+  PCUBE_RETURN_NOT_OK(r.Bytes(tenant_len, &out->tenant));
+  if (!ValidTenant(out->tenant)) {
+    return Status::InvalidArgument("tenant id has invalid characters");
+  }
+  // The batch codec enforces its own caps and exact-length contract, so the
+  // whole remainder is handed over (no trailing bytes can survive).
+  return DecodeWriteBatch(data + (size - r.Remaining()), r.Remaining(),
+                          &out->batch);
+}
+
+std::string EncodeWriteAck(const WriteResult& result) {
+  std::string payload;
+  Writer w(&payload);
+  w.LE<uint64_t>(result.lsn);
+  w.LE<uint64_t>(result.first_tid);
+  w.LE<uint64_t>(result.epoch);
+  w.F64(result.commit_seconds);
+  w.LE<uint32_t>(result.group_size);
+  w.U8(result.durable ? 1 : 0);
+  return payload;
+}
+
+Status DecodeWriteAck(const uint8_t* data, size_t size, WriteResult* out) {
+  Reader r(data, size);
+  PCUBE_RETURN_NOT_OK(r.U64(&out->lsn));
+  PCUBE_RETURN_NOT_OK(r.U64(&out->first_tid));
+  PCUBE_RETURN_NOT_OK(r.U64(&out->epoch));
+  PCUBE_RETURN_NOT_OK(r.F64(&out->commit_seconds));
+  if (!std::isfinite(out->commit_seconds) || out->commit_seconds < 0) {
+    return Status::Corruption("commit_seconds is not a finite duration");
+  }
+  PCUBE_RETURN_NOT_OK(r.U32(&out->group_size));
+  uint8_t durable;
+  PCUBE_RETURN_NOT_OK(r.U8(&durable));
+  if (durable > 1) return Status::Corruption("durable flag out of range");
+  out->durable = durable != 0;
+  return r.ExpectDone();
+}
+
 std::string EncodeResultHeader(const ResultHeader& h) {
   std::string payload;
   Writer w(&payload);
@@ -555,7 +619,7 @@ Status ParseFrameHeader(const uint8_t* data, FrameHeader* out) {
   }
   const uint8_t type = data[5];
   if (type < static_cast<uint8_t>(FrameType::kQuery) ||
-      type > static_cast<uint8_t>(FrameType::kError)) {
+      type > static_cast<uint8_t>(FrameType::kWriteAck)) {
     return Status::Corruption("unknown frame type");
   }
   out->type = static_cast<FrameType>(type);

@@ -24,6 +24,7 @@
 
 #include "common/status.h"
 #include "query/request.h"
+#include "query/write_batch.h"
 
 namespace pcube::wire {
 
@@ -54,6 +55,8 @@ enum class FrameType : uint8_t {
   kResultChunk = 3,  ///< server -> client: a slice of tids (+ scores)
   kDone = 4,         ///< server -> client: end of the result stream
   kError = 5,        ///< either direction: status code + message, ends req
+  kWrite = 6,        ///< client -> server: one serialized WriteBatch
+  kWriteAck = 7,     ///< server -> client: the WriteResult of a kWrite
 };
 
 struct FrameHeader {
@@ -72,6 +75,12 @@ StatusCode StatusCodeFromWire(uint8_t wire);
 struct QueryEnvelope {
   std::string tenant;  ///< validated [A-Za-z0-9_.-]{0,64}; "" = "default"
   QueryRequest request;
+};
+
+/// Everything a kWrite frame carries besides the WriteBatch itself.
+struct WriteEnvelope {
+  std::string tenant;  ///< same validation as QueryEnvelope::tenant
+  WriteBatch batch;
 };
 
 /// Result metadata sent ahead of the chunk stream.
@@ -101,6 +110,14 @@ Result<std::string> EncodeQuery(const QueryEnvelope& envelope);
 
 std::string EncodeResultHeader(const ResultHeader& header);
 
+/// Serializes a write batch for a kWrite frame. Batches that do not fit in
+/// one frame (kMaxPayload) are InvalidArgument — chunk them client-side
+/// (PCubeClient::Write does).
+Result<std::string> EncodeWrite(const WriteEnvelope& envelope);
+
+/// Payload of a kWriteAck frame.
+std::string EncodeWriteAck(const WriteResult& result);
+
 /// Encodes tuples [first, first + count) of the result vectors.
 std::string EncodeResultChunk(const std::vector<TupleId>& tids,
                               const std::vector<double>& scores,
@@ -115,6 +132,10 @@ std::string EncodeError(const Status& status);
 Status ParseFrameHeader(const uint8_t* data, FrameHeader* out);
 
 Status DecodeQuery(const uint8_t* data, size_t size, QueryEnvelope* out);
+/// Batch contents are re-validated structurally by DecodeWriteBatch (caps,
+/// finite floats, exact length); schema validation happens at Apply().
+Status DecodeWrite(const uint8_t* data, size_t size, WriteEnvelope* out);
+Status DecodeWriteAck(const uint8_t* data, size_t size, WriteResult* out);
 Status DecodeResultHeader(const uint8_t* data, size_t size, ResultHeader* out);
 /// Appends the chunk's tuples to `tids`/`scores`; `has_scores` must match
 /// the stream's ResultHeader announcement.

@@ -42,6 +42,10 @@ PCubeServer::PCubeServer(QueryService* service, ServerOptions options,
       MetricsRegistry::Default().GetCounter("pcube_server_query_frames_total");
   responses_total_ =
       MetricsRegistry::Default().GetCounter("pcube_server_responses_total");
+  write_frames_total_ =
+      MetricsRegistry::Default().GetCounter("pcube_server_write_frames_total");
+  write_acks_total_ =
+      MetricsRegistry::Default().GetCounter("pcube_server_write_acks_total");
 }
 
 PCubeServer::~PCubeServer() { Stop(); }
@@ -171,10 +175,14 @@ void PCubeServer::ServeConnection(int fd) {
       }
       break;
     }
+    if (header.type == wire::FrameType::kWrite) {
+      if (!HandleWrite(fd, payload)) break;
+      continue;
+    }
     if (header.type != wire::FrameType::kQuery) {
       wire::WriteFrame(fd, wire::FrameType::kError,
                        wire::EncodeError(Status::InvalidArgument(
-                           "expected a query frame")))
+                           "expected a query or write frame")))
           .IgnoreError();
       break;  // a confused peer is unlikely to be framed correctly ahead
     }
@@ -289,6 +297,36 @@ bool PCubeServer::HandleQuery(int fd, const std::string& payload,
     query_log_->Append(QueryLogRecord(request, resp, envelope.tenant));
   }
   if (wrote) responses_total_->Increment();
+  return wrote;
+}
+
+bool PCubeServer::HandleWrite(int fd, const std::string& payload) {
+  write_frames_total_->Increment();
+  auto answer_error = [fd](const Status& s) {
+    return wire::WriteFrame(fd, wire::FrameType::kError, wire::EncodeError(s))
+        .ok();
+  };
+
+  wire::WriteEnvelope envelope;
+  Status parse_status = wire::DecodeWrite(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+      &envelope);
+  if (!parse_status.ok()) {
+    // Payload-level damage in a well-framed write: stream still in sync.
+    return answer_error(parse_status);
+  }
+  if (envelope.tenant.empty()) envelope.tenant = "default";
+
+  // No admission ticket: writes don't queue on the worker pool, and the
+  // WAL's group commit is itself the write-side backpressure (a writer
+  // blocks until its group's fsync lands). The tenant is still recorded
+  // so the per-tenant frame counters stay honest.
+  Result<WriteResult> result = service_->Apply(envelope.batch);
+  if (!result.ok()) return answer_error(result.status());
+  const bool wrote = wire::WriteFrame(fd, wire::FrameType::kWriteAck,
+                                      wire::EncodeWriteAck(result.value()))
+                         .ok();
+  if (wrote) write_acks_total_->Increment();
   return wrote;
 }
 

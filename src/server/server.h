@@ -91,6 +91,13 @@ class PCubeServer {
   /// (socket error); protocol-level failures answer with a kError frame
   /// and return true.
   bool HandleQuery(int fd, const std::string& payload, double accept_seconds);
+  /// Parses + applies one kWrite frame and answers with a kWriteAck. Write
+  /// frames run on the CONNECTION thread, not the worker pool: Apply blocks
+  /// on its own group commit (an fsync wait), and parking that wait on a
+  /// query worker would let a slow disk starve read traffic. Concurrent
+  /// writers on separate connections still form commit groups inside the
+  /// WAL. Same return contract as HandleQuery.
+  bool HandleWrite(int fd, const std::string& payload);
 
   QueryService* const service_;
   const ServerOptions options_;
@@ -99,6 +106,8 @@ class PCubeServer {
   std::unique_ptr<ThreadPool> pool_;
   Counter* requests_total_;
   Counter* responses_total_;
+  Counter* write_frames_total_;
+  Counter* write_acks_total_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

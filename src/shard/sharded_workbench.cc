@@ -37,6 +37,14 @@ Result<std::unique_ptr<ShardedWorkbench>> ShardedWorkbench::Build(
   sw->data_ = std::move(data);
   ShardPartition part = PartitionByBoolHash(sw->data_, options.num_shards);
   sw->global_tids_ = std::move(part.global_tids);
+  // Invert the partition for delete routing: global tid -> (shard, local).
+  sw->tuple_homes_.resize(sw->data_.num_tuples());
+  for (size_t s = 0; s < sw->global_tids_.size(); ++s) {
+    for (TupleId local = 0; local < sw->global_tids_[s].size(); ++local) {
+      sw->tuple_homes_[sw->global_tids_[s][local]] = {
+          static_cast<uint32_t>(s), local};
+    }
+  }
   sw->shards_.resize(options.num_shards);
   WorkbenchOptions shard_options = options.shard;
   // One semantic cache, at the coordinator; shards keep their private L2
@@ -231,6 +239,9 @@ Result<QueryResponse> ShardedWorkbench::Run(const QueryRequest& request) {
   QueryResponse resp;
   resp.estimate.choice = PlanChoice::kSignature;
   MetricsRegistry& registry = MetricsRegistry::Default();
+  // Shared hold for the whole execution: the pool workers this thread waits
+  // on read the global tid maps under this hold (see coord_mu_).
+  ReaderLock coord_lock(&coord_mu_);
 
   std::optional<std::chrono::steady_clock::time_point> deadline;
   if (request.deadline_ms > 0) {
@@ -325,6 +336,7 @@ BatchOutput ShardedWorkbench::RunBatch(const std::vector<BatchQuery>& queries,
   Timer timer;
   BatchOutput out;
   out.results.resize(queries.size());
+  ReaderLock coord_lock(&coord_mu_);
   ResultCache* cache = result_cache_.get();
   MetricsRegistry& registry = MetricsRegistry::Default();
   // A fresh pool sized by the caller, like BatchExecutor's contract; the
@@ -470,8 +482,117 @@ BatchOutput ShardedWorkbench::RunBatch(const std::vector<BatchQuery>& queries,
   return out;
 }
 
+Result<WriteResult> ShardedWorkbench::Apply(const WriteBatch& batch) {
+  PCUBE_RETURN_NOT_OK(ValidateWriteBatch(batch, data_.schema()));
+  if (live_shards_ == 0) {
+    return Status::NotSupported("no live shards to route writes to");
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  // One writer at a time: global_tids_[s].size() then equals shard s's
+  // staged row count, which is exactly the local tid its next insert gets.
+  MutexLock apply_lock(&apply_mu_);
+
+  std::vector<size_t> live;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s] != nullptr) live.push_back(s);
+  }
+
+  // Route every row/delete to its shard sub-batch.
+  std::vector<WriteBatch> subs(shards_.size());
+  std::vector<std::vector<size_t>> insert_rows(shards_.size());
+  const TupleId first_tid = data_.num_tuples();
+  for (size_t i = 0; i < batch.inserts.size(); ++i) {
+    const WriteBatch::Row& row = batch.inserts[i];
+    size_t target =
+        data_.num_bool() > 0
+            ? live[BoolRowHash(std::span<const uint32_t>(row.bools)) %
+                   live.size()]
+            : live[(first_tid + i) % live.size()];
+    subs[target].inserts.push_back(row);
+    insert_rows[target].push_back(i);
+  }
+  for (TupleId tid : batch.deletes) {
+    if (tid >= tuple_homes_.size()) {
+      return Status::InvalidArgument("delete of unknown tuple " +
+                                     std::to_string(tid));
+    }
+    const auto& [shard, local] = tuple_homes_[tid];
+    if (shards_[shard] == nullptr) {
+      return Status::Corruption("tuple " + std::to_string(tid) +
+                                " maps to an empty shard");
+    }
+    subs[shard].deletes.push_back(local);
+  }
+
+  // Extend the global view FIRST, under the exclusive side: the moment a
+  // shard acks its sub-batch the new local tids are queryable, and the
+  // merge must already be able to translate them. The epoch bump rides in
+  // the same window so stale coordinator-L1 entries die before any query
+  // can observe the new rows.
+  std::vector<CellId> cells;
+  {
+    WriterLock coord_lock(&coord_mu_);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      for (size_t i : insert_rows[s]) {
+        const WriteBatch::Row& row = batch.inserts[i];
+        TupleId global = data_.Append(row.bools, row.prefs);
+        global_tids_[s].push_back(global);
+        tuple_homes_.push_back({static_cast<uint32_t>(s),
+                                static_cast<TupleId>(global_tids_[s].size() - 1)});
+        for (int d = 0; d < data_.num_bool(); ++d) {
+          cells.push_back(AtomicCellId(d, row.bools[d]));
+        }
+      }
+    }
+    for (TupleId tid : batch.deletes) {
+      for (int d = 0; d < data_.num_bool(); ++d) {
+        cells.push_back(AtomicCellId(d, data_.BoolValue(tid, d)));
+      }
+    }
+    epoch_.BumpCells(cells);
+  }
+
+  // Apply each shard's sub-batch with read-your-writes semantics. The first
+  // failure is returned; later shards are still attempted so the fan-out
+  // does not wedge half the batch in pending queues.
+  WriteResult result;
+  result.first_tid = first_tid;
+  Status first_error;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (subs[s].empty()) continue;
+    subs[s].ack = WriteBatch::Ack::kApplied;
+    auto sub = shards_[s]->Apply(subs[s]);
+    if (!sub.ok()) {
+      if (first_error.ok()) first_error = sub.status();
+      continue;
+    }
+    // The predicted local tids must match what the shard assigned.
+    if (!subs[s].inserts.empty()) {
+      PCUBE_CHECK_EQ(sub->first_tid + subs[s].inserts.size(),
+                     global_tids_[s].size());
+    }
+    result.lsn = std::max(result.lsn, sub->lsn);
+    result.group_size = std::max(result.group_size, sub->group_size);
+  }
+  if (!first_error.ok()) return first_error;
+
+  result.epoch = epoch_.global();
+  result.durable = false;  // shards are in-memory rebuilds (RAM-backed WALs)
+  result.commit_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.GetCounter("pcube_write_batches_total")->Increment();
+  registry.GetCounter("pcube_write_rows_total")->Increment(batch.num_rows());
+  registry.GetHistogram("pcube_write_commit_seconds")
+      ->Observe(result.commit_seconds);
+  return result;
+}
+
 Result<PlanEstimate> ShardedWorkbench::Estimate(const PredicateSet& preds) {
   PlanEstimate total;
+  ReaderLock coord_lock(&coord_mu_);
   for (auto& shard : shards_) {
     if (shard == nullptr) continue;
     auto est = shard->Estimate(preds);
@@ -488,6 +609,7 @@ Result<PlanEstimate> ShardedWorkbench::Estimate(const PredicateSet& preds) {
 
 std::string ShardedWorkbench::DescribeShards() const {
   std::string out;
+  ReaderLock coord_lock(&coord_mu_);
   for (size_t s = 0; s < shards_.size(); ++s) {
     out += "shard " + std::to_string(s) + ": ";
     if (shards_[s] == nullptr) {
@@ -506,6 +628,7 @@ std::string ShardedWorkbench::DescribeShards() const {
 }
 
 void ShardedWorkbench::ExportMetrics(MetricsRegistry* registry) const {
+  ReaderLock coord_lock(&coord_mu_);
   registry->GetGauge("pcube_shard_count")
       ->Set(static_cast<double>(shards_.size()));
   registry->GetGauge("pcube_shard_live")

@@ -34,8 +34,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "shard/shard_map.h"
 #include "workbench/query_service.h"
@@ -93,6 +95,18 @@ class ShardedWorkbench : public QueryService {
   /// plan; the aggregate picks the cheaper total, reported for explain).
   Result<PlanEstimate> Estimate(const PredicateSet& preds) override;
 
+  /// Routed mutation (QueryService::Apply): inserts are hashed over the
+  /// LIVE shards by boolean row (same-valued tuples keep co-locating, a
+  /// perf nicety — queries scatter to every live shard regardless), deletes
+  /// follow the global tid -> (shard, local tid) map, and every shard
+  /// sub-batch is applied with Ack::kApplied so the coordinator's return
+  /// implies read-your-writes across the fan-out. Coordinator writers
+  /// serialize among themselves; queries run concurrently except for the
+  /// short exclusive window that extends the global tid maps. Durability is
+  /// per-shard: shards are in-memory rebuilds, so `durable` comes back
+  /// false (a sharded deployment persists via its source relation).
+  Result<WriteResult> Apply(const WriteBatch& batch) override;
+
   const Dataset& data() const override { return data_; }
   DataEpoch* epoch() override { return &epoch_; }
   ResultCache* result_cache() override { return result_cache_.get(); }
@@ -144,6 +158,20 @@ class ShardedWorkbench : public QueryService {
   DataEpoch epoch_;
   std::unique_ptr<ResultCache> result_cache_;
   std::unique_ptr<ThreadPool> pool_;
+
+  // ---- Write path ---------------------------------------------------------
+  /// Serialises coordinator writers: Apply-to-Apply ordering, and the
+  /// invariant that global_tids_[s].size() equals shard s's staged row
+  /// count (which predicts the local tids the next sub-batch receives).
+  Mutex apply_mu_;
+  /// Guards the global view (data_, global_tids_, tuple_homes_) against the
+  /// brief exclusive window in which Apply extends it. Queries hold the
+  /// shared side for their whole execution (like Workbench::struct_mu_);
+  /// fields stay unannotated because pool workers read them under the
+  /// driver thread's shared hold.
+  mutable SharedMutex coord_mu_;
+  /// tuple_homes_[global_tid] == (shard, local tid); grows with inserts.
+  std::vector<std::pair<uint32_t, TupleId>> tuple_homes_;
 };
 
 }  // namespace pcube

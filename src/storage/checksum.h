@@ -64,6 +64,7 @@ class ChecksumPageManager : public PageManager {
   Status Write(PageId pid, const Page& page) override;
   Status Free(PageId pid) override;
   uint64_t NumPages() const override { return inner_->NumPages(); }
+  Status Sync() override { return inner_->Sync(); }
 
   /// Writes the checksum table to the sidecar file. Call after flushing the
   /// page file (Workbench::Save does). No-op without a sidecar path.

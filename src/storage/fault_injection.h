@@ -100,6 +100,7 @@ class FaultInjectingPageManager : public PageManager {
   Status Write(PageId pid, const Page& page) override;
   Status Free(PageId pid) override { return inner_->Free(pid); }
   uint64_t NumPages() const override { return inner_->NumPages(); }
+  Status Sync() override { return inner_->Sync(); }
 
   uint64_t injected_read_errors() const { return read_errors_.load(); }
   uint64_t injected_bit_flips() const { return bit_flips_.load(); }

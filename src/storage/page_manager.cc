@@ -109,6 +109,13 @@ Status FilePageManager::Write(PageId pid, const Page& page) {
   return Status::OK();
 }
 
+Status FilePageManager::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError("fdatasync: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
 Status LatencyPageManager::Read(PageId pid, Page* out) {
   double us = read_latency_us_.load(std::memory_order_relaxed);
   if (us > 0) {

@@ -53,6 +53,12 @@ class PageManager {
   /// reused).
   virtual uint64_t NumPages() const = 0;
 
+  /// Forces previously written pages to stable storage (fdatasync for the
+  /// file-backed store). Durability barriers — the WAL's group commit — are
+  /// built on this; in-memory stores return OK immediately. Safe to call
+  /// concurrently with Read/Write of other pages.
+  virtual Status Sync() { return Status::OK(); }
+
   /// Total allocated bytes (NumPages() * kPageSize).
   uint64_t SizeBytes() const { return NumPages() * kPageSize; }
 };
@@ -90,6 +96,7 @@ class FilePageManager : public PageManager {
   Status Read(PageId pid, Page* out) override;
   Status Write(PageId pid, const Page& page) override;
   uint64_t NumPages() const override { return num_pages_; }
+  Status Sync() override;
 
  private:
   FilePageManager(int fd, uint64_t num_pages) : fd_(fd), num_pages_(num_pages) {}
@@ -124,6 +131,7 @@ class LatencyPageManager : public PageManager {
   }
   Status Free(PageId pid) override { return inner_->Free(pid); }
   uint64_t NumPages() const override { return inner_->NumPages(); }
+  Status Sync() override { return inner_->Sync(); }
 
  private:
   std::unique_ptr<PageManager> inner_;

@@ -1,0 +1,375 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/metrics.h"
+#include "storage/checksum.h"
+
+namespace pcube {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4C415750;  // "PWAL" little-endian
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kRecordHeaderBytes = 16;  // crc(4) + len(4) + lsn(8)
+
+// Header page layout: u32 magic | u32 version | u64 start_lsn.
+constexpr size_t kHeaderBytes = 16;
+
+uint32_t RecordCrc(uint32_t len, uint64_t lsn, const uint8_t* payload) {
+  uint8_t head[12];
+  bit_util::StoreLE(head, len);
+  bit_util::StoreLE(head + 4, lsn);
+  // Chain the two CRCs by running the polynomial over a concatenation the
+  // reader can rebuild without copying: crc(head || payload) computed in two
+  // stages would need a streaming API; instead hash head and payload
+  // separately and mix. Both words are CRC-32s of the actual bytes, so any
+  // single-bit damage in either part changes the result.
+  uint32_t a = Crc32(head, sizeof(head));
+  uint32_t b = len == 0 ? 0 : Crc32(payload, len);
+  return a ^ (b * 0x9E3779B9u + 0x7F4A7C15u);
+}
+
+void EncodeRecord(uint64_t lsn, const std::string& payload, std::string* out) {
+  uint8_t head[kRecordHeaderBytes];
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  bit_util::StoreLE(head, RecordCrc(len, lsn,
+                                    reinterpret_cast<const uint8_t*>(
+                                        payload.data())));
+  bit_util::StoreLE(head + 4, len);
+  bit_util::StoreLE(head + 8, lsn);
+  out->append(reinterpret_cast<const char*>(head), sizeof(head));
+  out->append(payload);
+}
+
+/// Reads the whole record region (pages 1..N) into one buffer.
+Status ReadRegion(PageManager* pm, std::string* out) {
+  out->clear();
+  const uint64_t num_pages = pm->NumPages();
+  Page page;
+  for (PageId pid = 1; pid < num_pages; ++pid) {
+    PCUBE_RETURN_NOT_OK(pm->Read(pid, &page));
+    out->append(reinterpret_cast<const char*>(page.data()), kPageSize);
+  }
+  return Status::OK();
+}
+
+/// Shared scan: walks records in `region`, verifying CRCs and LSN order.
+/// Returns the byte offset just past the last intact record via
+/// `*valid_bytes`. `visit` may be null (Inspect).
+Result<Wal::InspectReport> ScanRegion(
+    const std::string& region, uint64_t start_lsn,
+    const std::function<Status(const Wal::Record&)>& visit,
+    uint64_t* valid_bytes) {
+  Wal::InspectReport report;
+  report.start_lsn = start_lsn;
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(region.data());
+  uint64_t offset = 0;
+  uint64_t expected = start_lsn;
+  while (offset + kRecordHeaderBytes <= region.size()) {
+    uint32_t crc = bit_util::LoadLE<uint32_t>(base + offset);
+    uint32_t len = bit_util::LoadLE<uint32_t>(base + offset + 4);
+    uint64_t lsn = bit_util::LoadLE<uint64_t>(base + offset + 8);
+    if (crc == 0 && len == 0 && lsn == 0) break;  // clean end of log
+    if (len > kMaxWalPayload ||
+        offset + kRecordHeaderBytes + len > region.size()) {
+      // The record claims bytes past the written region: the crash hit
+      // before the leader finished it. Never acknowledged, safe to drop.
+      report.torn_tail = true;
+      break;
+    }
+    const uint8_t* payload = base + offset + kRecordHeaderBytes;
+    if (RecordCrc(len, lsn, payload) != crc) {
+      report.torn_tail = true;
+      break;
+    }
+    if (lsn < expected) {
+      // Stale residue from before the last checkpoint (crash between the
+      // header rewrite and the tail reset). Everything it described is
+      // already in the checkpointed page file — skip without applying.
+      offset += kRecordHeaderBytes + len;
+      continue;
+    }
+    if (lsn != expected) {
+      report.errors.push_back("LSN gap: expected " + std::to_string(expected) +
+                              ", found " + std::to_string(lsn));
+      break;
+    }
+    if (visit != nullptr) {
+      Wal::Record record;
+      record.lsn = lsn;
+      record.payload.assign(reinterpret_cast<const char*>(payload), len);
+      PCUBE_RETURN_NOT_OK(visit(record));
+    }
+    ++report.num_records;
+    report.last_lsn = lsn;
+    offset += kRecordHeaderBytes + len;
+    expected = lsn + 1;
+  }
+  if (valid_bytes != nullptr) *valid_bytes = offset;
+  return report;
+}
+
+}  // namespace
+
+Wal::Wal()
+    : commits_metric_(
+          MetricsRegistry::Default().GetCounter("pcube_wal_commits_total")),
+      syncs_metric_(
+          MetricsRegistry::Default().GetCounter("pcube_wal_syncs_total")),
+      group_size_metric_(
+          MetricsRegistry::Default().GetHistogram("pcube_wal_group_size")) {}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const Options& options) {
+  std::unique_ptr<Wal> wal(new Wal());
+  std::unique_ptr<PageManager> pm;
+  if (options.path.empty()) {
+    pm = std::make_unique<MemoryPageManager>();
+    wal->file_backed_ = false;
+  } else {
+    auto fpm = FilePageManager::Open(options.path, options.truncate);
+    if (!fpm.ok()) return fpm.status();
+    pm = std::move(*fpm);
+    wal->file_backed_ = true;
+  }
+  if (options.fault_plan.enabled()) {
+    auto wrapped = std::make_unique<FaultInjectingPageManager>(
+        std::move(pm), options.fault_plan);
+    wal->faults_ = wrapped.get();
+    wal->faults_->set_armed(false);  // callers arm once recovery is done
+    pm = std::move(wrapped);
+  }
+  // Page checksums stay in memory: the per-record CRC is what survives a
+  // restart, the page CRCs catch same-run rot on the rare WAL read.
+  pm = std::make_unique<ChecksumPageManager>(std::move(pm));
+  wal->pm_ = std::move(pm);
+
+  MutexLock lock(&wal->mu_);
+  if (wal->pm_->NumPages() == 0) {
+    // Fresh log: header page + first record page.
+    auto header = wal->pm_->Allocate();
+    if (!header.ok()) return header.status();
+    PCUBE_CHECK_EQ(*header, PageId{0});
+    PCUBE_RETURN_NOT_OK(wal->WriteHeader());
+  } else {
+    Page page;
+    PCUBE_RETURN_NOT_OK(wal->pm_->Read(0, &page));
+    if (bit_util::LoadLE<uint32_t>(page.data()) != kWalMagic) {
+      return Status::Corruption("WAL header magic mismatch");
+    }
+    if (bit_util::LoadLE<uint32_t>(page.data() + 4) != kWalVersion) {
+      return Status::Corruption("WAL header version mismatch");
+    }
+    wal->start_lsn_ = bit_util::LoadLE<uint64_t>(page.data() + 8);
+    if (wal->start_lsn_ == 0) {
+      return Status::Corruption("WAL header start LSN is zero");
+    }
+    wal->next_lsn_ = wal->start_lsn_;
+    wal->durable_lsn_ = wal->start_lsn_ - 1;
+  }
+  wal->tail_.Zero();
+  return wal;
+}
+
+Result<Wal::InspectReport> Wal::Replay(
+    const std::function<Status(const Record&)>& visit) {
+  MutexLock lock(&mu_);
+  std::string region;
+  PCUBE_RETURN_NOT_OK(ReadRegion(pm_.get(), &region));
+  uint64_t valid_bytes = 0;
+  auto report = ScanRegion(region, start_lsn_, visit, &valid_bytes);
+  if (!report.ok()) return report;
+  if (!report->errors.empty()) {
+    return Status::Corruption("WAL replay: " + report->errors.front());
+  }
+  next_lsn_ = std::max<uint64_t>(start_lsn_, report->last_lsn + 1);
+  durable_lsn_ = next_lsn_ - 1;
+  PCUBE_RETURN_NOT_OK(SeekTail(valid_bytes));
+  if (report->torn_tail) {
+    // Zero the discarded suffix in place so the next verify sees a clean
+    // log; only the tail page can hold torn bytes we care about (later
+    // pages are past the append cursor and unreachable by the scan).
+    PCUBE_RETURN_NOT_OK(pm_->Write(tail_page_, tail_));
+    PCUBE_RETURN_NOT_OK(pm_->Sync());
+  }
+  return report;
+}
+
+Result<Wal::InspectReport> Wal::Inspect(const std::string& path) {
+  auto fpm = FilePageManager::Open(path, /*truncate=*/false);
+  if (!fpm.ok()) return fpm.status();
+  std::unique_ptr<PageManager> pm = std::move(*fpm);
+  InspectReport report;
+  if (pm->NumPages() == 0) return report;  // empty file: vacuously clean
+  Page page;
+  PCUBE_RETURN_NOT_OK(pm->Read(0, &page));
+  if (bit_util::LoadLE<uint32_t>(page.data()) != kWalMagic) {
+    report.errors.push_back("WAL header magic mismatch");
+    return report;
+  }
+  if (bit_util::LoadLE<uint32_t>(page.data() + 4) != kWalVersion) {
+    report.errors.push_back("WAL header version mismatch");
+    return report;
+  }
+  uint64_t start_lsn = bit_util::LoadLE<uint64_t>(page.data() + 8);
+  if (start_lsn == 0) {
+    report.errors.push_back("WAL header start LSN is zero");
+    return report;
+  }
+  std::string region;
+  PCUBE_RETURN_NOT_OK(ReadRegion(pm.get(), &region));
+  return ScanRegion(region, start_lsn, nullptr, nullptr);
+}
+
+Result<uint64_t> Wal::Stage(const std::string& payload) {
+  if (payload.size() > kMaxWalPayload) {
+    return Status::InvalidArgument("WAL record payload exceeds cap");
+  }
+  MutexLock lock(&mu_);
+  if (!broken_.ok()) return broken_;
+  uint64_t lsn = next_lsn_++;
+  EncodeRecord(lsn, payload, &pending_);
+  return lsn;
+}
+
+Status Wal::WaitDurable(uint64_t lsn, uint32_t* group_size) {
+  MutexLock lock(&mu_);
+  for (;;) {
+    if (!broken_.ok()) return broken_;
+    if (durable_lsn_ >= lsn) {
+      if (group_size != nullptr) *group_size = last_group_size_;
+      return Status::OK();
+    }
+    if (!leader_active_) break;
+    cv_.Wait(&mu_);
+  }
+  // Leader: commit everything staged so far in one write + one Sync.
+  leader_active_ = true;
+  std::string batch = std::move(pending_);
+  pending_.clear();
+  const uint64_t batch_end = next_lsn_ - 1;
+  const uint32_t group =
+      static_cast<uint32_t>(batch_end - durable_lsn_);
+  lock.Unlock();
+  Status s = WriteAndSync(batch);
+  lock.Lock();
+  leader_active_ = false;
+  if (s.ok()) {
+    durable_lsn_ = batch_end;
+    last_group_size_ = group;
+    commits_metric_->Increment(group);
+    syncs_metric_->Increment();
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    group_size_metric_->Observe(static_cast<double>(group));
+    if (group_size != nullptr) *group_size = group;
+  } else {
+    // The staged bytes are gone and the on-disk suffix is undefined: no
+    // later commit can be trusted to be gap-free. Poison the log.
+    broken_ = s;
+  }
+  cv_.SignalAll();
+  return s;
+}
+
+Status Wal::WriteAndSync(const std::string& bytes) {
+  // Only the leader runs here (leader_active_ serializes), so the tail
+  // cursor is safe to touch without mu_.
+  mu_.Lock();
+  PageId page = tail_page_;
+  size_t offset = tail_offset_;
+  Page tail = tail_;
+  mu_.Unlock();
+
+  size_t done = 0;
+  while (done < bytes.size()) {
+    while (page >= pm_->NumPages()) {
+      auto pid = pm_->Allocate();
+      if (!pid.ok()) return pid.status();
+    }
+    size_t n = std::min(bytes.size() - done, kPageSize - offset);
+    std::memcpy(tail.data() + offset, bytes.data() + done, n);
+    done += n;
+    offset += n;
+    PCUBE_RETURN_NOT_OK(pm_->Write(page, tail));
+    if (offset == kPageSize) {
+      ++page;
+      offset = 0;
+      tail.Zero();
+    }
+  }
+  PCUBE_RETURN_NOT_OK(pm_->Sync());
+
+  MutexLock lock(&mu_);
+  tail_page_ = page;
+  tail_offset_ = offset;
+  tail_ = tail;
+  return Status::OK();
+}
+
+Status Wal::WriteHeader() {
+  mu_.AssertHeld();
+  Page page;
+  page.Zero();
+  bit_util::StoreLE(page.data(), kWalMagic);
+  bit_util::StoreLE(page.data() + 4, kWalVersion);
+  bit_util::StoreLE(page.data() + 8, start_lsn_);
+  static_assert(kHeaderBytes <= kPageSize);
+  PCUBE_RETURN_NOT_OK(pm_->Write(0, page));
+  return pm_->Sync();
+}
+
+Status Wal::SeekTail(uint64_t region_bytes) {
+  mu_.AssertHeld();
+  tail_page_ = 1 + region_bytes / kPageSize;
+  tail_offset_ = region_bytes % kPageSize;
+  tail_.Zero();
+  if (tail_offset_ > 0) {
+    Page page;
+    PCUBE_RETURN_NOT_OK(pm_->Read(tail_page_, &page));
+    std::memcpy(tail_.data(), page.data(), tail_offset_);
+  }
+  return Status::OK();
+}
+
+Status Wal::Checkpoint() {
+  MutexLock lock(&mu_);
+  if (!broken_.ok()) return broken_;
+  if (!pending_.empty() || leader_active_ || durable_lsn_ != next_lsn_ - 1) {
+    return Status::InvalidArgument(
+        "WAL checkpoint with in-flight commits; drain writers first");
+  }
+  start_lsn_ = next_lsn_;
+  // Header first: once start_lsn is ahead of every logged record, a crash
+  // before the tail reset leaves only stale LSNs, which replay skips.
+  PCUBE_RETURN_NOT_OK(WriteHeader());
+  Page zero;
+  zero.Zero();
+  // Zero the whole record region, not just page 1: appends restart at the
+  // front, and a later scan must never walk into pre-checkpoint residue.
+  const uint64_t num_pages = pm_->NumPages();
+  for (PageId pid = 1; pid < num_pages; ++pid) {
+    PCUBE_RETURN_NOT_OK(pm_->Write(pid, zero));
+  }
+  if (num_pages > 1) PCUBE_RETURN_NOT_OK(pm_->Sync());
+  tail_page_ = 1;
+  tail_offset_ = 0;
+  tail_.Zero();
+  return Status::OK();
+}
+
+uint64_t Wal::next_lsn() const {
+  MutexLock lock(&mu_);
+  return next_lsn_;
+}
+
+uint64_t Wal::durable_lsn() const {
+  MutexLock lock(&mu_);
+  return durable_lsn_;
+}
+
+uint64_t Wal::sync_count() const {
+  return syncs_.load(std::memory_order_relaxed);
+}
+
+}  // namespace pcube

@@ -1,0 +1,166 @@
+// Write-ahead log with group commit (DESIGN.md §15).
+//
+// The log is its own little page store next to the database file
+// (`<path>.wal`): page 0 is a header (magic, version, the LSN expected at
+// the head of the record region), pages 1..N hold variable-length records
+// packed back to back, spanning page boundaries. Each record is
+//
+//   u32 crc | u32 len | u64 lsn | payload[len]        (little-endian)
+//
+// with the CRC-32 taken over (len, lsn, payload). Sixteen zero bytes where
+// a record header should be mark the clean end of the log. The payload is
+// opaque to this layer — the Workbench logs encoded WriteBatches plus its
+// replay cursor (workbench/write_path.h).
+//
+// Durability protocol: Stage() appends a record to an in-memory buffer and
+// assigns its LSN; WaitDurable(lsn) blocks until that record is on stable
+// storage. The first waiter becomes the *leader*: it takes every staged
+// record, writes the affected pages (only the tail page is ever rewritten —
+// committed bytes are never touched again, so a torn tail-page write can
+// only damage records that were never acknowledged), issues ONE
+// PageManager::Sync() for the whole group, then wakes the followers. That
+// single fsync amortized over every concurrently staged batch is the entire
+// point: commit latency is one disk flush regardless of writer count.
+//
+// Crash recovery: Replay() walks the record region, verifies each CRC and
+// that LSNs are consecutive, and hands intact records to the visitor. The
+// first CRC failure (or a record extending past the written region) is a
+// *torn tail* — the crash interrupted the leader mid-commit — and is
+// discarded: by the protocol above no such record was ever acknowledged.
+// Damage BEHIND a valid record (an LSN gap) is real corruption and fails
+// the replay. Records the checkpoint already folded into the page file
+// (stale LSNs from a crash between header rewrite and tail reset) are
+// recognized by LSN and skipped.
+//
+// The page stack mirrors the main store: base file/memory manager, optional
+// fault injection (crash tests tear the tail page deterministically), then
+// ChecksumPageManager in memory-only mode — page CRCs catch intra-run rot,
+// while the per-record CRC is the cross-restart authority.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "storage/fault_injection.h"
+#include "storage/page_manager.h"
+
+namespace pcube {
+
+class Counter;
+class Histogram;
+
+/// Per-record payload cap (a WriteBatch of kMaxBatchRows wide rows fits).
+inline constexpr uint32_t kMaxWalPayload = 64u << 20;
+
+/// Durable, group-committed record log.
+class Wal {
+ public:
+  struct Options {
+    /// Log file path; empty keeps the log in RAM (no crash durability, but
+    /// the commit protocol — and its metrics — behave identically).
+    std::string path;
+    /// Start fresh, discarding any existing log (the Build path).
+    bool truncate = false;
+    /// Fault injection below the checksum layer (crash tests).
+    FaultPlan fault_plan;
+  };
+
+  /// One replayed record.
+  struct Record {
+    uint64_t lsn = 0;
+    std::string payload;
+  };
+
+  /// What a Replay()/Inspect() walk found.
+  struct InspectReport {
+    uint64_t start_lsn = 1;    ///< header: LSN expected at the region head
+    uint64_t num_records = 0;  ///< intact records
+    uint64_t last_lsn = 0;     ///< LSN of the last intact record (0 = none)
+    bool torn_tail = false;    ///< unacknowledged suffix discarded
+    /// Structural problems (bad header, LSN gap behind valid records, ...).
+    /// A torn tail alone is NOT an error — it is the expected crash residue.
+    std::vector<std::string> errors;
+    bool ok() const { return errors.empty(); }
+  };
+
+  /// Opens (or creates) the log. An existing file's header is validated.
+  static Result<std::unique_ptr<Wal>> Open(const Options& options);
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Walks every intact record in LSN order through `visit`, then positions
+  /// the append cursor after the last one, zeroing any torn tail so the log
+  /// is clean again. Call once, before the first Stage().
+  Result<InspectReport> Replay(
+      const std::function<Status(const Record&)>& visit);
+
+  /// Read-only structural validation of a standalone log file (the engine
+  /// behind `pcube verify`): record CRCs, LSN monotonicity, torn tail.
+  static Result<InspectReport> Inspect(const std::string& path);
+
+  /// Appends one record to the staging buffer and returns its LSN. The
+  /// record is NOT durable until WaitDurable(lsn) returns OK.
+  Result<uint64_t> Stage(const std::string& payload);
+
+  /// Blocks until every record with LSN <= `lsn` is on stable storage,
+  /// joining (or leading) a group commit. `group_size`, when non-null,
+  /// receives the number of records the group's single Sync() covered.
+  Status WaitDurable(uint64_t lsn, uint32_t* group_size = nullptr);
+
+  /// Logically empties the log: records with LSN < next_lsn() are declared
+  /// folded into the checkpointed page file. Caller must have drained all
+  /// writers first (no staged-but-undurable records).
+  Status Checkpoint();
+
+  /// False for RAM-backed logs: commits complete but survive nothing.
+  bool durable() const { return file_backed_; }
+
+  uint64_t next_lsn() const;
+  uint64_t durable_lsn() const;
+  uint64_t sync_count() const;
+
+  /// The fault-injection layer, or null (tests arm torn tail writes).
+  FaultInjectingPageManager* faults() { return faults_; }
+
+ private:
+  Wal();
+
+  /// Leader body: appends `bytes` to the record region (rewriting the tail
+  /// page, allocating new ones) and issues one Sync().
+  Status WriteAndSync(const std::string& bytes);
+  Status WriteHeader();
+  /// Loads tail-page state for appending at byte `region_bytes` of the
+  /// record region.
+  Status SeekTail(uint64_t region_bytes);
+
+  std::unique_ptr<PageManager> pm_;
+  FaultInjectingPageManager* faults_ = nullptr;  // owned via pm_ chain
+  bool file_backed_ = false;
+
+  mutable Mutex mu_;
+  std::string pending_ GUARDED_BY(mu_);      ///< staged, not yet written
+  uint64_t next_lsn_ GUARDED_BY(mu_) = 1;    ///< next Stage() gets this
+  uint64_t durable_lsn_ GUARDED_BY(mu_) = 0;
+  uint64_t start_lsn_ GUARDED_BY(mu_) = 1;   ///< header copy
+  bool leader_active_ GUARDED_BY(mu_) = false;
+  uint32_t last_group_size_ GUARDED_BY(mu_) = 0;
+  Status broken_ GUARDED_BY(mu_);  ///< sticky: a failed commit kills the log
+  CondVar cv_;
+
+  // Append cursor (leader-only once commits start; Replay positions it).
+  PageId tail_page_ GUARDED_BY(mu_) = 1;
+  size_t tail_offset_ GUARDED_BY(mu_) = 0;
+  Page tail_ GUARDED_BY(mu_);
+
+  std::atomic<uint64_t> syncs_{0};
+  Counter* commits_metric_;
+  Counter* syncs_metric_;
+  Histogram* group_size_metric_;
+};
+
+}  // namespace pcube

@@ -113,6 +113,8 @@ Status SaveCatalog(BufferPool* pool, PageId root, const CatalogData& c) {
       }
     }
   }
+  w.U64(c.tombstones.size());
+  for (TupleId tid : c.tombstones) w.U64(tid);
 
   // Write the chain.
   const std::vector<uint8_t>& bytes = w.bytes();
@@ -262,6 +264,13 @@ Result<CatalogData> LoadCatalog(BufferPool* pool, PageId root) {
         PCUBE_READ(s, r.Bytes(tmp32));
       }
     }
+  }
+  // Trailing tombstone list; absent in pre-write-path catalogs.
+  if (!r.AtEnd()) {
+    PCUBE_READ(tmp64, r.U64());
+    PCUBE_CHECK_COUNT(tmp64, 8);
+    c.tombstones.resize(tmp64);
+    for (auto& tid : c.tombstones) PCUBE_READ(tid, r.U64());
   }
 #undef PCUBE_CHECK_COUNT
 #undef PCUBE_READ

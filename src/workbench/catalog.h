@@ -61,6 +61,11 @@ struct CatalogData {
   /// Optional value dictionaries for the boolean dimensions (CSV imports);
   /// empty = none stored.
   std::vector<std::vector<std::string>> dictionaries;
+
+  /// Tuples deleted through the write path (sorted). The heap file keeps
+  /// their rows; the boolean-first plan filters through this set. Absent in
+  /// catalogs from before the write path (decoded as empty).
+  std::vector<TupleId> tombstones;
 };
 
 /// Writes `catalog` into the page chain rooted at `root` (pages are

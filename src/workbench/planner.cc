@@ -97,7 +97,8 @@ Status QueryPlanner::ExecuteSignature(
 Status QueryPlanner::ExecuteBoolean(const QueryRequest& request,
                                     QueryResponse* resp) {
   ScopedSpan span(&resp->trace, "boolean_first");
-  BooleanFirstExecutor boolean(&wb_->indices(), wb_->table());
+  BooleanFirstExecutor boolean(&wb_->indices(), wb_->table(),
+                               &wb_->tombstones());
   if (request.kind == QueryRequest::Kind::kSkyline) {
     auto run = boolean.Skyline(request.preds, request.skyline.pref_dims);
     if (!run.ok()) return run.status();

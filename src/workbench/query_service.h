@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "query/request.h"
+#include "query/write_batch.h"
 #include "workbench/batch_executor.h"
 
 namespace pcube {
@@ -43,6 +44,16 @@ class QueryService {
 
   /// Cost estimates for a predicate set without executing anything.
   virtual Result<PlanEstimate> Estimate(const PredicateSet& preds) = 0;
+
+  /// The mutation entry point (DESIGN.md §15): commits `batch` atomically —
+  /// durable in the write-ahead log via group commit, applied to the
+  /// structures by background maintenance so readers never block, epochs
+  /// bumped so both cache levels invalidate exactly. Safe to call from any
+  /// number of threads concurrently with queries; batch.ack picks whether
+  /// the call returns at durability or at read-your-writes visibility. The
+  /// ONLY public way to mutate a service — the raw structure mutators are
+  /// internal so the WAL + epoch contract cannot be bypassed.
+  virtual Result<WriteResult> Apply(const WriteBatch& batch) = 0;
 
   /// The full relation this service answers over (sharded services keep the
   /// global view; result tids always index into it).

@@ -1,11 +1,19 @@
 #include "workbench/workbench.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "workbench/catalog.h"
 #include "workbench/planner.h"
 
 namespace pcube {
+
+namespace {
+/// Rows the maintenance thread applies per structure-writer-lock slice:
+/// bounds how long a slice can stall readers (fork_gc-style batching).
+constexpr size_t kMaintenanceSliceRows = 4096;
+}  // namespace
 
 Result<std::unique_ptr<Workbench>> Workbench::Build(Dataset data,
                                                     WorkbenchOptions options) {
@@ -88,9 +96,187 @@ Result<std::unique_ptr<Workbench>> Workbench::Build(Dataset data,
   }
   wb->SetUpCaches(options);
   PCUBE_RETURN_NOT_OK(wb->ColdStart());
+  Wal::Options wal_options;
+  if (!options.file_path.empty()) wal_options.path = options.file_path + ".wal";
+  wal_options.truncate = true;
+  wal_options.fault_plan = options.wal_fault_plan;
+  auto wal = Wal::Open(wal_options);
+  if (!wal.ok()) return wal.status();
+  wb->wal_ = std::move(*wal);
   if (latency != nullptr) latency->set_read_latency_us(options.read_latency_us);
   if (wb->faults_ != nullptr) wb->faults_->set_armed(true);
+  if (wb->wal_->faults() != nullptr) wb->wal_->faults()->set_armed(true);
+  wb->StartMaintenance();
   return wb;
+}
+
+Workbench::~Workbench() {
+  if (maintenance_.joinable()) {
+    {
+      MutexLock lock(&write_mu_);
+      stop_maintenance_ = true;
+    }
+    pending_cv_.SignalAll();
+    maintenance_.join();
+  }
+}
+
+void Workbench::StartMaintenance() {
+  {
+    MutexLock lock(&write_mu_);
+    staged_rows_ = data_.num_tuples();
+    applied_lsn_ = wal_->durable_lsn();
+  }
+  maintenance_ = std::thread([this] { MaintenanceLoop(); });
+}
+
+void Workbench::MaintenanceLoop() {
+  MutexLock lock(&write_mu_);
+  while (true) {
+    pending_cv_.Wait(&write_mu_, [this]() REQUIRES(write_mu_) {
+      return stop_maintenance_ || !pending_writes_.empty();
+    });
+    if (stop_maintenance_) return;
+
+    // Only DURABLE batches may touch the structures (apply-before-fsync
+    // would make a crash forget an already-visible write). The writer's own
+    // group commit usually beats us here; when it has not, lead one.
+    const uint64_t head_lsn = pending_writes_.front().lsn;
+    if (wal_->durable_lsn() < head_lsn) {
+      lock.Unlock();
+      Status commit = wal_->WaitDurable(head_lsn);
+      lock.Lock();
+      if (stop_maintenance_) return;
+      if (!commit.ok()) {
+        // The log is poisoned (sticky commit failure): the head batch can
+        // never become durable. Dispose of it so its waiters unblock with
+        // the commit error instead of hanging.
+        if (!pending_writes_.empty() &&
+            pending_writes_.front().lsn == head_lsn) {
+          pending_writes_.pop_front();
+          apply_errors_[head_lsn] = commit;
+          applied_lsn_ = std::max(applied_lsn_, head_lsn);
+          applied_cv_.SignalAll();
+        }
+        continue;
+      }
+    }
+
+    // Take a bounded slice of durable batches so the structure writer lock
+    // below is held for a bounded stretch — readers run between slices.
+    const uint64_t durable_upper = wal_->durable_lsn();
+    std::vector<PendingWrite> slice;
+    size_t slice_rows = 0;
+    while (!pending_writes_.empty() &&
+           pending_writes_.front().lsn <= durable_upper &&
+           (slice.empty() || slice_rows < kMaintenanceSliceRows)) {
+      slice_rows += pending_writes_.front().batch.num_rows();
+      slice.push_back(std::move(pending_writes_.front()));
+      pending_writes_.pop_front();
+    }
+    if (slice.empty()) continue;
+    lock.Unlock();
+
+    std::vector<std::pair<uint64_t, Status>> failures;
+    {
+      WriterLock structure_lock(&struct_mu_);
+      WriteApplier applier(this);
+      for (const PendingWrite& w : slice) {
+        Status applied = applier.Apply(w.batch, /*replay=*/false);
+        if (!applied.ok()) failures.emplace_back(w.lsn, applied);
+      }
+    }
+
+    lock.Lock();
+    for (auto& [lsn, st] : failures) apply_errors_[lsn] = std::move(st);
+    applied_lsn_ = std::max(applied_lsn_, slice.back().lsn);
+    applied_cv_.SignalAll();
+  }
+}
+
+Result<WriteResult> Workbench::Apply(const WriteBatch& batch) {
+  if (tree_ == nullptr) {
+    return Status::NotSupported("instance was built without an R-tree");
+  }
+  PCUBE_RETURN_NOT_OK(ValidateWriteBatch(batch, data_.schema()));
+  const auto start = std::chrono::steady_clock::now();
+
+  WriteResult result;
+  uint64_t lsn = 0;
+  {
+    // Staging order fixes everything downstream: LSN order == queue order
+    // == tid assignment order, so replay and maintenance agree on which
+    // rows a batch created.
+    MutexLock lock(&write_mu_);
+    auto payload = EncodeWalPayload(staged_rows_, batch);
+    if (!payload.ok()) return payload.status();
+    auto staged = wal_->Stage(*payload);
+    if (!staged.ok()) return staged.status();
+    lsn = *staged;
+    result.first_tid = staged_rows_;
+    staged_rows_ += batch.inserts.size();
+    pending_writes_.push_back(PendingWrite{lsn, batch});
+    pending_cv_.Signal();
+  }
+
+  Status commit = wal_->WaitDurable(lsn, &result.group_size);
+  result.durable = commit.ok() && wal_->durable();
+
+  // kApplied waits for read-your-writes; a failed commit also waits so the
+  // maintenance thread's disposal of the poisoned batch is consumed here
+  // rather than leaking into apply_errors_.
+  Status apply_status;
+  if (!commit.ok() || batch.ack == WriteBatch::Ack::kApplied) {
+    MutexLock lock(&write_mu_);
+    applied_cv_.Wait(&write_mu_, [this, lsn]() REQUIRES(write_mu_) {
+      return applied_lsn_ >= lsn;
+    });
+    auto it = apply_errors_.find(lsn);
+    if (it != apply_errors_.end()) {
+      apply_status = it->second;
+      apply_errors_.erase(it);
+    }
+  }
+  if (!commit.ok()) return commit;
+  if (!apply_status.ok()) return apply_status;
+
+  result.lsn = lsn;
+  result.epoch = epoch_.global();
+  result.commit_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.GetCounter("pcube_write_batches_total")->Increment();
+  registry.GetCounter("pcube_write_rows_total")->Increment(batch.num_rows());
+  registry.GetHistogram("pcube_write_commit_seconds")
+      ->Observe(result.commit_seconds);
+  return result;
+}
+
+Status Workbench::DrainWrites() {
+  const uint64_t target = wal_->next_lsn() - 1;
+  MutexLock lock(&write_mu_);
+  applied_cv_.Wait(&write_mu_, [this, target]() REQUIRES(write_mu_) {
+    return applied_lsn_ >= target;
+  });
+  // Surface (and clear) failures no kDurable waiter was around to consume.
+  Status first;
+  auto it = apply_errors_.begin();
+  while (it != apply_errors_.end() && it->first <= target) {
+    if (first.ok()) first = it->second;
+    it = apply_errors_.erase(it);
+  }
+  return first;
+}
+
+Status Workbench::RebuildCube() {
+  if (cube_ == nullptr) {
+    return Status::InvalidArgument("instance was built without a cube");
+  }
+  PCUBE_RETURN_NOT_OK(DrainWrites());
+  WriterLock structure_lock(&struct_mu_);
+  WriteApplier applier(this);
+  return applier.RebuildCube();
 }
 
 Status Workbench::Save() {
@@ -101,6 +287,10 @@ Status Workbench::Save() {
   if (table_ == nullptr) {
     return Status::InvalidArgument("Save() requires build_table");
   }
+  // Every staged batch must be applied before the catalog snapshots the
+  // structures, and nothing may mutate them while pages flush.
+  PCUBE_RETURN_NOT_OK(DrainWrites());
+  WriterLock structure_lock(&struct_mu_);
   CatalogData c;
   c.num_bool = data_.num_bool();
   c.num_pref = data_.num_pref();
@@ -135,10 +325,17 @@ Status Workbench::Save() {
     c.cube_levels = cube_->levels();
   }
   c.dictionaries = dictionaries_;
+  c.tombstones.assign(tombstones_.begin(), tombstones_.end());
+  std::sort(c.tombstones.begin(), c.tombstones.end());
   PCUBE_RETURN_NOT_OK(SaveCatalog(pool_.get(), catalog_root_, c));
   PCUBE_RETURN_NOT_OK(pool_->FlushAll());
   if (checksums_ != nullptr) PCUBE_RETURN_NOT_OK(checksums_->SyncSidecar());
-  return Status::OK();
+  // Durability order: page file on stable storage FIRST, then the WAL
+  // checkpoint that declares its records folded in. A crash between the
+  // two replays records whose effects are already present — the replay
+  // cursor (base_rows) and replay-mode delete idempotence absorb that.
+  PCUBE_RETURN_NOT_OK(pm_->Sync());
+  return wal_->Checkpoint();
 }
 
 void Workbench::SetUpCaches(const WorkbenchOptions& options) {
@@ -218,6 +415,7 @@ Result<std::unique_ptr<Workbench>> Workbench::Open(
   }
 
   wb->dictionaries_ = c.dictionaries;
+  wb->tombstones_.insert(c.tombstones.begin(), c.tombstones.end());
 
   // Rebuild the in-memory Dataset from the heap file.
   Schema schema;
@@ -230,10 +428,55 @@ Result<std::unique_ptr<Workbench>> Workbench::Open(
     return true;
   });
   if (!scan.ok()) return scan;
+
+  // Crash recovery: replay acked-but-uncheckpointed batches from the WAL
+  // before the first query can observe the structures. Each record carries
+  // the row count it was staged against (base_rows), which doubles as the
+  // replay cursor: records the last checkpoint already folded into the page
+  // file sit BEHIND the heap's current count and are skipped; delete-only
+  // records never advance the count and re-apply idempotently.
+  Wal::Options wal_options;
+  wal_options.path = path + ".wal";
+  wal_options.truncate = false;
+  wal_options.fault_plan = options.wal_fault_plan;
+  auto wal = Wal::Open(wal_options);
+  if (!wal.ok()) return wal.status();
+  wb->wal_ = std::move(*wal);
+  WriteApplier applier(wb.get());
+  bool replay_applied = false;
+  auto replayed = wb->wal_->Replay([&](const Wal::Record& record) -> Status {
+    uint64_t base_rows = 0;
+    WriteBatch batch;
+    PCUBE_RETURN_NOT_OK(DecodeWalPayload(record.payload, &base_rows, &batch));
+    if (base_rows > wb->data_.num_tuples()) {
+      return Status::Corruption(
+          "WAL record " + std::to_string(record.lsn) + ": row cursor " +
+          std::to_string(base_rows) + " is ahead of the heap file (" +
+          std::to_string(wb->data_.num_tuples()) + " rows)");
+    }
+    if (base_rows < wb->data_.num_tuples()) return Status::OK();
+    PCUBE_RETURN_NOT_OK(ValidateWriteBatch(batch, wb->data_.schema()));
+    replay_applied = true;
+    return applier.Apply(batch, /*replay=*/true);
+  });
+  if (!replayed.ok()) return replayed.status();
+
   wb->SetUpCaches(options);
   PCUBE_RETURN_NOT_OK(wb->ColdStart());
   if (latency != nullptr) latency->set_read_latency_us(options.read_latency_us);
   if (wb->faults_ != nullptr) wb->faults_->set_armed(true);
+  if (wb->wal_->faults() != nullptr) wb->wal_->faults()->set_armed(true);
+  wb->StartMaintenance();
+  if (replay_applied) {
+    // Recovery ends with a checkpoint. The replayed batches mutated pages
+    // in the buffer pool only; without folding them into the page file now,
+    // a later eviction could write some of them back while the on-disk
+    // catalog and checksum sidecar still describe the pre-crash state —
+    // leaving a file that LOOKS corrupt to the next open even though no
+    // data was lost. Checkpointing here makes recovery idempotent and the
+    // file consistent before the first query runs.
+    PCUBE_RETURN_NOT_OK(wb->Save());
+  }
   return wb;
 }
 
@@ -244,6 +487,10 @@ Status Workbench::ColdStart() {
 }
 
 Result<QueryResponse> Workbench::Run(const QueryRequest& request) {
+  // Shared side of the structure lock: the maintenance thread mutates the
+  // tree/cube/indices only under the exclusive side, so a query observes a
+  // consistent structure snapshot for its whole execution.
+  ReaderLock structure_lock(&struct_mu_);
   QueryPlanner planner(this);
   return planner.Run(request);
 }
@@ -252,6 +499,7 @@ Result<QueryResponse> Workbench::RunShared(const QueryRequest& request) {
   if (shared_executor_ == nullptr) {
     return Status::NotSupported("instance was built without a cube");
   }
+  ReaderLock structure_lock(&struct_mu_);
   BatchQueryResult result = shared_executor_->ExecuteOne(request);
   ReportQueryMetrics(request, result.response, result.status);
   if (!result.status.ok()) return result.status;
@@ -259,6 +507,7 @@ Result<QueryResponse> Workbench::RunShared(const QueryRequest& request) {
 }
 
 Result<PlanEstimate> Workbench::Estimate(const PredicateSet& preds) {
+  ReaderLock structure_lock(&struct_mu_);
   QueryPlanner planner(this);
   return planner.Estimate(preds);
 }
@@ -271,6 +520,7 @@ std::string Workbench::DescribeShards() const {
 Result<SkylineOutput> Workbench::SignatureSkyline(const PredicateSet& preds,
                                                   std::vector<int> pref_dims) {
   PCUBE_CHECK(cube_ != nullptr);
+  ReaderLock structure_lock(&struct_mu_);
   auto probe = cube_->MakeProbe(preds);
   if (!probe.ok()) return probe.status();
   SkylineQueryOptions options;
@@ -283,6 +533,7 @@ Result<TopKOutput> Workbench::SignatureTopK(const PredicateSet& preds,
                                             const RankingFunction& f,
                                             size_t k) {
   PCUBE_CHECK(cube_ != nullptr);
+  ReaderLock structure_lock(&struct_mu_);
   auto probe = cube_->MakeProbe(preds);
   if (!probe.ok()) return probe.status();
   TopKEngine engine(tree_.get(), probe->get(), nullptr, &f, k);
@@ -292,6 +543,7 @@ Result<TopKOutput> Workbench::SignatureTopK(const PredicateSet& preds,
 BatchOutput Workbench::RunBatch(const std::vector<BatchQuery>& queries,
                                 size_t num_workers, QueryLog* query_log) {
   PCUBE_CHECK(cube_ != nullptr);
+  ReaderLock structure_lock(&struct_mu_);
   ThreadPool pool(num_workers);
   BatchExecutor executor(tree_.get(), cube_.get(), &pool, query_log,
                          result_cache_.get(), &data_);
@@ -299,6 +551,10 @@ BatchOutput Workbench::RunBatch(const std::vector<BatchQuery>& queries,
 }
 
 Result<Workbench::IntegrityReport> Workbench::VerifyIntegrity() {
+  // The walk checks structural invariants (entry counts, key order), so
+  // half-applied batches would read as damage: drain first, then freeze.
+  PCUBE_RETURN_NOT_OK(DrainWrites());
+  WriterLock structure_lock(&struct_mu_);
   IntegrityReport report;
 
   // 1. Page sweep: every allocated page must read back — through the
@@ -373,6 +629,7 @@ Result<Workbench::IntegrityReport> Workbench::VerifyIntegrity() {
 }
 
 void Workbench::ExportMetrics(MetricsRegistry* registry) const {
+  ReaderLock structure_lock(&struct_mu_);
   pool_->ExportTo(registry, "pcube_bufferpool");
   registry->GetGauge("pcube_pages_total")
       ->Set(static_cast<double>(pm_->NumPages()));
@@ -394,6 +651,14 @@ void Workbench::ExportMetrics(MetricsRegistry* registry) const {
       ->Set(static_cast<double>(stats_.TotalReads()));
   registry->GetGauge("pcube_io_writes_total")
       ->Set(static_cast<double>(stats_.TotalWrites()));
+  registry->GetGauge("pcube_tombstones")
+      ->Set(static_cast<double>(tombstones_.size()));
+  if (wal_ != nullptr) {
+    registry->GetGauge("pcube_wal_durable_lsn")
+        ->Set(static_cast<double>(wal_->durable_lsn()));
+    registry->GetGauge("pcube_wal_syncs")
+        ->Set(static_cast<double>(wal_->sync_count()));
+  }
 
   // Cache occupancy plus per-level hit rates. The caches report their
   // event counters into the process-wide default registry; the rates here

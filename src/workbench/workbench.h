@@ -5,7 +5,11 @@
 // the same storage stack the paper describes in §VI.A.
 #pragma once
 
+#include <deque>
+#include <map>
 #include <memory>
+#include <thread>
+#include <unordered_set>
 
 #include "baselines/boolean_first.h"
 #include "baselines/domination_first.h"
@@ -19,11 +23,15 @@
 #include "query/incremental.h"
 #include "query/skyline_engine.h"
 #include "query/topk_engine.h"
+#include "common/mutex.h"
+#include "query/write_batch.h"
 #include "storage/checksum.h"
 #include "storage/fault_injection.h"
 #include "storage/table_store.h"
+#include "storage/wal.h"
 #include "workbench/batch_executor.h"
 #include "workbench/query_service.h"
+#include "workbench/write_path.h"
 
 namespace pcube {
 
@@ -69,6 +77,10 @@ struct WorkbenchOptions {
   /// disarmed while Build/Open construct the structures and armed just
   /// before returning, so faults hit queries, not construction.
   FaultPlan fault_plan;
+  /// Separate fault plan for the write-ahead log's own page stack (crash
+  /// tests tear the WAL tail deterministically without perturbing the main
+  /// store). Disarmed during Open's replay, armed before returning.
+  FaultPlan wal_fault_plan;
   /// L1 semantic result cache budget in MiB (cache/result_cache.h); 0
   /// disables the level. Served through QueryPlanner::Run and RunBatch.
   size_t result_cache_mb = 16;
@@ -82,16 +94,22 @@ struct WorkbenchOptions {
 };
 
 /// One fully built experimental instance — the single-shard QueryService.
-/// Movable-only aggregate.
+/// Heap-allocated and pinned (the maintenance thread and the lock members
+/// make it immovable); always held behind a unique_ptr.
 class Workbench : public QueryService {
  public:
   /// Builds every structure for `data` (the R-tree dims follow the schema).
   static Result<std::unique_ptr<Workbench>> Build(Dataset data,
                                                   WorkbenchOptions options);
 
+  /// Stops the maintenance thread. Durable-acked batches it had not applied
+  /// yet survive in the WAL and are replayed by the next Open().
+  ~Workbench() override;
+
   /// Writes the catalog and flushes all pages; only valid for file-backed
   /// instances (options.file_path). Requires build_table and build_indices;
-  /// the cube must use atomic cuboids without Bloom signatures.
+  /// the cube must use atomic cuboids without Bloom signatures. Drains the
+  /// write path, syncs the page file, then truncates the WAL (checkpoint).
   Status Save();
 
   /// Reopens a previously Save()d file: re-attaches every structure and
@@ -154,6 +172,32 @@ class Workbench : public QueryService {
   /// Index-only cost estimates for both plans (QueryPlanner::Estimate).
   Result<PlanEstimate> Estimate(const PredicateSet& preds) override;
 
+  /// The mutation entry point (QueryService::Apply, DESIGN.md §15): stages
+  /// the batch in the WAL under the write lock, joins a group commit (one
+  /// fsync per concurrent writer group), then either returns at durability
+  /// (Ack::kDurable) or waits for the maintenance thread to apply the batch
+  /// (Ack::kApplied — read-your-writes). Thread-safe; runs concurrently
+  /// with queries, which only ever block for the bounded slice the
+  /// maintenance thread holds the structure writer lock.
+  Result<WriteResult> Apply(const WriteBatch& batch) override;
+
+  /// Blocks until every batch staged so far is durable AND applied.
+  Status DrainWrites();
+
+  /// Recomputes every cube signature from the current tree — the public
+  /// gateway to the internal PCube::Rebuild (bench_fig7's rebuild arm).
+  /// Drains the write path first; bumps every epoch.
+  Status RebuildCube();
+
+  /// Tuples deleted since the heap file was built: Apply() removes deletes
+  /// from the R-tree immediately but the heap file and boolean indices keep
+  /// their rows, so the boolean-first plan filters through this set. Stable
+  /// only while no Apply() is in flight.
+  const std::unordered_set<TupleId>& tombstones() const { return tombstones_; }
+
+  /// The write-ahead log (always present; RAM-backed when file_path empty).
+  Wal* wal() { return wal_.get(); }
+
   size_t num_shards() const override { return 1; }
   std::string DescribeShards() const override;
 
@@ -195,11 +239,28 @@ class Workbench : public QueryService {
   Result<IntegrityReport> VerifyIntegrity();
 
  private:
+  friend class WriteApplier;
+
   Workbench() : pool_(nullptr) {}
 
   /// Creates the configured cache levels and attaches them (and the epoch
   /// registry) to the cube; shared tail of Build() and Open().
   void SetUpCaches(const WorkbenchOptions& options);
+
+  /// Seeds the write-path cursors from the (possibly replayed) WAL and
+  /// starts the maintenance thread; shared tail of Build() and Open().
+  void StartMaintenance();
+
+  /// One staged-but-unapplied batch, queued in LSN order.
+  struct PendingWrite {
+    uint64_t lsn = 0;
+    WriteBatch batch;
+  };
+
+  /// Background maintenance: takes bounded slices of DURABLE pending
+  /// batches, applies them under the structure writer lock (readers run
+  /// between slices), records per-batch failures, advances applied_lsn_.
+  void MaintenanceLoop();
 
   Dataset data_;
   IoStats stats_;
@@ -221,6 +282,29 @@ class Workbench : public QueryService {
   PageId catalog_root_ = kInvalidPageId;
   RTreeOptions rtree_options_;
   std::vector<std::vector<std::string>> dictionaries_;
+
+  // ---- Write path (DESIGN.md §15) ----------------------------------------
+  std::unique_ptr<Wal> wal_;
+  /// Structure lock: queries hold it shared for their whole execution, the
+  /// maintenance thread holds it exclusive per bounded slice. Mutable so
+  /// const observers (ExportMetrics) can take the shared side.
+  mutable SharedMutex struct_mu_;
+  /// Deleted tuples (see tombstones()); written under struct_mu_ exclusive,
+  /// read by the boolean-first plan under the shared side.
+  std::unordered_set<TupleId> tombstones_;
+  Mutex write_mu_;
+  std::deque<PendingWrite> pending_writes_ GUARDED_BY(write_mu_);
+  /// Logical row count including every staged insert: the next batch's
+  /// first_tid and its WAL replay cursor (base_rows).
+  uint64_t staged_rows_ GUARDED_BY(write_mu_) = 0;
+  uint64_t applied_lsn_ GUARDED_BY(write_mu_) = 0;
+  /// Failures of applied batches, keyed by LSN; consumed by the kApplied
+  /// waiter (kDurable failures surface in metrics and DrainWrites).
+  std::map<uint64_t, Status> apply_errors_ GUARDED_BY(write_mu_);
+  bool stop_maintenance_ GUARDED_BY(write_mu_) = false;
+  CondVar pending_cv_;  ///< maintenance waits: work arrived / stop
+  CondVar applied_cv_;  ///< writers wait: applied_lsn_ advanced
+  std::thread maintenance_;
 };
 
 }  // namespace pcube

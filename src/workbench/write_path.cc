@@ -1,0 +1,117 @@
+#include "workbench/write_path.h"
+
+#include "common/bit_util.h"
+#include "workbench/workbench.h"
+
+namespace pcube {
+
+Status WriteApplier::Apply(const WriteBatch& batch, bool replay) {
+  Dataset& data = *wb_->mutable_data();
+  const TupleId first_new_tid = data.num_tuples();
+  PathChangeSet changes;
+  // Collect the first failure instead of returning at once: whatever tree
+  // changes DID land before the failure must still flow into the cube
+  // maintenance below, or the signatures would disagree with the tree and
+  // the engines could prune live results.
+  Status first_error;
+
+  for (const WriteBatch::Row& row : batch.inserts) {
+    TupleId tid = data.Append(row.bools, row.prefs);
+    if (wb_->table_ != nullptr) {
+      auto appended = wb_->table_->Append(row.bools, row.prefs);
+      if (!appended.ok()) {
+        first_error = appended.status();
+        break;
+      }
+      PCUBE_CHECK_EQ(*appended, tid);
+    }
+    for (size_t d = 0; d < wb_->indices_.size() && first_error.ok(); ++d) {
+      first_error = wb_->indices_[d].Add(row.bools[d], tid);
+    }
+    if (!first_error.ok()) break;
+    first_error = wb_->tree_->Insert(data.PrefPoint(tid), tid, &changes);
+    if (!first_error.ok()) break;
+  }
+
+  for (size_t i = 0; first_error.ok() && i < batch.deletes.size(); ++i) {
+    const TupleId tid = batch.deletes[i];
+    if (tid >= data.num_tuples()) {
+      first_error = Status::InvalidArgument("delete of unknown tuple " +
+                                            std::to_string(tid));
+      break;
+    }
+    if (wb_->tombstones_.count(tid) > 0) {
+      if (replay) continue;  // crash between Save() and the WAL checkpoint
+      first_error = Status::NotFound("tuple " + std::to_string(tid) +
+                                     " is already deleted");
+      break;
+    }
+    Status removed = wb_->tree_->Delete(data.PrefPoint(tid), tid, &changes);
+    if (!removed.ok()) {
+      if (replay && removed.code() == StatusCode::kNotFound) continue;
+      first_error = removed;
+      break;
+    }
+    wb_->tombstones_.insert(tid);
+  }
+
+  Status maintained;
+  if (wb_->cube_ != nullptr) {
+    maintained = wb_->cube_->ApplyChanges(data, changes);
+    if (maintained.code() == StatusCode::kNotSupported) {
+      // Root split: every path changed, re-derive all signatures.
+      maintained = wb_->cube_->Rebuild(data, *wb_->tree_);
+    }
+  } else {
+    // No cube: the epoch bump ApplyChanges would have issued happens here
+    // so the L1 cache still invalidates exactly.
+    std::vector<CellId> cells;
+    auto collect = [&](TupleId tid) {
+      for (int d = 0; d < data.num_bool(); ++d) {
+        cells.push_back(AtomicCellId(d, data.BoolValue(tid, d)));
+      }
+    };
+    for (TupleId tid = first_new_tid; tid < data.num_tuples(); ++tid) {
+      collect(tid);
+    }
+    for (TupleId tid : batch.deletes) {
+      if (tid < data.num_tuples()) collect(tid);
+    }
+    wb_->epoch_.BumpCells(cells);
+  }
+  return first_error.ok() ? maintained : first_error;
+}
+
+Status WriteApplier::RebuildCube() {
+  if (wb_->cube_ == nullptr) {
+    return Status::InvalidArgument("instance was built without a cube");
+  }
+  return wb_->cube_->Rebuild(*wb_->mutable_data(), *wb_->tree_);
+}
+
+Result<std::string> EncodeWalPayload(uint64_t base_rows,
+                                     const WriteBatch& batch) {
+  auto encoded = EncodeWriteBatch(batch);
+  if (!encoded.ok()) return encoded.status();
+  std::string payload;
+  payload.reserve(8 + encoded->size());
+  uint8_t buf[8];
+  bit_util::StoreLE(buf, base_rows);
+  payload.append(reinterpret_cast<const char*>(buf), sizeof(buf));
+  payload.append(*encoded);
+  return payload;
+}
+
+Status DecodeWalPayload(const std::string& payload, uint64_t* base_rows,
+                        WriteBatch* batch) {
+  if (payload.size() < 8) {
+    return Status::Corruption("WAL payload shorter than its row cursor");
+  }
+  *base_rows =
+      bit_util::LoadLE<uint64_t>(reinterpret_cast<const uint8_t*>(payload.data()));
+  return DecodeWriteBatch(
+      reinterpret_cast<const uint8_t*>(payload.data()) + 8, payload.size() - 8,
+      batch);
+}
+
+}  // namespace pcube

@@ -105,26 +105,19 @@ TEST(CacheConcurrencyTest, BatchWorkersRaceIncrementalUpdates) {
 
   auto updater = [&] {
     for (uint64_t t = 0; t < extra.num_tuples(); ++t) {
+      // The exclusive lock keeps the REFERENCE computation stable (readers
+      // verify under the shared side); Apply itself needs no external
+      // synchronization.
       std::unique_lock<std::shared_mutex> lock(mu);
-      TupleId tid =
-          wb->mutable_data()->Append(extra.BoolRow(t), extra.PrefPoint(t));
-      PathChangeSet changes;
-      Status ins = wb->tree()->Insert(wb->data().PrefPoint(tid), tid, &changes);
-      if (!ins.ok()) {
-        report("tree Insert failed: " + ins.ToString());
+      WriteBatch batch;
+      auto bools = extra.BoolRow(t);
+      auto prefs = extra.PrefPoint(t);
+      batch.inserts.push_back({{bools.begin(), bools.end()},
+                               {prefs.begin(), prefs.end()}});
+      auto applied = wb->Apply(batch);
+      if (!applied.ok()) {
+        report("Apply failed: " + applied.status().ToString());
         return;
-      }
-      Status st = wb->cube()->ApplyChanges(wb->data(), changes);
-      if (!st.ok()) {
-        if (st.code() != StatusCode::kNotSupported) {
-          report("ApplyChanges failed: " + st.ToString());
-          return;
-        }
-        st = wb->cube()->Rebuild(wb->data(), *wb->tree());
-        if (!st.ok()) {
-          report("Rebuild failed: " + st.ToString());
-          return;
-        }
       }
     }
   };
@@ -139,6 +132,86 @@ TEST(CacheConcurrencyTest, BatchWorkersRaceIncrementalUpdates) {
   EXPECT_GT(CounterValue("pcube_result_cache_hits_total") +
                 CounterValue("pcube_result_cache_containment_total"),
             hits_before);
+}
+
+TEST(CacheConcurrencyTest, AckedWriteNeverServedStaleCachedAnswer) {
+  // Differential test for the write-path epoch handshake (DESIGN.md §15):
+  // once Apply(Ack::kApplied) has returned, NO subsequent query — cached or
+  // not — may answer from a pre-write snapshot. The writer inserts a chain
+  // of tuples each strictly dominating everything before it (so the skyline
+  // for the probed predicate is exactly the newest applied insert), and the
+  // readers hammer the SAME request so the L1 result cache serves it
+  // whenever its stamps are current; a stale cached hit would return a tid
+  // OLDER than the last acknowledged insert. Runs under TSan via ci.sh.
+  SyntheticConfig config;
+  config.num_tuples = 400;
+  config.num_bool = 1;
+  config.num_pref = 2;
+  config.bool_cardinality = 4;
+  config.seed = 93;
+  auto built = Workbench::Build(GenerateSynthetic(config), {});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Workbench* wb = built->get();
+
+  constexpr uint32_t kTargetValue = 2;
+  constexpr TupleId kNone = static_cast<TupleId>(-1);
+  std::atomic<TupleId> last_acked{kNone};
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> stale{0};
+  std::mutex first_mu;
+  std::string first_error;
+  auto report = [&](const std::string& msg) {
+    stale.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(first_mu);
+    if (first_error.empty()) first_error = msg;
+  };
+
+  auto writer = [&] {
+    for (int i = 0; i < 40; ++i) {
+      WriteBatch batch;  // Ack::kApplied: read-your-writes on return
+      batch.inserts.push_back(
+          {{kTargetValue},
+           {-1.0f - static_cast<float>(i), -1.0f - static_cast<float>(i)}});
+      auto applied = wb->Apply(batch);
+      if (!applied.ok()) {
+        report("Apply failed: " + applied.status().ToString());
+        break;
+      }
+      last_acked.store(applied->first_tid, std::memory_order_release);
+    }
+    done.store(true, std::memory_order_release);
+  };
+
+  auto reader = [&] {
+    QueryRequest request = QueryRequest::Skyline({{0, kTargetValue}});
+    while (!done.load(std::memory_order_acquire)) {
+      const TupleId expect = last_acked.load(std::memory_order_acquire);
+      auto resp = wb->RunShared(request);
+      if (!resp.ok()) {
+        report("query failed: " + resp.status().ToString());
+        return;
+      }
+      if (expect == kNone) continue;  // nothing acknowledged yet
+      // Each insert dominates every earlier tuple, so the skyline is the
+      // single newest APPLIED insert; anything older than the last insert
+      // acknowledged before the query began is a stale answer.
+      if (resp->tids.size() != 1) {
+        report("skyline size " + std::to_string(resp->tids.size()) +
+               " after dominating insert");
+      } else if (resp->tids[0] < expect) {
+        report("stale answer: tid " + std::to_string(resp->tids[0]) +
+               " but insert " + std::to_string(expect) +
+               " was already acknowledged");
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) threads.emplace_back(reader);
+  threads.emplace_back(writer);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(stale.load(), 0u) << first_error;
 }
 
 TEST(CacheConcurrencyTest, ResultCacheProtocolUnderRacingBumps) {

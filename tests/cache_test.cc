@@ -39,20 +39,15 @@ std::unique_ptr<Workbench> BuildBench(WorkbenchOptions options = {},
   return std::move(*wb);
 }
 
-/// Appends one tuple and routes it through the Fig. 7 incremental
-/// maintenance path (falling back to a rebuild when the root splits, which
-/// invalidates everything anyway).
+/// Appends one tuple through the write path (Apply routes it into the
+/// Fig. 7 incremental maintenance, falling back to a rebuild when the root
+/// splits, which invalidates everything anyway).
 void InsertTuple(Workbench* wb, std::vector<uint32_t> bool_row,
                  std::vector<float> pref) {
-  TupleId tid = wb->mutable_data()->Append(bool_row, pref);
-  PathChangeSet changes;
-  Status insert = wb->tree()->Insert(wb->data().PrefPoint(tid), tid, &changes);
-  ASSERT_TRUE(insert.ok()) << insert.ToString();
-  Status st = wb->cube()->ApplyChanges(wb->data(), changes);
-  if (!st.ok()) {
-    ASSERT_EQ(st.code(), StatusCode::kNotSupported) << st.ToString();
-    ASSERT_TRUE(wb->cube()->Rebuild(wb->data(), *wb->tree()).ok());
-  }
+  WriteBatch batch;
+  batch.inserts.push_back({std::move(bool_row), std::move(pref)});
+  auto result = wb->Apply(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
 }
 
 // --------------------------------------------------------------- L1 basics

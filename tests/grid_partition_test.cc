@@ -95,16 +95,15 @@ TEST(GridPartitionTest, MaintenanceWorksOnGridTemplate) {
   auto wb = Workbench::Build(std::move(initial), options);
   ASSERT_TRUE(wb.ok());
   Workbench& w = **wb;
-  PathChangeSet changes;
+  WriteBatch batch;
   for (TupleId src = 1200; src < 1500; ++src) {
-    TupleId tid = w.mutable_data()->Append(full.BoolRow(src),
-                                           full.PrefPoint(src));
-    ASSERT_TRUE(w.tree()->Insert(full.PrefPoint(src), tid, &changes).ok());
+    auto bools = full.BoolRow(src);
+    auto prefs = full.PrefPoint(src);
+    batch.inserts.push_back({{bools.begin(), bools.end()},
+                             {prefs.begin(), prefs.end()}});
   }
-  Status st = w.cube()->ApplyChanges(w.data(), changes);
-  if (!st.ok()) {
-    ASSERT_TRUE(w.cube()->Rebuild(w.data(), *w.tree()).ok());
-  }
+  auto applied = w.Apply(batch);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
   PredicateSet preds{{0, 1}};
   auto sky = w.SignatureSkyline(preds);
   ASSERT_TRUE(sky.ok());

@@ -13,6 +13,12 @@
 namespace pcube {
 namespace {
 
+WriteBatch::Row MakeRow(const Dataset& data, TupleId t) {
+  auto bools = data.BoolRow(t);
+  auto prefs = data.PrefPoint(t);
+  return {{bools.begin(), bools.end()}, {prefs.begin(), prefs.end()}};
+}
+
 class MaintenanceTest : public ::testing::TestWithParam<int> {
  protected:
   /// Compares every atomic cell's stored signature against a fresh build
@@ -63,21 +69,15 @@ TEST_P(MaintenanceTest, InsertBatchesMatchRebuild) {
   ASSERT_TRUE(wb.ok());
   Workbench& w = **wb;
 
-  // Apply 4 batches of 100 inserts; maintain the cube after each batch.
+  // Apply 4 batches of 100 inserts; the write path maintains the cube
+  // (falling back to a rebuild internally when the root splits).
   for (int batch = 0; batch < 4; ++batch) {
-    PathChangeSet changes;
+    WriteBatch wbatch;
     for (int i = 0; i < 100; ++i) {
-      TupleId src = 800 + batch * 100 + i;
-      TupleId tid = w.mutable_data()->Append(full.BoolRow(src),
-                                             full.PrefPoint(src));
-      ASSERT_TRUE(
-          w.tree()->Insert(full.PrefPoint(src), tid, &changes).ok());
+      wbatch.inserts.push_back(MakeRow(full, 800 + batch * 100 + i));
     }
-    Status st = w.cube()->ApplyChanges(w.data(), changes);
-    if (!st.ok()) {
-      ASSERT_EQ(st.code(), StatusCode::kNotSupported);  // root split
-      ASSERT_TRUE(w.cube()->Rebuild(w.data(), *w.tree()).ok());
-    }
+    auto applied = w.Apply(wbatch);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
     std::vector<bool> alive(w.data().num_tuples(), true);
     ExpectStoreMatchesRebuild(w, alive);
   }
@@ -106,29 +106,23 @@ TEST_P(MaintenanceTest, MixedInsertDeleteMatchesRebuild) {
   std::vector<bool> alive(600, true);
   Random rng(GetParam());
   for (int batch = 0; batch < 3; ++batch) {
-    PathChangeSet changes;
+    WriteBatch wbatch;
     // Insert 80 new tuples...
     for (int i = 0; i < 80; ++i) {
-      TupleId src = 600 + batch * 80 + i;
-      TupleId tid = w.mutable_data()->Append(full.BoolRow(src),
-                                             full.PrefPoint(src));
+      wbatch.inserts.push_back(MakeRow(full, 600 + batch * 80 + i));
       alive.push_back(true);
-      ASSERT_TRUE(w.tree()->Insert(full.PrefPoint(src), tid, &changes).ok());
     }
-    // ... and delete 40 random live ones.
+    // ... and delete 40 random live ones (avoiding the not-yet-applied
+    // inserts: a batch's deletes may only name existing tuples).
+    const size_t existing = alive.size() - 80;
     for (int i = 0; i < 40; ++i) {
-      TupleId victim = rng.Uniform(alive.size());
+      TupleId victim = rng.Uniform(existing);
       if (!alive[victim]) continue;
       alive[victim] = false;
-      ASSERT_TRUE(w.tree()
-                      ->Delete(w.data().PrefPoint(victim), victim, &changes)
-                      .ok());
+      wbatch.deletes.push_back(victim);
     }
-    Status st = w.cube()->ApplyChanges(w.data(), changes);
-    if (!st.ok()) {
-      ASSERT_EQ(st.code(), StatusCode::kNotSupported);
-      ASSERT_TRUE(w.cube()->Rebuild(w.data(), *w.tree()).ok());
-    }
+    auto applied = w.Apply(wbatch);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
     ExpectStoreMatchesRebuild(w, alive);
   }
 }
@@ -154,14 +148,10 @@ TEST(MaintenanceTest, PerTupleMaintenanceMatchesRebuild) {
   Workbench& w = **wb;
 
   for (TupleId src = 650; src < 700; ++src) {
-    PathChangeSet changes;
-    TupleId tid = w.mutable_data()->Append(full.BoolRow(src),
-                                           full.PrefPoint(src));
-    ASSERT_TRUE(w.tree()->Insert(full.PrefPoint(src), tid, &changes).ok());
-    Status st = w.cube()->ApplyChanges(w.data(), changes);
-    if (!st.ok()) {
-      ASSERT_TRUE(w.cube()->Rebuild(w.data(), *w.tree()).ok());
-    }
+    WriteBatch wbatch;
+    wbatch.inserts.push_back(MakeRow(full, src));
+    auto applied = w.Apply(wbatch);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
   }
   // Final state must equal a rebuild.
   auto paths = PathTable::Collect(*w.tree());
@@ -202,21 +192,15 @@ TEST(MaintenanceTest, CompositeCellsMaintainedToo) {
   ASSERT_TRUE(wb.ok());
   Workbench& w = **wb;
 
-  PathChangeSet changes;
+  WriteBatch wbatch;
   for (TupleId src = 700; src < 900; ++src) {
-    TupleId tid = w.mutable_data()->Append(full.BoolRow(src),
-                                           full.PrefPoint(src));
-    ASSERT_TRUE(w.tree()->Insert(full.PrefPoint(src), tid, &changes).ok());
+    wbatch.inserts.push_back(MakeRow(full, src));
   }
   for (TupleId victim = 0; victim < 80; ++victim) {
-    ASSERT_TRUE(
-        w.tree()->Delete(w.data().PrefPoint(victim), victim, &changes).ok());
+    wbatch.deletes.push_back(victim);
   }
-  Status st = w.cube()->ApplyChanges(w.data(), changes);
-  if (!st.ok()) {
-    ASSERT_EQ(st.code(), StatusCode::kNotSupported);
-    ASSERT_TRUE(w.cube()->Rebuild(w.data(), *w.tree()).ok());
-  }
+  auto applied = w.Apply(wbatch);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
 
   // Two-predicate queries exercise the composite signatures.
   for (uint32_t va = 0; va < 3; ++va) {

@@ -24,7 +24,10 @@ class PersistenceTest : public ::testing::Test {
  protected:
   std::string path_ = testing::TempDir() + "/pcube_persist_test.db";
 
-  void TearDown() override { std::remove(path_.c_str()); }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());  // the WAL sidecar
+  }
 
   Dataset MakeData(uint64_t seed) {
     SyntheticConfig config;
@@ -116,17 +119,17 @@ TEST_F(PersistenceTest, ReopenedWorkbenchSupportsMaintenance) {
   auto wb = Workbench::Open(path_);
   ASSERT_TRUE(wb.ok());
   Workbench& w = **wb;
-  // Insert 20 new tuples through the reopened stack.
+  // Insert 20 new tuples through the reopened stack's write path.
   Dataset extra = MakeData(74);
-  PathChangeSet changes;
+  WriteBatch batch;
   for (TupleId i = 0; i < 20; ++i) {
-    TupleId tid = w.mutable_data()->Append(extra.BoolRow(i), extra.PrefPoint(i));
-    ASSERT_TRUE(w.tree()->Insert(extra.PrefPoint(i), tid, &changes).ok());
+    auto bools = extra.BoolRow(i);
+    auto prefs = extra.PrefPoint(i);
+    batch.inserts.push_back({{bools.begin(), bools.end()},
+                             {prefs.begin(), prefs.end()}});
   }
-  Status st = w.cube()->ApplyChanges(w.data(), changes);
-  if (!st.ok()) {
-    ASSERT_TRUE(w.cube()->Rebuild(w.data(), *w.tree()).ok());
-  }
+  auto applied = w.Apply(batch);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
   // Queries still match naive over the extended dataset.
   PredicateSet preds{{1, 1}};
   auto sky = w.SignatureSkyline(preds);

@@ -169,26 +169,22 @@ TEST_P(StressTest, RandomPipeline) {
   extra_config.num_tuples = 150;
   extra_config.seed = 7000 + GetParam();
   Dataset extra = GenerateSynthetic(extra_config);
-  PathChangeSet changes;
+  WriteBatch batch;
   for (TupleId i = 0; i < extra.num_tuples(); ++i) {
-    TupleId tid = w.mutable_data()->Append(extra.BoolRow(i), extra.PrefPoint(i));
-    ASSERT_TRUE(w.tree()->Insert(extra.PrefPoint(i), tid, &changes).ok());
+    auto bools = extra.BoolRow(i);
+    auto prefs = extra.PrefPoint(i);
+    batch.inserts.push_back({{bools.begin(), bools.end()},
+                             {prefs.begin(), prefs.end()}});
   }
-  alive.resize(w.data().num_tuples(), true);
-  std::vector<TupleId> deleted;
+  alive.resize(alive.size() + extra.num_tuples(), true);
   for (int i = 0; i < 60; ++i) {
     TupleId victim = rng.Uniform(config.num_tuples);
     if (!alive[victim]) continue;
-    ASSERT_TRUE(
-        w.tree()->Delete(w.data().PrefPoint(victim), victim, &changes).ok());
+    batch.deletes.push_back(victim);
     alive[victim] = false;
-    deleted.push_back(victim);
   }
-  Status st = w.cube()->ApplyChanges(w.data(), changes);
-  if (!st.ok()) {
-    ASSERT_EQ(st.code(), StatusCode::kNotSupported);
-    ASSERT_TRUE(w.cube()->Rebuild(w.data(), *w.tree()).ok());
-  }
+  auto applied = w.Apply(batch);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
   verify_battery("after maintenance");
 }
 

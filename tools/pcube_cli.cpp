@@ -25,15 +25,29 @@
 //       Signature-pruned top-k under a linear function (--weights) or a
 //       weighted squared distance to a target point (--target).
 //
+//   pcube ingest (--db data.pcube | --connect HOST:PORT)
+//               [--csv rows.csv --spec bbbppp [--header]]
+//               [--delete tid,tid,...] [--batch N] [--ack applied|durable]
+//               [--tenant T] [--save]
+//       Stream mutations through the write path (DESIGN.md §15): CSV rows
+//       become WriteBatch inserts (chunked --batch rows per Apply, default
+//       1024), --delete tids become deletes. With --db the batches commit
+//       through the local WAL (--save additionally checkpoints into the
+//       page file); with --connect they travel as kWrite frames to a
+//       running `pcube serve`. Prints sustained rows/sec and commit stats.
+//
 //   pcube verify --db data.pcube
-//       Full integrity walk: re-read every page through the checksum layer,
-//       check B+-tree key order, R-tree structure and signature assembly.
-//       Exit 1 (listing the problems) if anything fails.
+//       Full integrity walk: validate the WAL sidecar first (record CRCs,
+//       LSN monotonicity, torn tail — inspected BEFORE opening, since Open
+//       replays and heals the log), then re-read every page through the
+//       checksum layer, check B+-tree key order, R-tree structure and
+//       signature assembly. Exit 1 (listing the problems) if anything fails.
 //
 //   pcube corrupt --db data.pcube [--kind signature|rtree|table|catalog]
-//                 [--page N] [--offset K]
+//                 [--page N] [--offset K] [--wal]
 //       Deliberately flip one byte per targeted page in the raw file
 //       (testing tool; `verify` and checksummed reads must catch it).
+//       --wal targets the WAL sidecar (<db>.wal) instead of the page file.
 //
 //   pcube serve --db data.pcube [--shards N] [--port P] [--workers N]
 //               [--queue-cap N] [--tenant-rate R] [--tenant-burst B]
@@ -93,11 +107,14 @@
 
 #include "common/random.h"
 #include "common/simd/simd.h"
+#include "common/timer.h"
 #include "data/csv.h"
 #include "data/generators.h"
+#include "query/write_batch.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "shard/sharded_workbench.h"
+#include "storage/wal.h"
 #include "workbench/planner.h"
 #include "workbench/workbench.h"
 
@@ -541,6 +558,24 @@ int CmdExplain(const Args& args) {
 }
 
 int CmdVerify(const Args& args) {
+  // Inspect the WAL sidecar BEFORE opening: Workbench::Open replays the log
+  // and zeroes any torn tail, so damage must be reported off the raw file.
+  size_t wal_problems = 0;
+  const std::string wal_path = args.Require("db") + ".wal";
+  if (std::ifstream(wal_path).good()) {
+    auto wal_report = Unwrap(Wal::Inspect(wal_path));
+    std::printf("wal: %llu record(s), start lsn %llu, last lsn %llu%s\n",
+                static_cast<unsigned long long>(wal_report.num_records),
+                static_cast<unsigned long long>(wal_report.start_lsn),
+                static_cast<unsigned long long>(wal_report.last_lsn),
+                wal_report.torn_tail
+                    ? " (torn tail: unacknowledged suffix will be discarded)"
+                    : "");
+    for (const std::string& msg : wal_report.errors) {
+      std::fprintf(stderr, "  wal: %s\n", msg.c_str());
+    }
+    wal_problems = wal_report.errors.size();
+  }
   auto wb = OpenDb(args);
   auto report = Unwrap(wb->VerifyIntegrity());
   std::printf("verified %llu pages\n",
@@ -553,8 +588,9 @@ int CmdVerify(const Args& args) {
                    static_cast<unsigned long long>(pid), msg.c_str());
     }
   }
-  if (!report.ok()) {
-    std::fprintf(stderr, "%zu problem(s) found\n", report.errors.size());
+  if (!report.ok() || wal_problems > 0) {
+    std::fprintf(stderr, "%zu problem(s) found\n",
+                 report.errors.size() + wal_problems);
     return 1;
   }
   std::printf("ok\n");
@@ -564,7 +600,12 @@ int CmdVerify(const Args& args) {
 int CmdCorrupt(const Args& args) {
   std::string path = args.Require("db");
   std::vector<PageId> targets;
-  if (args.Has("page")) {
+  if (args.Has("wal")) {
+    // The WAL sidecar: default to page 1 (the head of the record region;
+    // page 0 is the header) so `verify` sees a record CRC failure.
+    path += ".wal";
+    targets.push_back(static_cast<PageId>(args.GetInt("page", 1)));
+  } else if (args.Has("page")) {
     targets.push_back(static_cast<PageId>(args.GetInt("page", 0)));
   } else {
     // Open the database to locate the pages of the requested structure,
@@ -627,6 +668,184 @@ int CmdCorrupt(const Args& args) {
     std::printf(" %llu", static_cast<unsigned long long>(pid));
   }
   std::printf("\n");
+  return 0;
+}
+
+// ------------------------------------------------------------------ ingest
+
+/// Resolves one CSV boolean value: dictionary string (local mode only),
+/// "#code" (the wire form), or a bare / "v"-prefixed integer (the form
+/// `pcube generate` emits).
+bool ResolveIngestBool(const std::vector<std::vector<std::string>>* dicts,
+                       size_t dim, const std::string& value, uint32_t* out) {
+  if (dicts != nullptr && dim < dicts->size()) {
+    const auto& dict = (*dicts)[dim];
+    for (size_t v = 0; v < dict.size(); ++v) {
+      if (dict[v] == value) {
+        *out = static_cast<uint32_t>(v);
+        return true;
+      }
+    }
+  }
+  const char* s = value.c_str();
+  if (*s == '#' || *s == 'v') ++s;
+  if (*s == '\0') return false;
+  char* end = nullptr;
+  const unsigned long code = std::strtoul(s, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<uint32_t>(code);
+  return true;
+}
+
+/// Reads --csv/--spec rows into WriteBatch insert rows.
+std::vector<WriteBatch::Row> LoadIngestRows(
+    const Args& args, const std::vector<std::vector<std::string>>* dicts) {
+  std::vector<WriteBatch::Row> rows;
+  if (!args.Has("csv")) return rows;
+  const std::string spec = args.Require("spec");
+  std::ifstream in(args.Get("csv"));
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", args.Get("csv").c_str());
+    std::exit(1);
+  }
+  std::string line;
+  bool skip_header = args.Has("header");
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (skip_header) {
+      skip_header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitList(line);
+    if (fields.size() < spec.size()) {
+      std::fprintf(stderr, "line %zu: %zu field(s), spec wants %zu\n",
+                   line_no, fields.size(), spec.size());
+      std::exit(2);
+    }
+    WriteBatch::Row row;
+    size_t bool_dim = 0;
+    for (size_t i = 0; i < spec.size(); ++i) {
+      if (spec[i] == 'b') {
+        uint32_t code = 0;
+        if (!ResolveIngestBool(dicts, bool_dim, fields[i], &code)) {
+          std::fprintf(stderr, "line %zu: cannot resolve boolean '%s'\n",
+                       line_no, fields[i].c_str());
+          std::exit(2);
+        }
+        row.bools.push_back(code);
+        ++bool_dim;
+      } else if (spec[i] == 'p') {
+        row.prefs.push_back(
+            static_cast<float>(std::strtod(fields[i].c_str(), nullptr)));
+      } else if (spec[i] != '-') {
+        std::fprintf(stderr, "bad spec char '%c' (want b, p or -)\n", spec[i]);
+        std::exit(2);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+int CmdIngest(const Args& args) {
+  const bool remote = args.Has("connect");
+  if (remote == args.Has("db")) {
+    std::fprintf(stderr, "ingest wants exactly one of --db or --connect\n");
+    return 2;
+  }
+  WriteBatch::Ack ack = WriteBatch::Ack::kApplied;
+  const std::string ack_name = args.Get("ack", "applied");
+  if (ack_name == "durable") {
+    ack = WriteBatch::Ack::kDurable;
+  } else if (ack_name != "applied") {
+    std::fprintf(stderr, "unknown --ack '%s' (applied|durable)\n",
+                 ack_name.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<Workbench> wb;
+  std::unique_ptr<PCubeClient> client;
+  if (remote) {
+    const std::string connect = args.Get("connect");
+    const size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect wants HOST:PORT\n");
+      return 2;
+    }
+    client = Unwrap(PCubeClient::Connect(
+        connect.substr(0, colon),
+        static_cast<uint16_t>(
+            std::strtoul(connect.c_str() + colon + 1, nullptr, 10))));
+  } else {
+    wb = OpenDb(args);
+  }
+
+  std::vector<WriteBatch::Row> rows =
+      LoadIngestRows(args, wb ? &wb->dictionaries() : nullptr);
+  std::vector<TupleId> deletes;
+  for (const std::string& item : SplitList(args.Get("delete"))) {
+    deletes.push_back(
+        static_cast<TupleId>(std::strtoull(item.c_str(), nullptr, 10)));
+  }
+  if (rows.empty() && deletes.empty()) {
+    std::fprintf(stderr, "nothing to ingest (--csv/--spec or --delete)\n");
+    return 2;
+  }
+
+  const size_t batch_rows =
+      static_cast<size_t>(std::max<int64_t>(1, args.GetInt("batch", 1024)));
+  const std::string tenant = args.Get("tenant", "default");
+
+  Timer total;
+  size_t batches = 0;
+  double commit_total = 0, commit_max = 0;
+  uint32_t max_group = 0;
+  WriteResult last;
+  auto apply = [&](WriteBatch&& batch) {
+    WriteResult r = remote ? Unwrap(client->Write(batch, tenant))
+                           : Unwrap(wb->Apply(batch));
+    ++batches;
+    commit_total += r.commit_seconds;
+    commit_max = std::max(commit_max, r.commit_seconds);
+    max_group = std::max(max_group, r.group_size);
+    last = r;
+  };
+  for (size_t first = 0; first < rows.size(); first += batch_rows) {
+    WriteBatch batch;
+    batch.ack = ack;
+    const size_t count = std::min(batch_rows, rows.size() - first);
+    batch.inserts.assign(std::make_move_iterator(rows.begin() + first),
+                         std::make_move_iterator(rows.begin() + first + count));
+    apply(std::move(batch));
+  }
+  if (!deletes.empty()) {
+    WriteBatch batch;
+    batch.ack = ack;
+    batch.deletes = std::move(deletes);
+    apply(std::move(batch));
+  }
+  const double seconds = total.ElapsedSeconds();
+  const size_t total_rows =
+      rows.size() + (args.Has("delete")
+                         ? SplitList(args.Get("delete")).size()
+                         : 0);
+  std::printf(
+      "ingested %zu row(s) in %zu batch(es), %.3f s (%.0f rows/s)\n"
+      "  commit: mean %.3f ms, max %.3f ms, max group %u, last lsn %llu, "
+      "epoch %llu%s\n",
+      total_rows, batches, seconds,
+      seconds > 0 ? static_cast<double>(total_rows) / seconds : 0.0,
+      batches > 0 ? commit_total / static_cast<double>(batches) * 1e3 : 0.0,
+      commit_max * 1e3, max_group,
+      static_cast<unsigned long long>(last.lsn),
+      static_cast<unsigned long long>(last.epoch),
+      last.durable ? "" : " (NOT durable: RAM-backed service)");
+  if (!remote && args.Has("save")) {
+    if (Status st = wb->Save(); !st.ok()) Die(st);
+    std::printf("checkpointed into %s\n", args.Get("db").c_str());
+  }
   return 0;
 }
 
@@ -777,7 +996,7 @@ int CmdQuery(const Args& args) {
 int Usage() {
   std::fprintf(stderr,
                "usage: pcube <generate|build|info|explain|skyline|topk"
-               "|verify|corrupt|serve|query> [--options]\n"
+               "|ingest|verify|corrupt|serve|query> [--options]\n"
                "run `pcube --help` for the full option list\n");
   return 2;
 }
@@ -797,9 +1016,15 @@ int Help() {
       "  skyline  --db F [--where W] [--band K] [--origin X,..] [--limit N]\n"
       "  topk     --db F --k N [--where W]\n"
       "           (--weights W,.. | --target T,.. [--tweights W,..])\n"
-      "  verify   --db F               full integrity walk (exit 1 on damage)\n"
+      "  ingest   (--db F | --connect HOST:PORT)\n"
+      "           [--csv F --spec S [--header]] [--delete TID,..]\n"
+      "           [--batch N] [--ack applied|durable] [--tenant T] [--save]\n"
+      "                                stream WriteBatches through the WAL\n"
+      "                                (local) or as kWrite frames (remote)\n"
+      "  verify   --db F               WAL sidecar + full integrity walk\n"
+      "                                (exit 1 on damage)\n"
       "  corrupt  --db F [--kind signature|rtree|table|catalog]\n"
-      "           [--page N] [--offset K]   flip bytes (testing tool)\n"
+      "           [--page N] [--offset K] [--wal]  flip bytes (testing tool)\n"
       "  serve    --db F [--shards N] [--port P] [--workers N]\n"
       "           [--queue-cap N] [--tenant-rate R] [--tenant-burst B]\n"
       "           [--max-conns N] [--query-log FILE]\n"
@@ -854,6 +1079,7 @@ int main(int argc, char** argv) {
   if (cmd == "explain") return CmdExplain(args);
   if (cmd == "skyline") return CmdSkyline(args);
   if (cmd == "topk") return CmdTopK(args);
+  if (cmd == "ingest") return CmdIngest(args);
   if (cmd == "verify") return CmdVerify(args);
   if (cmd == "corrupt") return CmdCorrupt(args);
   if (cmd == "serve") return CmdServe(args);
