@@ -1,7 +1,15 @@
 // The mutation surface of the unified service interface (DESIGN.md §15):
 // one WriteBatch carries a set of row inserts and tuple deletes that commit
 // and become visible ATOMICALLY — either every row of the batch is durable
-// and applied, or none is. QueryService::Apply(WriteBatch) is the only
+// and applied, or none is. Apply() enforces this by validating the whole
+// batch (schema, value ranges AND delete tids, the latter against the
+// staged-write cursors) before it is staged in the WAL or any structure is
+// touched: a logically invalid batch is rejected wholly and leaves no
+// trace. The one caveat is a storage fault (I/O error, injected or real)
+// striking mid-apply: Apply() then returns that error and the batch's
+// state is indeterminate — it remains in the WAL, a prefix of it may be
+// applied in memory, and recovery may re-apply it after a restart.
+// QueryService::Apply(WriteBatch) is the only
 // public mutation entry point; the raw structure mutators (RStarTree::Insert,
 // PCube::ApplyChanges, ...) are internal so the WAL + epoch-stamping
 // contract cannot be bypassed.

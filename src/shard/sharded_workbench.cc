@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <numeric>
 #include <queue>
+#include <unordered_set>
 #include <utility>
 
 #include "common/metrics.h"
@@ -14,6 +16,10 @@
 namespace pcube {
 
 namespace {
+
+/// tuple_homes_ sentinel for rows orphaned by a failed insert sub-batch:
+/// the global tid keeps its Dataset row but lives on no shard.
+constexpr uint32_t kNoHome = UINT32_MAX;
 
 /// Preference dimensions a skyline request is evaluated on — mirrors the
 /// SkylineEngine constructor verbatim (pref_dims as given, all dimensions
@@ -512,15 +518,31 @@ Result<WriteResult> ShardedWorkbench::Apply(const WriteBatch& batch) {
     subs[target].inserts.push_back(row);
     insert_rows[target].push_back(i);
   }
+  // Validate every delete BEFORE any state changes: a bad tid rejects the
+  // whole batch here, with nothing routed and the global view untouched, so
+  // no shard can refuse a sub-batch at ITS stage time (which would leave
+  // the coordinator's view ahead of the shard's row count).
+  std::unordered_set<TupleId> batch_deletes;
   for (TupleId tid : batch.deletes) {
     if (tid >= tuple_homes_.size()) {
       return Status::InvalidArgument("delete of unknown tuple " +
                                      std::to_string(tid));
     }
     const auto& [shard, local] = tuple_homes_[tid];
+    if (shard >= shards_.size()) {
+      // Orphaned by a failed insert sub-batch (see the reconciliation
+      // below): the row exists in the global Dataset but on no shard.
+      return Status::InvalidArgument("delete of unknown tuple " +
+                                     std::to_string(tid));
+    }
     if (shards_[shard] == nullptr) {
       return Status::Corruption("tuple " + std::to_string(tid) +
                                 " maps to an empty shard");
+    }
+    if (shards_[shard]->tombstones().count(local) > 0 ||
+        !batch_deletes.insert(tid).second) {
+      return Status::NotFound("tuple " + std::to_string(tid) +
+                              " is already deleted");
     }
     subs[shard].deletes.push_back(local);
   }
@@ -559,21 +581,50 @@ Result<WriteResult> ShardedWorkbench::Apply(const WriteBatch& batch) {
   WriteResult result;
   result.first_tid = first_tid;
   Status first_error;
+  bool reconcile = false;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (subs[s].empty()) continue;
     subs[s].ack = WriteBatch::Ack::kApplied;
     auto sub = shards_[s]->Apply(subs[s]);
     if (!sub.ok()) {
       if (first_error.ok()) first_error = sub.status();
+      if (!subs[s].inserts.empty()) reconcile = true;
       continue;
     }
-    // The predicted local tids must match what the shard assigned.
-    if (!subs[s].inserts.empty()) {
-      PCUBE_CHECK_EQ(sub->first_tid + subs[s].inserts.size(),
-                     global_tids_[s].size());
+    // The predicted local tids must match what the shard assigned; a
+    // mismatch means the coordinator's tid map no longer describes the
+    // shard and every translation through it would be wrong.
+    if (!subs[s].inserts.empty() &&
+        sub->first_tid + subs[s].inserts.size() != global_tids_[s].size()) {
+      if (first_error.ok()) {
+        first_error = Status::Corruption(
+            "shard " + std::to_string(s) + " assigned local tids ending at " +
+            std::to_string(sub->first_tid + subs[s].inserts.size()) +
+            " but the coordinator predicted " +
+            std::to_string(global_tids_[s].size()));
+      }
+      reconcile = true;
+      continue;
     }
     result.lsn = std::max(result.lsn, sub->lsn);
     result.group_size = std::max(result.group_size, sub->group_size);
+  }
+  if (reconcile) {
+    // A shard did not stage every insert routed to it. Shrink the global
+    // view back to each shard's actual staged row count so local -> global
+    // translation and the next write's tid prediction stay exact (instead
+    // of diverging permanently). The orphaned global tids keep their
+    // Dataset rows but lose their home: they become phantoms no shard can
+    // return, and deleting one reports an unknown tuple.
+    WriterLock coord_lock(&coord_mu_);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s] == nullptr || insert_rows[s].empty()) continue;
+      const uint64_t actual = shards_[s]->staged_rows();
+      while (global_tids_[s].size() > actual) {
+        tuple_homes_[global_tids_[s].back()] = {kNoHome, 0};
+        global_tids_[s].pop_back();
+      }
+    }
   }
   if (!first_error.ok()) return first_error;
 

@@ -100,11 +100,17 @@ class ShardedWorkbench : public QueryService {
   /// perf nicety — queries scatter to every live shard regardless), deletes
   /// follow the global tid -> (shard, local tid) map, and every shard
   /// sub-batch is applied with Ack::kApplied so the coordinator's return
-  /// implies read-your-writes across the fan-out. Coordinator writers
-  /// serialize among themselves; queries run concurrently except for the
-  /// short exclusive window that extends the global tid maps. Durability is
-  /// per-shard: shards are in-memory rebuilds, so `durable` comes back
-  /// false (a sharded deployment persists via its source relation).
+  /// implies read-your-writes across the fan-out. The whole batch is
+  /// validated (including delete tids and shard tombstones) before any
+  /// shard or the global view is touched, so a logically invalid batch is
+  /// rejected wholly; if a shard still fails its sub-batch (storage fault),
+  /// the coordinator reconciles the global tid maps back to the shard's
+  /// actual row count so later writes and merges stay exact. Coordinator
+  /// writers serialize among themselves; queries run concurrently except
+  /// for the short exclusive windows that extend (or reconcile) the global
+  /// tid maps. Durability is per-shard: shards are in-memory rebuilds, so
+  /// `durable` comes back false (a sharded deployment persists via its
+  /// source relation).
   Result<WriteResult> Apply(const WriteBatch& batch) override;
 
   const Dataset& data() const override { return data_; }

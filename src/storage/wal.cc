@@ -235,6 +235,12 @@ Result<uint64_t> Wal::Stage(const std::string& payload) {
 
 Status Wal::WaitDurable(uint64_t lsn, uint32_t* group_size) {
   MutexLock lock(&mu_);
+  if (lsn >= next_lsn_) {
+    // Committing an LSN that was never staged would loop forever: every
+    // pass would lead an empty group and durable_lsn_ would never reach it.
+    return Status::InvalidArgument("WaitDurable(" + std::to_string(lsn) +
+                                   "): LSN has not been staged");
+  }
   for (;;) {
     if (!broken_.ok()) return broken_;
     if (durable_lsn_ >= lsn) {

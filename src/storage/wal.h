@@ -110,6 +110,8 @@ class Wal {
   /// Blocks until every record with LSN <= `lsn` is on stable storage,
   /// joining (or leading) a group commit. `group_size`, when non-null,
   /// receives the number of records the group's single Sync() covered.
+  /// `lsn` must have been returned by a prior Stage(); an LSN at or past
+  /// next_lsn() is InvalidArgument (it could never become durable).
   Status WaitDurable(uint64_t lsn, uint32_t* group_size = nullptr);
 
   /// Logically empties the log: records with LSN < next_lsn() are declared

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <unordered_set>
 
 #include "workbench/catalog.h"
 #include "workbench/planner.h"
@@ -125,6 +126,7 @@ void Workbench::StartMaintenance() {
   {
     MutexLock lock(&write_mu_);
     staged_rows_ = data_.num_tuples();
+    staged_deletes_ = tombstones_;
     applied_lsn_ = wal_->durable_lsn();
   }
   maintenance_ = std::thread([this] { MaintenanceLoop(); });
@@ -208,6 +210,25 @@ Result<WriteResult> Workbench::Apply(const WriteBatch& batch) {
     // == tid assignment order, so replay and maintenance agree on which
     // rows a batch created.
     MutexLock lock(&write_mu_);
+    // Deletes are validated here, against the staged cursors and before the
+    // batch touches the WAL: a batch the log accepts can no longer fail a
+    // logical check at apply time, so recovery never has to replay (or
+    // refuse to open over) a batch this call already rejected. Inserts
+    // staged ahead of this batch are deletable (tid_limit covers them, and
+    // the maintenance thread applies strictly in LSN order), as are this
+    // batch's own inserts (they land before its deletes).
+    const uint64_t tid_limit = staged_rows_ + batch.inserts.size();
+    std::unordered_set<TupleId> batch_deletes;
+    for (TupleId tid : batch.deletes) {
+      if (tid >= tid_limit) {
+        return Status::InvalidArgument("delete of unknown tuple " +
+                                       std::to_string(tid));
+      }
+      if (staged_deletes_.count(tid) > 0 || !batch_deletes.insert(tid).second) {
+        return Status::NotFound("tuple " + std::to_string(tid) +
+                                " is already deleted");
+      }
+    }
     auto payload = EncodeWalPayload(staged_rows_, batch);
     if (!payload.ok()) return payload.status();
     auto staged = wal_->Stage(*payload);
@@ -215,6 +236,7 @@ Result<WriteResult> Workbench::Apply(const WriteBatch& batch) {
     lsn = *staged;
     result.first_tid = staged_rows_;
     staged_rows_ += batch.inserts.size();
+    staged_deletes_.insert(batch.deletes.begin(), batch.deletes.end());
     pending_writes_.push_back(PendingWrite{lsn, batch});
     pending_cv_.Signal();
   }

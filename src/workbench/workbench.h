@@ -172,14 +172,25 @@ class Workbench : public QueryService {
   /// Index-only cost estimates for both plans (QueryPlanner::Estimate).
   Result<PlanEstimate> Estimate(const PredicateSet& preds) override;
 
-  /// The mutation entry point (QueryService::Apply, DESIGN.md §15): stages
-  /// the batch in the WAL under the write lock, joins a group commit (one
-  /// fsync per concurrent writer group), then either returns at durability
-  /// (Ack::kDurable) or waits for the maintenance thread to apply the batch
-  /// (Ack::kApplied — read-your-writes). Thread-safe; runs concurrently
-  /// with queries, which only ever block for the bounded slice the
-  /// maintenance thread holds the structure writer lock.
+  /// The mutation entry point (QueryService::Apply, DESIGN.md §15): fully
+  /// validates the batch (schema AND delete tids, against the staged-write
+  /// cursors), stages it in the WAL under the write lock, joins a group
+  /// commit (one fsync per concurrent writer group), then either returns at
+  /// durability (Ack::kDurable) or waits for the maintenance thread to apply
+  /// the batch (Ack::kApplied — read-your-writes). A rejected batch never
+  /// reaches the WAL, so a batch the log accepted can only fail to apply on
+  /// a storage fault — replay after a crash never trips over a batch the
+  /// original run already refused. Thread-safe; runs concurrently with
+  /// queries, which only ever block for the bounded slice the maintenance
+  /// thread holds the structure writer lock.
   Result<WriteResult> Apply(const WriteBatch& batch) override;
+
+  /// The write cursor: row count including every staged insert — the tid
+  /// the next Apply()'s first insert would receive. Thread-safe.
+  uint64_t staged_rows() const {
+    MutexLock lock(&write_mu_);
+    return staged_rows_;
+  }
 
   /// Blocks until every batch staged so far is durable AND applied.
   Status DrainWrites();
@@ -292,11 +303,17 @@ class Workbench : public QueryService {
   /// Deleted tuples (see tombstones()); written under struct_mu_ exclusive,
   /// read by the boolean-first plan under the shared side.
   std::unordered_set<TupleId> tombstones_;
-  Mutex write_mu_;
+  /// Mutable so the const staged_rows() observer can lock it.
+  mutable Mutex write_mu_;
   std::deque<PendingWrite> pending_writes_ GUARDED_BY(write_mu_);
   /// Logical row count including every staged insert: the next batch's
   /// first_tid and its WAL replay cursor (base_rows).
   uint64_t staged_rows_ GUARDED_BY(write_mu_) = 0;
+  /// Tids deleted by any staged batch (tombstones_ plus batches not yet
+  /// applied): Apply() rejects a delete against this set BEFORE the batch
+  /// reaches the WAL, so logically invalid deletes are refused wholly and
+  /// the log never holds a batch that replay would have to refuse.
+  std::unordered_set<TupleId> staged_deletes_ GUARDED_BY(write_mu_);
   uint64_t applied_lsn_ GUARDED_BY(write_mu_) = 0;
   /// Failures of applied batches, keyed by LSN; consumed by the kApplied
   /// waiter (kDurable failures surface in metrics and DrainWrites).

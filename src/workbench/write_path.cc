@@ -1,5 +1,9 @@
 #include "workbench/write_path.h"
 
+#include <string>
+#include <unordered_set>
+#include <vector>
+
 #include "common/bit_util.h"
 #include "workbench/workbench.h"
 
@@ -8,6 +12,35 @@ namespace pcube {
 Status WriteApplier::Apply(const WriteBatch& batch, bool replay) {
   Dataset& data = *wb_->mutable_data();
   const TupleId first_new_tid = data.num_tuples();
+
+  // Screen every delete BEFORE any structure mutation. Workbench::Apply
+  // already rejected logically invalid deletes at stage time, so finding
+  // one here means the record predates that validation or raced a
+  // checkpoint: under replay such entries are skipped — recovery must never
+  // refuse to open over a delete the original run already refused — and
+  // outside replay the whole batch is rejected with nothing applied
+  // (WriteBatch's all-or-nothing contract for malformed batches).
+  std::vector<TupleId> deletes;
+  deletes.reserve(batch.deletes.size());
+  {
+    const TupleId tid_limit =
+        first_new_tid + static_cast<TupleId>(batch.inserts.size());
+    std::unordered_set<TupleId> in_batch;
+    for (const TupleId tid : batch.deletes) {
+      if (tid >= tid_limit) {
+        if (replay) continue;
+        return Status::InvalidArgument("delete of unknown tuple " +
+                                       std::to_string(tid));
+      }
+      if (wb_->tombstones_.count(tid) > 0 || !in_batch.insert(tid).second) {
+        if (replay) continue;  // crash between Save() and the WAL checkpoint
+        return Status::NotFound("tuple " + std::to_string(tid) +
+                                " is already deleted");
+      }
+      deletes.push_back(tid);
+    }
+  }
+
   PathChangeSet changes;
   // Collect the first failure instead of returning at once: whatever tree
   // changes DID land before the failure must still flow into the cube
@@ -33,19 +66,8 @@ Status WriteApplier::Apply(const WriteBatch& batch, bool replay) {
     if (!first_error.ok()) break;
   }
 
-  for (size_t i = 0; first_error.ok() && i < batch.deletes.size(); ++i) {
-    const TupleId tid = batch.deletes[i];
-    if (tid >= data.num_tuples()) {
-      first_error = Status::InvalidArgument("delete of unknown tuple " +
-                                            std::to_string(tid));
-      break;
-    }
-    if (wb_->tombstones_.count(tid) > 0) {
-      if (replay) continue;  // crash between Save() and the WAL checkpoint
-      first_error = Status::NotFound("tuple " + std::to_string(tid) +
-                                     " is already deleted");
-      break;
-    }
+  for (size_t i = 0; first_error.ok() && i < deletes.size(); ++i) {
+    const TupleId tid = deletes[i];
     Status removed = wb_->tree_->Delete(data.PrefPoint(tid), tid, &changes);
     if (!removed.ok()) {
       if (replay && removed.code() == StatusCode::kNotFound) continue;
@@ -74,9 +96,7 @@ Status WriteApplier::Apply(const WriteBatch& batch, bool replay) {
     for (TupleId tid = first_new_tid; tid < data.num_tuples(); ++tid) {
       collect(tid);
     }
-    for (TupleId tid : batch.deletes) {
-      if (tid < data.num_tuples()) collect(tid);
-    }
+    for (TupleId tid : deletes) collect(tid);
     wb_->epoch_.BumpCells(cells);
   }
   return first_error.ok() ? maintained : first_error;

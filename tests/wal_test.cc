@@ -263,6 +263,17 @@ TEST_F(WalTest, RamBackedLogCommitsButIsNotDurable) {
   EXPECT_EQ(group, 1u);
 }
 
+TEST_F(WalTest, WaitDurableRejectsUnstagedLsn) {
+  // An LSN past the append cursor could never become durable; waiting on it
+  // must fail fast instead of looping on empty group commits forever.
+  auto wal = OpenFresh();
+  EXPECT_TRUE(wal->WaitDurable(1).IsInvalidArgument());  // nothing staged
+  auto lsn = wal->Stage("only-record");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_TRUE(wal->WaitDurable(*lsn + 1).IsInvalidArgument());
+  EXPECT_TRUE(wal->WaitDurable(*lsn).ok());
+}
+
 TEST_F(WalTest, OversizedPayloadRejected) {
   auto wal = OpenFresh();
   std::string huge(kMaxWalPayload + 1, 'x');

@@ -143,6 +143,93 @@ TEST(WritePathTest, ApplyRejectsMalformedBatches) {
   EXPECT_TRUE(report->ok()) << FirstProblem(*report);
 }
 
+TEST(WritePathTest, RejectedBatchAppliesNothingAndNeverReachesTheWal) {
+  auto built = Workbench::Build(GenerateSynthetic(SmallConfig(23)), {});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  Workbench& w = **built;
+  const TupleId base = w.data().num_tuples();
+  const uint64_t next_lsn = w.wal()->next_lsn();
+
+  // Valid inserts riding with an out-of-range delete: all-or-nothing means
+  // the inserts must not land either, and no WAL record may exist.
+  WriteBatch bad;
+  bad.inserts.push_back(DominatingRow(1, 2, 2));
+  bad.deletes.push_back(base + 1000);
+  EXPECT_TRUE(w.Apply(bad).status().IsInvalidArgument());
+  EXPECT_EQ(w.data().num_tuples(), base);
+  EXPECT_EQ(w.wal()->next_lsn(), next_lsn);
+
+  // Duplicate delete within one batch: same contract, NotFound.
+  WriteBatch dup;
+  dup.inserts.push_back(DominatingRow(1, 2, 2));
+  dup.deletes.push_back(0);
+  dup.deletes.push_back(0);
+  EXPECT_TRUE(w.Apply(dup).status().IsNotFound());
+  EXPECT_EQ(w.data().num_tuples(), base);
+  EXPECT_EQ(w.wal()->next_lsn(), next_lsn);
+
+  // Deleting the same tuple in two batches: the second is refused at stage
+  // time, before the WAL sees it — even while the first may still be
+  // pending in the maintenance queue.
+  WriteBatch first;
+  first.deletes.push_back(1);
+  ASSERT_TRUE(w.Apply(first).ok());
+  WriteBatch second;
+  second.deletes.push_back(1);
+  EXPECT_TRUE(w.Apply(second).status().IsNotFound());
+
+  auto report = w.VerifyIntegrity();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << FirstProblem(*report);
+}
+
+TEST(WritePathTest, RejectedDeleteCannotBrickRecovery) {
+  // Regression: a delete-of-unknown-tuple batch used to be staged durably
+  // and only then refused at apply time, so a crash left the WAL holding a
+  // batch replay could not apply — and Open refused the whole database.
+  const std::string path = testing::TempDir() + "/pcube_wp_reject.db";
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  TupleId expect_rows = 0;
+  {
+    WorkbenchOptions options;
+    options.file_path = path;
+    auto built = Workbench::Build(GenerateSynthetic(SmallConfig(24)), options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    Workbench& w = **built;
+    ASSERT_TRUE(w.Save().ok());  // checkpoint: WAL now empty
+
+    WriteBatch bad;
+    bad.inserts.push_back(DominatingRow(1, 2, 2));
+    bad.deletes.push_back(w.data().num_tuples() + 1000);
+    EXPECT_TRUE(w.Apply(bad).status().IsInvalidArgument());
+
+    WriteBatch good;
+    good.inserts.push_back(DominatingRow(2, 2, 2));
+    good.deletes.push_back(3);
+    ASSERT_TRUE(w.Apply(good).ok());
+    expect_rows = w.data().num_tuples();
+  }  // crash WITHOUT Save: recovery has only the WAL to go on
+
+  // The rejected batch left no record; the acknowledged one is the log's
+  // whole content, and reopening replays it without tripping.
+  auto inspected = Wal::Inspect(path + ".wal");
+  ASSERT_TRUE(inspected.ok());
+  EXPECT_TRUE(inspected->ok());
+  EXPECT_EQ(inspected->num_records, 1u);
+  auto reopened = Workbench::Open(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->data().num_tuples(), expect_rows);
+  EXPECT_EQ((*reopened)->tombstones().count(3), 1u);
+  auto report = (*reopened)->VerifyIntegrity();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << FirstProblem(*report);
+
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  std::remove((path + ".chk").c_str());
+}
+
 TEST(WritePathTest, DurableAckVisibleAfterDrain) {
   const std::string path = testing::TempDir() + "/pcube_wp_durable.db";
   std::remove(path.c_str());
@@ -354,6 +441,47 @@ TEST(WritePathTest, ShardedApplyRoutesInsertsAndDeletes) {
   ASSERT_TRUE((*reference)->Apply(erase_ref).ok());
   EXPECT_EQ(SkylinePoints(sharded, {{0, 1}}),
             SkylinePoints(**reference, {{0, 1}}));
+}
+
+TEST(WritePathTest, ShardedApplyRejectsBadBatchesWholly) {
+  // Regression: a bad delete used to be discovered only after the
+  // coordinator had extended the global view, leaving global_tids_ ahead of
+  // the shard's row count — the next write then died on an internal CHECK.
+  Dataset data = GenerateSynthetic(SmallConfig(25));
+  ShardedOptions options;
+  options.num_shards = 3;
+  auto built = ShardedWorkbench::Build(std::move(data), options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ShardedWorkbench& sharded = **built;
+  const TupleId base = sharded.data().num_tuples();
+
+  WriteBatch bad;
+  bad.inserts.push_back(DominatingRow(0, 2, 2));
+  bad.deletes.push_back(base + 999);
+  EXPECT_TRUE(sharded.Apply(bad).status().IsInvalidArgument());
+  EXPECT_EQ(sharded.data().num_tuples(), base);  // nothing routed or appended
+
+  WriteBatch dup;  // duplicate delete of one global tid, plus inserts
+  dup.inserts.push_back(DominatingRow(1, 2, 2));
+  dup.deletes.push_back(4);
+  dup.deletes.push_back(4);
+  EXPECT_TRUE(sharded.Apply(dup).status().IsNotFound());
+  EXPECT_EQ(sharded.data().num_tuples(), base);
+
+  // The coordinator's view did not diverge: the next write still predicts
+  // tids correctly, acknowledges, and its routed delete resolves.
+  WriteBatch good;
+  good.inserts.push_back(DominatingRow(1, 2, 2));
+  good.deletes.push_back(4);
+  auto applied = sharded.Apply(good);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->first_tid, base);
+  EXPECT_EQ(sharded.data().num_tuples(), base + 1);
+
+  // Deleting tid 4 again is refused via the owning shard's tombstones.
+  WriteBatch again;
+  again.deletes.push_back(4);
+  EXPECT_TRUE(sharded.Apply(again).status().IsNotFound());
 }
 
 TEST(WritePathTest, ConcurrentWritersFormCommitGroups) {
