@@ -2,7 +2,7 @@
 # CI driver. Usage: scripts/ci.sh [jobs] [phase...]
 #
 #   jobs   — optional leading integer, default $(nproc)
-#   phase  — any of: plain tsan asan ubsan tidy format throughput
+#   phase  — any of: plain tsan asan ubsan tidy lint format throughput
 #            corruption cache shard serve ingest simd simd-off
 #            (default: all, in that order)
 #
@@ -17,6 +17,13 @@
 #   tidy       — clang-tidy over every non-test entry of the plain build's
 #                compile_commands.json (src/, tools/, bench/), warnings as
 #                errors per .clang-tidy. Skipped when clang-tidy is absent.
+#   lint       — pcube-lint architecture checks (DESIGN.md §16): mutation
+#                entry-point discipline, no aborts reachable from wire
+#                decode, GUARDED_BY completeness on lock-owning classes,
+#                rationale comments on IgnoreError. Runs the clang-tidy
+#                plugin when LLVM dev headers were available at configure
+#                time, always the pcube_lint_scan fallback, and a
+#                clang --analyze sweep when clang is installed.
 #   format     — scripts/format.sh --check against .clang-format. Skipped
 #                when clang-format is absent.
 #   throughput — bench_throughput smoke (observability artifacts).
@@ -61,8 +68,8 @@ if [[ "${1:-}" =~ ^[0-9]+$ ]]; then
   shift
 fi
 
-ALL_PHASES=(plain tsan asan ubsan tidy format throughput corruption cache
-            shard serve ingest simd simd-off)
+ALL_PHASES=(plain tsan asan ubsan tidy lint format throughput corruption
+            cache shard serve ingest simd simd-off)
 if [ "$#" -gt 0 ]; then
   PHASES=("$@")
   for phase in "${PHASES[@]}"; do
@@ -150,6 +157,17 @@ if want tidy; then
     clang-tidy -p build --quiet "${tidy_files[@]}"
     echo "ci.sh: clang-tidy clean over ${#tidy_files[@]} files"
   fi
+fi
+
+if want lint; then
+  echo "=== pcube-lint ==="
+  # Architecture checks (DESIGN.md §16). scripts/lint.sh picks the best
+  # available tier itself: clang-tidy plugin when built, always the
+  # pcube_lint_scan fallback, clang --analyze when clang exists. The
+  # fixture corpus (lint_fixture_test, plain phase) pins both tiers'
+  # semantics, so a SKIP here never means the rules went unenforced.
+  ensure_plain_build
+  scripts/lint.sh build
 fi
 
 if want format; then

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# pcube-lint driver: architecture-aware static checks (DESIGN.md §16).
+#
+# Two tiers enforce the same four rules:
+#
+#   plugin tier — when clang-tidy AND the built clang-tidy plugin module
+#     (tools/pcube_lint/PCubeLintModule.cpp, built only when LLVM/Clang dev
+#     headers are present: -DPCUBE_LINT_PLUGIN=ON) are available, run
+#     clang-tidy -load over the build's compile_commands.json with only the
+#     pcube-* checks enabled. AST-accurate: sees through typedefs, macro
+#     expansions and overload resolution.
+#
+#   fallback tier — always available: the self-contained pcube_lint_scan
+#     binary (no LLVM dependency; builds with the same toolchain as the
+#     engine) runs the lexical versions of the same checks over the
+#     git-tracked C++ sources. This is the tier CI actually gates on in
+#     environments without clang, and the fixture corpus under
+#     tests/lint_fixtures/ pins its behavior either way.
+#
+# An optional `clang --analyze` sweep runs after either tier when clang is
+# installed; it is additive (deeper path-sensitive checks), never required.
+#
+# Usage: scripts/lint.sh [build-dir]   (default: build)
+# Exit: 0 clean, 1 findings, 2 usage/environment error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+# The scanner is part of the default build; make sure it exists.
+if [ ! -x "$BUILD_DIR/tools/pcube_lint/pcube_lint_scan" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target pcube_lint_scan
+fi
+SCAN="$BUILD_DIR/tools/pcube_lint/pcube_lint_scan"
+
+# Everything the engine compiles plus the tests: the mutation-entry
+# allowlist and the pragma escapes are how legitimate sites opt out, not
+# path exclusions. The lint tool's own sources are excluded (its fixture
+# strings mention every forbidden name).
+mapfile -t files < <(git ls-files 'src/**/*.cc' 'src/**/*.h' \
+                     'tools/*.cpp' 'bench/*.cc' 'bench/*.h' \
+                     'tests/*.cc' 'tests/*.h' 'tests/compile_fail/*.cc')
+
+PLUGIN="$BUILD_DIR/tools/pcube_lint/libpcube_lint_module.so"
+if command -v clang-tidy >/dev/null 2>&1 && [ -f "$PLUGIN" ]; then
+  echo "lint.sh: plugin tier (clang-tidy -load) over compile_commands.json"
+  # Only compiled translation units appear in the database; headers are
+  # checked through their includers.
+  mapfile -t tu_files < <(git ls-files 'src/**/*.cc' 'tools/*.cpp' \
+                          'bench/*.cc')
+  clang-tidy -p "$BUILD_DIR" --quiet \
+    -load "$PLUGIN" \
+    -checks='-*,pcube-mutation-entry,pcube-wire-no-abort,pcube-guarded-by-completeness,pcube-ignore-error-rationale' \
+    "${tu_files[@]}"
+  echo "lint.sh: plugin tier clean over ${#tu_files[@]} translation units"
+else
+  echo "lint.sh: clang-tidy plugin unavailable — fallback tier" \
+       "(pcube_lint_scan, same four checks, lexical)"
+fi
+
+# The fallback tier always runs: it is the floor both environments share,
+# and the only tier that sees headers directly.
+"$SCAN" "${files[@]}"
+
+# Optional deeper sweep: clang's path-sensitive static analyzer over the
+# non-test, non-bench translation units (src/ includes only — bench/ and
+# tools/ pull in google-benchmark/CLI headers that need the full compile
+# database). Additive only — absence is not a failure.
+if command -v clang >/dev/null 2>&1; then
+  echo "lint.sh: clang --analyze sweep"
+  mapfile -t tu_files < <(git ls-files 'src/**/*.cc')
+  fail=0
+  for tu in "${tu_files[@]}"; do
+    clang --analyze --analyzer-output text -std=c++20 -Isrc "$tu" || fail=1
+  done
+  if [ "$fail" -ne 0 ]; then
+    echo "lint.sh: clang --analyze reported findings" >&2
+    exit 1
+  fi
+  echo "lint.sh: clang --analyze clean over ${#tu_files[@]} translation units"
+else
+  echo "lint.sh: clang not installed — analyzer sweep SKIPPED (advisory only)"
+fi

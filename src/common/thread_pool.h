@@ -84,6 +84,8 @@ class ThreadPool {
   bool stop_ GUARDED_BY(mu_) = false;
   std::atomic<size_t> depth_{0};  // queued, not yet executing
   std::atomic<size_t> peak_{0};   // lifetime max of depth_
+  // pcube-lint: lock-free(populated in the constructor and joined in the
+  // destructor; no other thread ever touches the handle vector)
   std::vector<std::thread> workers_;
 };
 

@@ -120,6 +120,8 @@ class QueryLog {
 
   mutable Mutex mu_;
   std::ostream* out_ PT_GUARDED_BY(mu_);
+  // pcube-lint: lock-free(set once in the constructor; only keeps the
+  // stream out_ points at alive — all I/O goes through out_ under mu_)
   std::unique_ptr<std::ofstream> owned_;
   uint64_t records_ GUARDED_BY(mu_) = 0;
 };

@@ -214,6 +214,8 @@ StatusCode StatusCodeFromWire(uint8_t wire) {
 
 void AppendFrame(FrameType type, const std::string& payload,
                  std::string* out) {
+  // pcube-lint: trusted(encode side — the payload was produced by this
+  // process, not read off the wire; oversize here is a local logic bug)
   PCUBE_CHECK_LE(payload.size(), kMaxPayload);
   Writer w(out);
   w.LE<uint32_t>(kMagic);
@@ -537,7 +539,10 @@ Status DecodeResultHeader(const uint8_t* data, size_t size,
 std::string EncodeResultChunk(const std::vector<TupleId>& tids,
                               const std::vector<double>& scores,
                               size_t first, size_t count) {
+  // pcube-lint: trusted(encode side — the caller slices locally computed
+  // results; the bound is an invariant of the chunking loop, not wire data)
   PCUBE_CHECK_LE(count, kChunkTuples);
+  // pcube-lint: trusted(same — local chunking invariant)
   PCUBE_CHECK_LE(first + count, tids.size());
   const bool has_scores = !scores.empty();
   std::string payload;

@@ -148,6 +148,7 @@ void PCubeServer::AcceptLoop() {
       }
     }
     if (!admitted) {
+      // Courtesy reject before closing; the close is the real answer.
       wire::WriteFrame(fd, wire::FrameType::kError,
                        wire::EncodeError(Status::ResourceExhausted(
                            "server connection limit reached")))
@@ -170,6 +171,7 @@ void PCubeServer::ServeConnection(int fd) {
       // Header-level damage desynchronizes the stream: answer (the peer
       // may still be reading) and close. Clean closes / resets just close.
       if (s.IsCorruption()) {
+        // Best-effort: the peer may already be gone; we close either way.
         wire::WriteFrame(fd, wire::FrameType::kError, wire::EncodeError(s))
             .IgnoreError();
       }
@@ -180,6 +182,7 @@ void PCubeServer::ServeConnection(int fd) {
       continue;
     }
     if (header.type != wire::FrameType::kQuery) {
+      // Best-effort courtesy error; the break below drops the connection.
       wire::WriteFrame(fd, wire::FrameType::kError,
                        wire::EncodeError(Status::InvalidArgument(
                            "expected a query or write frame")))

@@ -102,6 +102,10 @@ class PCubeServer {
   QueryService* const service_;
   const ServerOptions options_;
   QueryLog* const query_log_;
+  // pcube-lint: begin-lock-free(fixed by the constructor and Start() before
+  // the accept thread or any connection thread exists; admission_ and the
+  // metric objects are internally synchronized, the rest are read-only once
+  // the server is running)
   AdmissionController admission_;
   std::unique_ptr<ThreadPool> pool_;
   Counter* requests_total_;
@@ -113,6 +117,7 @@ class PCubeServer {
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
+  // pcube-lint: end-lock-free
 
   // Connection threads detach themselves; Stop() waits for active_conns_
   // to reach zero (signalled under mu_, so the CondVar cannot outlive a

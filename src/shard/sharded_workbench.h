@@ -157,6 +157,10 @@ class ShardedWorkbench : public QueryService {
   /// First failure among the live shards' sub-results, or OK.
   Status FirstFailure(const std::vector<SubResult>& subs) const;
 
+  // pcube-lint: begin-lock-free(the global view is synchronized by
+  // coord_mu_'s whole-execution protocol documented below: queries hold the
+  // shared side for their entire run and pool workers read under the driver
+  // thread's shared hold, which GUARDED_BY cannot express)
   Dataset data_;
   std::vector<std::unique_ptr<Workbench>> shards_;  ///< null == empty shard
   std::vector<std::vector<TupleId>> global_tids_;
@@ -178,6 +182,7 @@ class ShardedWorkbench : public QueryService {
   mutable SharedMutex coord_mu_;
   /// tuple_homes_[global_tid] == (shard, local tid); grows with inserts.
   std::vector<std::pair<uint32_t, TupleId>> tuple_homes_;
+  // pcube-lint: end-lock-free
 };
 
 }  // namespace pcube

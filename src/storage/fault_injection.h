@@ -118,8 +118,11 @@ class FaultInjectingPageManager : public PageManager {
   bool ScriptFires(PageId pid, ScriptedFault::Op op, uint64_t page_op_index,
                    ScriptedFault::Kind* kind) const;
 
+  // pcube-lint: begin-lock-free(both are fixed in the constructor: inner_
+  // is the wrapped manager, plan_ the immutable fault script)
   std::unique_ptr<PageManager> inner_;
   FaultPlan plan_;
+  // pcube-lint: end-lock-free
   std::atomic<bool> armed_{true};
 
   // Per-(page, op) operation counts drive the script and burst state; a

@@ -273,6 +273,11 @@ class Workbench : public QueryService {
   /// between slices), records per-batch failures, advances applied_lsn_.
   void MaintenanceLoop();
 
+  // pcube-lint: begin-lock-free(the structural members are synchronized by
+  // struct_mu_'s whole-execution protocol: queries hold the shared side for
+  // their entire run, the maintenance thread takes the exclusive side per
+  // bounded slice — a discipline GUARDED_BY cannot express because reads
+  // reach these fields through layers that never see the lock)
   Dataset data_;
   IoStats stats_;
   IoStats snapshot_;
@@ -293,8 +298,11 @@ class Workbench : public QueryService {
   PageId catalog_root_ = kInvalidPageId;
   RTreeOptions rtree_options_;
   std::vector<std::vector<std::string>> dictionaries_;
+  // pcube-lint: end-lock-free
 
   // ---- Write path (DESIGN.md §15) ----------------------------------------
+  // pcube-lint: lock-free(the Wal is internally synchronized; the pointer
+  // itself is fixed by Build()/Open() before the maintenance thread starts)
   std::unique_ptr<Wal> wal_;
   /// Structure lock: queries hold it shared for their whole execution, the
   /// maintenance thread holds it exclusive per bounded slice. Mutable so
@@ -302,6 +310,8 @@ class Workbench : public QueryService {
   mutable SharedMutex struct_mu_;
   /// Deleted tuples (see tombstones()); written under struct_mu_ exclusive,
   /// read by the boolean-first plan under the shared side.
+  // pcube-lint: lock-free(same whole-execution struct_mu_ protocol as the
+  // structural members above)
   std::unordered_set<TupleId> tombstones_;
   /// Mutable so the const staged_rows() observer can lock it.
   mutable Mutex write_mu_;
@@ -321,6 +331,8 @@ class Workbench : public QueryService {
   bool stop_maintenance_ GUARDED_BY(write_mu_) = false;
   CondVar pending_cv_;  ///< maintenance waits: work arrived / stop
   CondVar applied_cv_;  ///< writers wait: applied_lsn_ advanced
+  // pcube-lint: lock-free(started last in StartMaintenance(), joined in
+  // Stop()/the destructor; the handle is never touched in between)
   std::thread maintenance_;
 };
 

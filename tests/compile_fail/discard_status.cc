@@ -14,6 +14,7 @@ int main() {
 #ifdef PCUBE_COMPILE_FAIL
   Fallible();
 #else
+  // The explicit discard is the behavior under test.
   Fallible().IgnoreError();
 #endif
   return 0;

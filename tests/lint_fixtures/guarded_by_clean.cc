@@ -1,0 +1,39 @@
+// Negative controls for pcube-guarded-by-completeness: every sanctioned
+// escape (GUARDED_BY, sync-primitive members, const members, line pragma,
+// region pragma) and a mutex-free class.
+#include "lint_fixture_support.h"
+
+#include <atomic>
+#include <thread>
+
+namespace pcube {
+
+class CleanCounters {
+ public:
+  void Bump();
+
+ private:
+  mutable Mutex mu_;
+  unsigned long total_ GUARDED_BY(mu_) = 0;
+  unsigned long* slot_ PT_GUARDED_BY(mu_) = nullptr;
+  std::atomic<unsigned long> fast_{0};  // internally synchronized
+  CondVar cv_;                          // sync primitive
+  const int limit_ = 8;                 // immutable by type
+  // pcube-lint: lock-free(set in the constructor before any thread exists,
+  // immutable afterwards)
+  double threshold_ = 0.5;
+  // pcube-lint: begin-lock-free(owned exclusively by the background thread;
+  // the start/join protocol is the synchronization)
+  std::thread worker_;
+  int scratch_ = 0;
+  // pcube-lint: end-lock-free
+  int tail_ GUARDED_BY(mu_) = 0;
+};
+
+// No mutex member: the class is outside this check's scope entirely.
+struct PlainData {
+  int x = 0;
+  double y = 0;
+};
+
+}  // namespace pcube

@@ -1,0 +1,47 @@
+// Positive fixtures for pcube-guarded-by-completeness: mutable members of
+// a lock-owning class without GUARDED_BY or a lock-free pragma.
+#include "lint_fixture_support.h"
+
+#include <string>
+#include <vector>
+
+namespace pcube {
+
+class LeakyCounters {
+ public:
+  void Bump();
+
+ private:
+  Mutex mu_;
+  unsigned long total_ GUARDED_BY(mu_) = 0;
+  unsigned long dropped_ = 0;  // expect-lint: pcube-guarded-by-completeness
+  double ewma_ = 0;  // expect-lint: pcube-guarded-by-completeness
+};
+
+// SharedMutex owners are held to the same rule, including members declared
+// before the mutex.
+class LeakyRegistry {
+ public:
+  void Publish();
+
+ private:
+  std::vector<std::string> names_;  // expect-lint: pcube-guarded-by-completeness
+  mutable SharedMutex mu_;
+  std::vector<int> values_ GUARDED_BY(mu_);
+};
+
+// A nested lock-owning struct is checked independently of its owner.
+class Outer {
+ public:
+  struct Stripe {
+    Mutex mu;
+    int hits GUARDED_BY(mu) = 0;
+    int misses = 0;  // expect-lint: pcube-guarded-by-completeness
+  };
+
+ private:
+  // The outer class owns no mutex directly, so its members are exempt.
+  int capacity_ = 0;
+};
+
+}  // namespace pcube

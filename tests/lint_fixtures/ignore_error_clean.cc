@@ -1,0 +1,20 @@
+// Negative controls for pcube-ignore-error-rationale: the discard is
+// explained on the same or the immediately preceding line.
+#include "lint_fixture_support.h"
+
+namespace pcube {
+
+Status Fallible();
+
+void DropStatusesWithReasons() {
+  // Best-effort warm-up: a failed preload just means a cold first query.
+  Fallible().IgnoreError();
+
+  Status s = Fallible();
+  s.IgnoreError();  // advisory sidecar; reads fall back to recompute
+
+  /* shutdown path: the socket is closing either way */
+  s.IgnoreError();
+}
+
+}  // namespace pcube

@@ -1,0 +1,21 @@
+// Positive fixtures for pcube-ignore-error-rationale: a bare
+// `.IgnoreError()` with no rationale comment nearby. The expect-lint
+// markers themselves are invisible to the check, so a marker can never
+// double as the missing rationale.
+#include "lint_fixture_support.h"
+
+namespace pcube {
+
+Status Fallible();
+
+void DropStatusesSilently() {
+  Fallible().IgnoreError();  // expect-lint: pcube-ignore-error-rationale
+
+  Status s = Fallible();
+  s.IgnoreError();  // expect-lint: pcube-ignore-error-rationale
+
+  const Status* p = &s;
+  p->IgnoreError();  // expect-lint: pcube-ignore-error-rationale
+}
+
+}  // namespace pcube

@@ -1,0 +1,15 @@
+// Negative control: a file-level allow pragma sanctions every mutator call
+// in the file (the shape a dedicated-purpose test file uses).
+// pcube-lint: allow-mutation-file(fixture exercising the raw R*-tree API)
+#include "lint_fixture_support.h"
+
+namespace pcube {
+
+Status BulkFixture(RStarTree& tree) {
+  PathChangeSet changes;
+  Status s = tree.Insert(0.5f, 1, &changes);
+  if (!s.ok()) return s;
+  return tree.Delete(0.5f, 1, &changes);
+}
+
+}  // namespace pcube

@@ -1,0 +1,22 @@
+// Positive fixtures for pcube-mutation-entry: every direct call to a raw
+// structure mutator outside the sanctioned entry points must be reported
+// exactly once, on the marked line.
+#include "lint_fixture_support.h"
+
+namespace pcube {
+
+Status UpdateStructuresDirectly(RStarTree& tree, TableStore* table,
+                                PCube* cube, const Dataset& data) {
+  PathChangeSet changes;
+  Status s = tree.Insert(1.0f, 7, &changes);  // expect-lint: pcube-mutation-entry
+  if (!s.ok()) return s;
+  s = tree.Delete(1.0f, 7, &changes);  // expect-lint: pcube-mutation-entry
+  if (!s.ok()) return s;
+  s = table->Append(3, 4);  // expect-lint: pcube-mutation-entry
+  if (!s.ok()) return s;
+  s = cube->ApplyChanges(data, changes);  // expect-lint: pcube-mutation-entry
+  if (!s.ok()) return s;
+  return cube->Rebuild(data, tree);  // expect-lint: pcube-mutation-entry
+}
+
+}  // namespace pcube

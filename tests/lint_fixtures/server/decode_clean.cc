@@ -1,0 +1,18 @@
+// Negative controls for pcube-wire-no-abort: Status returns and checks on
+// values the server produced itself (tagged trusted) are fine.
+#include "../lint_fixture_support.h"
+
+namespace pcube::wire {
+
+Status DecodeDefensively(const unsigned char* bytes, unsigned long len) {
+  if (len < 12) return Status{};  // reject, never abort
+  if (bytes[0] != 'P') return Status{};
+  // The chunk size below is computed by the server, not read off the wire.
+  unsigned long chunk = len < 4096 ? len : 4096;
+  // pcube-lint: trusted(chunk is clamped locally two lines above; no wire
+  // byte reaches this check)
+  PCUBE_CHECK_LE(chunk, 4096u);
+  return Status{};
+}
+
+}  // namespace pcube::wire

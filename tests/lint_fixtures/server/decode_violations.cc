@@ -1,0 +1,22 @@
+// Positive fixtures for pcube-wire-no-abort: abort-family calls in
+// wire-facing code (this directory stands in for src/server/ via the
+// --wire-paths flag) must each be reported once.
+#include "../lint_fixture_support.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace pcube::wire {
+
+Status DecodeFrame(const unsigned char* bytes, unsigned long len) {
+  PCUBE_CHECK(len >= 12);  // expect-lint: pcube-wire-no-abort
+  PCUBE_CHECK_LE(len, 1u << 20);  // expect-lint: pcube-wire-no-abort
+  PCUBE_DCHECK(bytes != nullptr);  // expect-lint: pcube-wire-no-abort
+  assert(bytes[0] == 'P');  // expect-lint: pcube-wire-no-abort
+  if (len == 0) {
+    std::abort();  // expect-lint: pcube-wire-no-abort
+  }
+  return Status{};
+}
+
+}  // namespace pcube::wire

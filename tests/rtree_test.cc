@@ -1,6 +1,8 @@
 // R*-tree tests: geometry, node layout, construction (insert / STR bulk /
 // explicit), path queries, deletion with stable slots, and the path-change
 // reporting that drives incremental P-Cube maintenance.
+// pcube-lint: allow-mutation-file(unit tests of the tree's own mutators;
+// there is no WriteBatch to route through at this layer)
 #include <gtest/gtest.h>
 
 #include <map>

@@ -302,6 +302,7 @@ TEST(ServerProtocolTest, BitFlipsAndGarbageNeverCrash) {
         std::string copy = payload;
         copy[byte] = static_cast<char>(copy[byte] ^ (1 << bit));
         QueryEnvelope out;
+        // Fuzzing for crashes, not outcomes: any Status is acceptable.
         wire::DecodeQuery(reinterpret_cast<const uint8_t*>(copy.data()),
                           copy.size(), &out)
             .IgnoreError();
@@ -313,17 +314,22 @@ TEST(ServerProtocolTest, BitFlipsAndGarbageNeverCrash) {
     std::string garbage(rng() % 200, '\0');
     for (char& c : garbage) c = static_cast<char>(rng());
     const uint8_t* bytes = reinterpret_cast<const uint8_t*>(garbage.data());
+    // Each decoder just has to survive the garbage; the (expected)
+    // error Statuses carry no information worth asserting on.
     QueryEnvelope q;
-    wire::DecodeQuery(bytes, garbage.size(), &q).IgnoreError();
+    wire::DecodeQuery(bytes, garbage.size(), &q).IgnoreError();  // fuzz only
     wire::ResultHeader rh;
+    // fuzz only: outcome irrelevant
     wire::DecodeResultHeader(bytes, garbage.size(), &rh).IgnoreError();
     std::vector<TupleId> tids;
     std::vector<double> scores;
+    // fuzz only: outcome irrelevant
     wire::DecodeResultChunk(bytes, garbage.size(), true, &tids, &scores)
         .IgnoreError();
-    wire::DecodeError(bytes, garbage.size()).IgnoreError();
+    wire::DecodeError(bytes, garbage.size()).IgnoreError();  // fuzz only
     if (garbage.size() >= wire::kHeaderBytes) {
       FrameHeader h;
+      // fuzz only: outcome irrelevant
       wire::ParseFrameHeader(bytes, &h).IgnoreError();
     }
   }
