@@ -36,19 +36,24 @@ SCAN="$BUILD_DIR/tools/pcube_lint/pcube_lint_scan"
 
 # Everything the engine compiles plus the tests: the mutation-entry
 # allowlist and the pragma escapes are how legitimate sites opt out, not
-# path exclusions. The lint tool's own sources are excluded (its fixture
-# strings mention every forbidden name).
-mapfile -t files < <(git ls-files 'src/**/*.cc' 'src/**/*.h' \
+# path exclusions. Two directories ARE excluded: tests/lint_fixtures/ is
+# the seeded-violation corpus (lint_fixture_test runs the scanner over it
+# deliberately; scanning it here would fail every clean tree), and
+# tools/pcube_lint/ is the lint tool itself (its diagnostic strings and
+# fixture literals mention every forbidden name). git pathspecs match
+# recursively, so the exclusions must be explicit.
+mapfile -t files < <(git ls-files 'src/*.cc' 'src/*.h' \
                      'tools/*.cpp' 'bench/*.cc' 'bench/*.h' \
-                     'tests/*.cc' 'tests/*.h' 'tests/compile_fail/*.cc')
+                     'tests/*.cc' 'tests/*.h' \
+                     ':!tests/lint_fixtures' ':!tools/pcube_lint')
 
-PLUGIN="$BUILD_DIR/tools/pcube_lint/libpcube_lint_module.so"
+PLUGIN="$BUILD_DIR/tools/pcube_lint/libpcube_lint.so"
 if command -v clang-tidy >/dev/null 2>&1 && [ -f "$PLUGIN" ]; then
   echo "lint.sh: plugin tier (clang-tidy -load) over compile_commands.json"
   # Only compiled translation units appear in the database; headers are
   # checked through their includers.
-  mapfile -t tu_files < <(git ls-files 'src/**/*.cc' 'tools/*.cpp' \
-                          'bench/*.cc')
+  mapfile -t tu_files < <(git ls-files 'src/*.cc' 'tools/*.cpp' \
+                          'bench/*.cc' ':!tools/pcube_lint')
   clang-tidy -p "$BUILD_DIR" --quiet \
     -load "$PLUGIN" \
     -checks='-*,pcube-mutation-entry,pcube-wire-no-abort,pcube-guarded-by-completeness,pcube-ignore-error-rationale' \
@@ -69,10 +74,16 @@ fi
 # database). Additive only — absence is not a failure.
 if command -v clang >/dev/null 2>&1; then
   echo "lint.sh: clang --analyze sweep"
-  mapfile -t tu_files < <(git ls-files 'src/**/*.cc')
+  mapfile -t tu_files < <(git ls-files 'src/*.cc')
   fail=0
   for tu in "${tu_files[@]}"; do
-    clang --analyze --analyzer-output text -std=c++20 -Isrc "$tu" || fail=1
+    # clang --analyze exits nonzero only on compile errors; analyzer
+    # findings still exit 0, so scan the output for warning lines.
+    if ! out="$(clang --analyze --analyzer-output text -std=c++20 -Isrc \
+                "$tu" 2>&1)" || grep -q 'warning:' <<<"$out"; then
+      printf '%s\n' "$out" >&2
+      fail=1
+    fi
   done
   if [ "$fail" -ne 0 ]; then
     echo "lint.sh: clang --analyze reported findings" >&2

@@ -366,12 +366,6 @@ const LineFacts& FactsFor(const SourceFile& f, int line) {
   return f.lines[line];
 }
 
-// A rationale comment counts on the flagged line or the line immediately
-// above it.
-bool NearbyFlag(const SourceFile& f, int line, bool LineFacts::*field) {
-  return FactsFor(f, line).*field || FactsFor(f, line - 1).*field;
-}
-
 bool IsCommentBearing(const LineFacts& lf) {
   return lf.has_rationale || lf.allow_mutation || lf.allow_mutation_file ||
          lf.trusted || lf.lock_free || lf.begin_lock_free || lf.end_lock_free;
@@ -877,12 +871,15 @@ int Run(const Options& opts, const std::vector<std::string>& files) {
       CheckIgnoreErrorRationale(f, &diags);
     }
   }
-  // One report per (file, line, check): the qualified-name and
-  // typed-receiver matchers can both recognize the same call.
+  // One report per (file, line, col, check): the qualified-name and
+  // typed-receiver matchers can both recognize the same call, but they
+  // anchor on the same token, so the column disambiguates genuine
+  // distinct violations sharing a source line.
   std::set<std::string> seen;
   std::vector<Diagnostic> unique;
   for (Diagnostic& d : diags) {
-    std::string key = d.file + ":" + std::to_string(d.line) + ":" + d.check;
+    std::string key = d.file + ":" + std::to_string(d.line) + ":" +
+                      std::to_string(d.col) + ":" + d.check;
     if (seen.insert(std::move(key)).second) unique.push_back(std::move(d));
   }
   diags = std::move(unique);
